@@ -1,0 +1,46 @@
+"""Ablation: current-density scaling — the near-future claim.
+
+Fig. 1's caption: power density "is expected to double in the near
+future".  The sweep shows the reference architecture falling off its
+~0.83 A/mm² micro-bump cliff while the vertical architectures keep
+closing through 4 A/mm².
+"""
+
+from __future__ import annotations
+
+from repro.core.scaling_study import a0_density_limit, density_scaling_study
+
+
+def run_study():
+    return density_scaling_study()
+
+
+def test_density_ablation(benchmark, report_header):
+    points = run_study()
+
+    report_header("Ablation - POL current density scaling (1 kW, DSCH)")
+    print(f"A0 density cap: {a0_density_limit():.2f} A/mm2 (paper: ~0.8)\n")
+    print(
+        f"{'A/mm2':>6s} {'die mm2':>8s} {'A0':>12s} {'vertical':>10s} "
+        f"{'loss%':>7s}"
+    )
+    for p in points:
+        loss = (
+            f"{p.vertical_loss_pct:6.2f}" if p.vertical_loss_pct else "  -  "
+        )
+        print(
+            f"{p.density_a_per_mm2:6.1f} {p.die_area_mm2:8.0f} "
+            f"{'supported' if p.a0_supported else 'INFEASIBLE':>12s} "
+            f"{'closes' if p.vertical_supported else 'fails':>10s} "
+            f"{loss:>7s}"
+        )
+
+    at_2 = next(p for p in points if p.density_a_per_mm2 == 2.0)
+    assert not at_2.a0_supported and at_2.vertical_supported
+    assert all(
+        p.vertical_supported
+        for p in points
+        if p.density_a_per_mm2 <= 4.0
+    )
+
+    benchmark(run_study)

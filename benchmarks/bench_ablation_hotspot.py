@@ -1,0 +1,34 @@
+"""Ablation: die hotspot severity vs per-VR current spread.
+
+Sharpening the die power map blows up the A2 (under-die) sharing
+spread while the A1 periphery ring stays comparatively balanced — the
+mechanism behind the paper's 10-93 A observation.
+"""
+
+from __future__ import annotations
+
+from repro.core.exploration import hotspot_sweep
+
+
+def run_sweep():
+    return hotspot_sweep(uniform_fractions=(1.0, 0.45, 0.3, 0.1))
+
+
+def test_hotspot_ablation(benchmark, report_header):
+    results = run_sweep()
+
+    report_header("Ablation - hotspot severity vs per-VR current spread")
+    print(f"{'uniform frac':>12s} {'A1 min-max (A)':>18s} {'A2 min-max (A)':>18s}")
+    for fraction, a1, a2 in results:
+        print(
+            f"{fraction:12.2f} "
+            f"{a1.min_current_a:8.1f}-{a1.max_current_a:<8.1f} "
+            f"{a2.min_current_a:8.1f}-{a2.max_current_a:<8.1f}"
+        )
+
+    spreads_a2 = [a2.spread_ratio for _f, _a1, a2 in results]
+    assert spreads_a2 == sorted(spreads_a2)
+    _f, a1_sharp, a2_sharp = results[-1]
+    assert a2_sharp.spread_ratio > 3 * a1_sharp.spread_ratio
+
+    benchmark.pedantic(run_sweep, rounds=2, iterations=1)

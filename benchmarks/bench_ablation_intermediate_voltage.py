@@ -1,0 +1,41 @@
+"""Ablation: A3 intermediate rail voltage sweep.
+
+The paper evaluates 12 V and 6 V; the sweep maps the whole tradeoff
+(rail I²R loss vs stage-1 conversion stress) and locates the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.exploration import intermediate_voltage_sweep
+
+
+def run_sweep():
+    return intermediate_voltage_sweep(
+        voltages=(3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0)
+    )
+
+
+def test_intermediate_voltage_ablation(benchmark, report_header):
+    points = run_sweep()
+
+    report_header("Ablation - A3 intermediate rail voltage (DSCH stage 2)")
+    for point in points:
+        if math.isnan(point.total_loss_w):
+            print(f"V_int {point.value:5.1f} V : infeasible ({point.detail})")
+        else:
+            print(
+                f"V_int {point.value:5.1f} V : loss {point.loss_pct:6.2f}%  "
+                f"efficiency {point.efficiency:.1%}"
+            )
+
+    by_v = {p.value: p for p in points if not math.isnan(p.total_loss_w)}
+    # The paper's pair: 12 V beats 6 V (rail current quadratics).
+    assert by_v[12.0].total_loss_w < by_v[6.0].total_loss_w
+    # Sanity: extremes are worse than the middle of the sweep.
+    feasible = sorted(by_v)
+    middle_best = min(by_v[v].total_loss_w for v in feasible[2:-1])
+    assert by_v[feasible[0]].total_loss_w > middle_best
+
+    benchmark(run_sweep)

@@ -1,0 +1,32 @@
+"""Ablation: interposer RDL thickness vs A1 loss.
+
+The periphery architecture's dominant interconnect loss is the RDL
+spreading term; this bench quantifies the sensitivity that makes RDL
+metallization a first-order design knob.
+"""
+
+from __future__ import annotations
+
+from repro.core.exploration import rdl_thickness_sweep
+
+
+def run_sweep():
+    return rdl_thickness_sweep()
+
+
+def test_rdl_ablation(benchmark, report_header):
+    points = run_sweep()
+
+    report_header("Ablation - interposer RDL thickness (A1 + DSCH)")
+    for point in points:
+        print(
+            f"{point.label:12s}: loss {point.loss_pct:6.2f}%  "
+            f"({point.detail})"
+        )
+
+    losses = [p.total_loss_w for p in points]
+    assert losses == sorted(losses, reverse=True)
+    # Thickness spans 12x; the loss delta must be material (>2% abs).
+    assert points[0].loss_pct - points[-1].loss_pct > 2.0
+
+    benchmark(run_sweep)

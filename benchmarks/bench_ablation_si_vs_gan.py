@@ -1,0 +1,42 @@
+"""Ablation: Si vs GaN power devices over switching frequency.
+
+Quantifies the paper's Section III argument for GaN: integrated
+regulators need high frequency (small passives), and GaN's lower
+charge figure-of-merit keeps switching loss acceptable there.
+"""
+
+from __future__ import annotations
+
+from repro.core.exploration import si_vs_gan_buck
+
+
+def run_sweep():
+    return si_vs_gan_buck()
+
+
+def test_si_vs_gan_ablation(benchmark, report_header):
+    points = run_sweep()
+
+    report_header("Ablation - Si vs GaN buck efficiency over frequency")
+    by_freq: dict[float, dict[str, float]] = {}
+    for point in points:
+        if point.feasible:
+            by_freq.setdefault(point.frequency_hz, {})[point.technology] = (
+                point.efficiency
+            )
+    for freq in sorted(by_freq):
+        eta = by_freq[freq]
+        gap = eta["GaN"] - eta["Si"]
+        print(
+            f"{freq / 1e6:5.1f} MHz : Si {eta['Si']:.1%}  GaN {eta['GaN']:.1%}  "
+            f"(GaN advantage {gap * 100:.1f} pts)"
+        )
+
+    gaps = {
+        f: by_freq[f]["GaN"] - by_freq[f]["Si"] for f in by_freq
+    }
+    freqs = sorted(gaps)
+    assert all(gaps[f] > 0 for f in freqs)
+    assert gaps[freqs[-1]] > gaps[freqs[0]]
+
+    benchmark(run_sweep)

@@ -1,0 +1,37 @@
+"""E-TXT-SHARE: per-VR current distribution (16-27 A vs 10-93 A)."""
+
+from __future__ import annotations
+
+from repro.converters.catalog import DSCH
+from repro.core.architectures import single_stage_a1, single_stage_a2
+from repro.core.current_sharing import analyze_current_sharing
+from repro.reporting.experiments import run_experiment
+
+
+def run_analysis():
+    a1 = analyze_current_sharing(single_stage_a1(), DSCH)
+    a2 = analyze_current_sharing(single_stage_a2(), DSCH)
+    return a1, a2
+
+
+def test_current_sharing_reproduction(benchmark, report_header):
+    a1, a2 = run_analysis()
+
+    report_header("Section IV - per-VR current sharing (DSCH, 48 VRs)")
+    for result in (a1, a2):
+        print(
+            f"{result.architecture}: {result.min_current_a:5.1f} .. "
+            f"{result.max_current_a:5.1f} A "
+            f"(mean {result.mean_current_a:.1f}, "
+            f"spread {result.spread_ratio:.1f}x, "
+            f"overloaded VRs {result.overloaded_count})"
+        )
+    print()
+    print("paper: A1 16-27 A; A2 10-93 A (center VRs heaviest)")
+    for result in run_experiment("sharing"):
+        flag = "OK " if result.holds else "FAIL"
+        print(f"[{flag}] {result.claim}: {result.measured_value}")
+
+    assert all(r.holds for r in run_experiment("sharing"))
+
+    benchmark.pedantic(run_analysis, rounds=3, iterations=1)

@@ -1,0 +1,47 @@
+"""E-FIG1: HPC power / current-density demand scatter (Fig. 1).
+
+Prints the reconstructed chip/server dataset and the envelope claims,
+and benchmarks the dataset + rendering pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.hpc_demand import demand_envelope
+from repro.reporting.experiments import run_experiment
+from repro.reporting.figures import fig1_series, render_fig1
+
+
+def build_figure():
+    series = fig1_series()
+    rendering = render_fig1()
+    envelope = demand_envelope()
+    return series, rendering, envelope
+
+
+def test_fig1_reproduction(benchmark, report_header):
+    series, rendering, envelope = build_figure()
+
+    report_header("Fig. 1 - HPC power and current density demand")
+    print(rendering)
+    print()
+    print(
+        f"max chip power      : {envelope['max_chip_power_w']:.0f} W "
+        "(paper: approaching 1 kW)"
+    )
+    print(
+        f"max server power    : {envelope['max_server_power_w']:.0f} W "
+        "(paper: approaching 20 kW)"
+    )
+    print(
+        f"max current density : "
+        f"{envelope['max_current_density_a_per_mm2']:.2f} A/mm2 "
+        "(paper: approaching 1 A/mm2)"
+    )
+    for result in run_experiment("fig1"):
+        flag = "OK " if result.holds else "FAIL"
+        print(f"[{flag}] {result.claim}: {result.measured_value}")
+
+    assert all(r.holds for r in run_experiment("fig1"))
+    assert len(series["chips"]) >= 8
+
+    benchmark(build_figure)

@@ -1,0 +1,38 @@
+"""E-FIG2: current demand vs packaging feature trends (Fig. 2)."""
+
+from __future__ import annotations
+
+from repro.datasets.scaling_trends import trend_summary
+from repro.reporting.experiments import run_experiment
+from repro.reporting.figures import fig2_series, render_fig2
+
+
+def build_figure():
+    series = fig2_series()
+    rendering = render_fig2()
+    summary = trend_summary()
+    return series, rendering, summary
+
+
+def test_fig2_reproduction(benchmark, report_header):
+    series, rendering, summary = build_figure()
+
+    report_header("Fig. 2 - current demand vs packaging feature size")
+    print(rendering)
+    print()
+    print(
+        f"current demand growth : {summary['current_growth_x']:.0f}x "
+        "(paper: orders of magnitude)"
+    )
+    print(
+        f"feature reduction     : {summary['feature_reduction_x']:.1f}x "
+        "(paper: ~4x)"
+    )
+    for result in run_experiment("fig2"):
+        flag = "OK " if result.holds else "FAIL"
+        print(f"[{flag}] {result.claim}: {result.measured_value}")
+
+    assert all(r.holds for r in run_experiment("fig2"))
+    assert len(series["current_demand_a"]) >= 6
+
+    benchmark(build_figure)

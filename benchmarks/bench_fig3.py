@@ -1,0 +1,37 @@
+"""E-FIG3: power savings vs conversion location (Fig. 3 quantified).
+
+Fig. 3 illustrates why on-interposer regulation saves power relative
+to PCB-level conversion; the sweep quantifies the whole path
+PCB -> package -> interposer periphery -> below die.
+"""
+
+from __future__ import annotations
+
+from repro.core.exploration import conversion_location_sweep
+from repro.reporting.figures import render_fig3
+
+
+def run_sweep():
+    return conversion_location_sweep()
+
+
+def test_fig3_reproduction(benchmark, report_header):
+    points = run_sweep()
+
+    report_header("Fig. 3 - loss vs conversion location (DSCH)")
+    print(render_fig3())
+    print()
+    for point in points:
+        print(
+            f"{point.label:22s} loss {point.loss_pct:6.2f}%  "
+            f"efficiency {point.efficiency:.1%}  ({point.detail})"
+        )
+
+    losses = [p.total_loss_w for p in points]
+    assert losses == sorted(losses, reverse=True), (
+        "loss must fall monotonically as conversion approaches the POL"
+    )
+    assert points[0].loss_pct > 40.0
+    assert points[-1].loss_pct < 20.0
+
+    benchmark(run_sweep)

@@ -1,0 +1,55 @@
+"""E-FIG4/5: architecture placements as concrete floorplans.
+
+Fig. 4 sketches the architectures; Fig. 5 shows the two distribution
+schemes — VR tiles ringing the die (A1) vs embedded below it (A2).
+This bench realizes both as legal rectangle floorplans and renders
+them, asserting the geometric properties the figures illustrate.
+"""
+
+from __future__ import annotations
+
+from repro.converters.catalog import DPMIH, DSCH
+from repro.placement.floorplan import build_floorplan
+from repro.placement.planner import PlacementStyle, plan_placement
+
+DIE_MM2 = 500.0
+
+
+def build_all():
+    plans = {
+        ("A1", "DSCH"): plan_placement(
+            DSCH, PlacementStyle.PERIPHERY, 1000.0, DIE_MM2
+        ),
+        ("A2", "DSCH"): plan_placement(
+            DSCH, PlacementStyle.BELOW_DIE, 1000.0, DIE_MM2
+        ),
+        ("A2", "DPMIH"): plan_placement(
+            DPMIH, PlacementStyle.BELOW_DIE, 1000.0, DIE_MM2
+        ),
+    }
+    return {
+        key: build_floorplan(plan, DIE_MM2) for key, plan in plans.items()
+    }
+
+
+def test_fig5_reproduction(benchmark, report_header):
+    floorplans = build_all()
+
+    report_header("Fig. 5 - distributed vertical power delivery floorplans")
+    for (arch, topo), floorplan in floorplans.items():
+        print(f"--- {arch} with {topo} ---")
+        print(floorplan.render())
+        print()
+
+    a1 = floorplans[("A1", "DSCH")]
+    a2 = floorplans[("A2", "DSCH")]
+    a2_dpmih = floorplans[("A2", "DPMIH")]
+
+    # Fig. 5(a): periphery tiles ring the die, none inside.
+    assert a1.is_legal and a1.tiles_inside_die() == 0
+    # Fig. 5(b): under-die tiles fill the die shadow.
+    assert a2.is_legal and a2.tiles_inside_die() == 48
+    # DPMIH: 7 embedded + periphery overflow, all legal.
+    assert a2_dpmih.is_legal and a2_dpmih.tiles_inside_die() == 7
+
+    benchmark(build_all)

@@ -1,0 +1,50 @@
+"""E-FIG7 + E-TXT-HORIZ: the headline PCB-to-POL loss study (Fig. 7).
+
+Regenerates the stacked loss breakdown for A0, A1, A2, A3@12V and
+A3@6V with the DPMIH and DSCH topologies (3LHD excluded, as in the
+paper), prints the bars, and checks every claim the paper ties to the
+figure.
+"""
+
+from __future__ import annotations
+
+from repro.core.characterization import characterize_all, fig7_claims
+from repro.reporting.figures import render_fig7
+
+
+def run_study():
+    rows = characterize_all()
+    return rows, fig7_claims(rows)
+
+
+def test_fig7_reproduction(benchmark, report_header):
+    rows, claims = run_study()
+
+    report_header("Fig. 7 - PCB-to-POL power loss per architecture")
+    print(render_fig7(rows=rows))
+    print()
+    print("paper-vs-measured:")
+    print(f"  A0 loss                    : {claims.a0_loss_pct:.1f}% (paper: >40%)")
+    print(
+        f"  best/worst vertical loss   : {claims.best_vertical_loss_pct:.1f}% / "
+        f"{claims.worst_vertical_loss_pct:.1f}% (paper: ~20% for most)"
+    )
+    print(
+        f"  horizontal reduction A3@12V: {claims.horizontal_reduction_a3_12v:.1f}x "
+        "(paper: up to 19x)"
+    )
+    print(
+        f"  horizontal reduction A3@6V : {claims.horizontal_reduction_a3_6v:.1f}x "
+        "(paper: up to 7x)"
+    )
+    print(f"  excluded topologies        : {claims.excluded_topologies} (paper: 3LHD)")
+
+    assert claims.a0_loss_pct > 40.0
+    assert claims.best_vertical_loss_pct < 20.0
+    assert claims.vertical_loss_negligible
+    assert claims.all_ppdn_below_10pct and claims.all_converters_above_10pct
+    assert 14.0 <= claims.horizontal_reduction_a3_12v <= 24.0
+    assert 5.0 <= claims.horizontal_reduction_a3_6v <= 9.0
+    assert claims.excluded_topologies == ("3LHD",)
+
+    benchmark(run_study)

@@ -1,0 +1,65 @@
+"""Extension benchmark: PDN impedance profiles and target-impedance
+compliance, board- vs interposer-regulated."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pdn.impedance import (
+    pdn_impedance,
+    size_die_decap_for_target,
+    target_impedance_ohm,
+)
+from repro.pdn.transient import PDNStage
+
+BOARD_STYLE = [
+    PDNStage("board", 0.2e-3, 10e-9, 2e-3, 0.2e-3),
+    PDNStage("package", 0.1e-3, 0.5e-9, 200e-6, 0.3e-3),
+    PDNStage("die", 0.05e-3, 20e-12, 2e-6, 0.05e-3),
+]
+INTERPOSER_STYLE = [
+    PDNStage("interposer", 0.05e-3, 100e-12, 100e-6, 0.1e-3),
+    PDNStage("die", 0.02e-3, 10e-12, 2e-6, 0.05e-3),
+]
+
+
+def run_analysis():
+    target = target_impedance_ohm(1.0, 0.05, 500.0)
+    board = pdn_impedance(BOARD_STYLE)
+    interposer = pdn_impedance(INTERPOSER_STYLE)
+    sizing = size_die_decap_for_target(INTERPOSER_STYLE, target * 5)
+    return target, board, interposer, sizing
+
+
+def test_impedance_analysis(benchmark, report_header):
+    target, board, interposer, sizing = run_analysis()
+
+    report_header("Extension - PDN impedance (1 V, 5% ripple, 500 A step)")
+    print(f"target impedance            : {target * 1e3:.3f} mOhm")
+    print(
+        f"board-regulated peak |Z|    : {board.peak_impedance_ohm * 1e3:.2f} "
+        f"mOhm at {board.peak_frequency_hz / 1e6:.1f} MHz"
+    )
+    print(
+        f"interposer-regulated peak   : "
+        f"{interposer.peak_impedance_ohm * 1e3:.2f} mOhm at "
+        f"{interposer.peak_frequency_hz / 1e6:.1f} MHz"
+    )
+    low_band = np.logspace(3, 5.9, 60)
+    zb = pdn_impedance(BOARD_STYLE, frequencies_hz=low_band).impedance_ohm
+    zi = pdn_impedance(
+        INTERPOSER_STYLE, frequencies_hz=low_band
+    ).impedance_ohm
+    print(
+        f"low/mid-band advantage      : {float(np.mean(zb / zi)):.1f}x "
+        "lower with interposer regulation"
+    )
+    print(
+        f"die-decap sizing (5x target): {sizing.original_farad * 1e6:.1f} uF "
+        f"-> {sizing.recommended_farad * 1e6:.1f} uF "
+        f"({'meets' if sizing.meets_target else 'misses'} target)"
+    )
+
+    assert np.all(zi <= zb)
+
+    benchmark(run_analysis)

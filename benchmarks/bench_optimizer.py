@@ -1,0 +1,32 @@
+"""Extension benchmark: full design-space optimization."""
+
+from __future__ import annotations
+
+from repro.core.optimizer import DesignConstraints, optimize_design
+
+
+def run_search():
+    return optimize_design(constraints=DesignConstraints())
+
+
+def test_optimizer(benchmark, report_header):
+    result = run_search()
+
+    report_header("Extension - design-space optimization (paper system)")
+    for candidate in result.feasible:
+        marker = "  <- best" if candidate is result.feasible[0] else ""
+        print(
+            f"{candidate.architecture:7s} {candidate.topology:10s} "
+            f"efficiency {candidate.efficiency:.1%}{marker}"
+        )
+    for candidate in result.rejected:
+        print(
+            f"{candidate.architecture:7s} {candidate.topology:10s} "
+            f"rejected: {candidate.rejected_reason[:55]}"
+        )
+
+    best = result.best
+    assert best.architecture == "A2" and best.topology == "DSCH"
+    assert len(result.rejected) == 4  # the 3LHD points
+
+    benchmark(run_search)

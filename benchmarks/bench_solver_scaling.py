@@ -1,0 +1,27 @@
+"""Substrate benchmark: sparse MNA grid-solve scaling.
+
+Not a paper artifact — times the PDN solver across grid resolutions so
+regressions in the numerical core are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdn.grid import GridPDN
+from repro.pdn.powermap import PowerMap
+
+
+def solve_grid(n: int) -> float:
+    grid = GridPDN(0.0224, 0.0224, 0.62e-3, nx=n, ny=n)
+    grid.set_sinks(PowerMap.hotspot_mixture(), 1000.0)
+    for k in range(8):
+        t = k / 8.0
+        grid.add_source(f"s{k}", t, 0.0 if k % 2 else 1.0, 1.0, 1e-3)
+    return grid.solve().lateral_loss_w
+
+
+@pytest.mark.parametrize("n", [16, 32, 48])
+def test_grid_solve_scaling(benchmark, n):
+    loss = benchmark(solve_grid, n)
+    assert loss > 0

@@ -1,0 +1,41 @@
+"""E-TAB1: vertical interconnect characteristics (Table I)."""
+
+from __future__ import annotations
+
+from repro.pdn.interconnect import TABLE_I, table_i_rows
+from repro.reporting.tables import table_i_text
+
+#: (type, platform mm2, diameter um, cross-area um2, height um, pitch um)
+PAPER_TABLE_I = {
+    "BGA": (1800.0, 400.0, 125664.0, 300.0, 800.0),
+    "C4 bump": (1200.0, 100.0, 7854.0, 70.0, 200.0),
+    "TSV": (1200.0, 5.0, 20.0, 50.0, 10.0),
+    "u-bump": (500.0, 30.0, 707.0, 25.0, 60.0),
+    "advanced Cu pad": (500.0, 0.0, 100.0, 10.0, 20.0),
+}
+
+
+def build_table():
+    return table_i_rows(), table_i_text()
+
+
+def test_table1_reproduction(benchmark, report_header):
+    rows, text = build_table()
+
+    report_header("Table I - vertical interconnect characteristics")
+    print(text)
+
+    import pytest
+
+    by_type = {row["type"]: row for row in rows}
+    for name, expected in PAPER_TABLE_I.items():
+        row = by_type[name]
+        platform, diameter, area, height, pitch = expected
+        assert row["platform_area_mm2"] == pytest.approx(platform)
+        assert row["diameter_um"] == pytest.approx(diameter)
+        assert row["cross_area_um2"] == pytest.approx(area)
+        assert row["height_um"] == pytest.approx(height)
+        assert row["pitch_um"] == pytest.approx(pitch)
+    assert len(TABLE_I) == 5
+
+    benchmark(build_table)

@@ -1,0 +1,75 @@
+"""E-TAB2: converter characteristics (Table II) and placement plans.
+
+Verifies the published converter data and shows the placement plans
+the VR counts imply (including DPMIH's multi-row extension and the
+3LHD infeasibility at 1 kA).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.catalog import CATALOG, table_ii_rows
+from repro.errors import InfeasibleError
+from repro.placement.planner import PlacementStyle, plan_placement
+from repro.reporting.tables import table_ii_text
+
+#: name -> (max load A, eta peak, I at peak, switches, inductors, caps,
+#:          VRs periphery, VRs below)
+PAPER_TABLE_II = {
+    "DPMIH": (100.0, 0.909, 30.0, 8, 4, 3, 8, 7),
+    "DSCH": (30.0, 0.915, 10.0, 5, 2, 2, 48, 48),
+    "3LHD": (12.0, 0.904, 3.0, 11, 3, 5, 48, 48),
+}
+
+
+def build_table():
+    rows = table_ii_rows()
+    plans = {}
+    for spec in CATALOG:
+        for style in PlacementStyle:
+            key = (spec.name, style.value)
+            try:
+                plans[key] = plan_placement(spec, style, 1000.0, 500.0)
+            except InfeasibleError as exc:
+                plans[key] = str(exc)
+    return rows, plans
+
+
+def test_table2_reproduction(benchmark, report_header):
+    rows, plans = build_table()
+
+    report_header("Table II - converter characteristics + placement")
+    print(table_ii_text())
+    print()
+    for (name, style), plan in plans.items():
+        if isinstance(plan, str):
+            print(f"{name:6s} {style:10s}: INFEASIBLE - {plan[:70]}")
+        else:
+            print(
+                f"{name:6s} {style:10s}: {plan.vr_count} VRs @ "
+                f"{plan.per_vr_current_a:.1f} A "
+                f"(below-die {plan.below_die_count}, "
+                f"overflow {plan.overflow_count})"
+            )
+
+    by_name = {row["name"]: row for row in rows}
+    for name, expected in PAPER_TABLE_II.items():
+        row = by_name[name]
+        max_load, eta, i_peak, switches, inductors, caps, per, below = expected
+        assert row["max_load_a"] == max_load
+        assert row["peak_efficiency"] == pytest.approx(eta)
+        assert row["i_at_peak_a"] == i_peak
+        assert row["switch_count"] == switches
+        assert row["inductor_count"] == inductors
+        assert row["capacitor_count"] == caps
+        assert row["vrs_along_periphery"] == per
+        assert row["vrs_below_die"] == below
+
+    # Placement behaviour the paper describes:
+    assert plans[("DSCH", "periphery")].vr_count == 48
+    assert plans[("DPMIH", "periphery")].is_multi_row
+    assert plans[("DPMIH", "below-die")].below_die_count == 7
+    assert isinstance(plans[("3LHD", "periphery")], str)
+
+    benchmark(build_table)

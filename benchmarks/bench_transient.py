@@ -1,0 +1,43 @@
+"""Extension benchmark: load-step droop, board vs interposer regulation.
+
+The dynamic counterpart of the paper's DC message: regulating on the
+interposer hides the board/package inductance behind the regulator and
+shrinks the first droop.
+"""
+
+from __future__ import annotations
+
+from repro.pdn.transient import (
+    default_board_regulated_pdn,
+    default_interposer_regulated_pdn,
+)
+
+
+def run_step_study():
+    board = default_board_regulated_pdn()
+    interposer = default_interposer_regulated_pdn()
+    step = (5.0, 50.0)
+    return (
+        board.simulate_step(*step, duration_s=30e-6),
+        interposer.simulate_step(*step, duration_s=30e-6),
+    )
+
+
+def test_transient_droop(benchmark, report_header):
+    board_result, interposer_result = run_step_study()
+
+    report_header("Extension - load-step droop (5 A -> 50 A)")
+    print(
+        f"board-regulated PDN (A0-style)     : droop "
+        f"{board_result.droop_v * 1e3:6.1f} mV, settle "
+        f"{board_result.settle_time_s * 1e6:5.1f} us"
+    )
+    print(
+        f"interposer-regulated PDN (A1-style): droop "
+        f"{interposer_result.droop_v * 1e3:6.1f} mV, settle "
+        f"{interposer_result.settle_time_s * 1e6:5.1f} us"
+    )
+
+    assert interposer_result.droop_v < board_result.droop_v
+
+    benchmark.pedantic(run_step_study, rounds=3, iterations=1)

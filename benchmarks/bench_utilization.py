@@ -1,0 +1,51 @@
+"""E-TXT-UTIL: interconnect utilization and the A0 density limit."""
+
+from __future__ import annotations
+
+from repro.core.architectures import single_stage_a2
+from repro.core.utilization import (
+    a0_die_area_requirement,
+    vertical_utilization,
+)
+from repro.reporting.experiments import run_experiment
+
+
+def run_analysis():
+    report = vertical_utilization(single_stage_a2())
+    a0 = a0_die_area_requirement()
+    return report, a0
+
+
+def test_utilization_reproduction(benchmark, report_header):
+    report, a0 = run_analysis()
+
+    report_header("Section IV - interconnect utilization & density limits")
+    print(f"{'technology':18s} {'rail A':>8s} {'used/pol':>9s} "
+          f"{'available':>10s} {'util':>7s}")
+    for row in report.rows:
+        print(
+            f"{row.technology:18s} {row.rail_current_a:8.1f} "
+            f"{row.elements_per_polarity:9d} {row.sites_available:10d} "
+            f"{row.utilization:7.2%}"
+        )
+    print()
+    print(
+        f"A0 required die area : {a0.required_die_area_mm2:.0f} mm2 "
+        "(paper: 1200 mm2)"
+    )
+    print(
+        f"A0 density limit     : {a0.power_density_limit_a_per_mm2:.2f} A/mm2 "
+        "(paper: 0.8 A/mm2)"
+    )
+    print(f"binding technology   : {a0.binding_technology}")
+    print(
+        f"feed capacities      : BGA {a0.bga_capacity_a:.0f} A @60%, "
+        f"C4 {a0.c4_capacity_a:.0f} A @85%"
+    )
+    for result in run_experiment("utilization"):
+        flag = "OK " if result.holds else "FAIL"
+        print(f"[{flag}] {result.claim}: {result.measured_value}")
+
+    assert all(r.holds for r in run_experiment("utilization"))
+
+    benchmark(run_analysis)

@@ -1,0 +1,39 @@
+"""Extension benchmark: Monte-Carlo tolerance analysis."""
+
+from __future__ import annotations
+
+from repro.converters.catalog import DSCH
+from repro.core.architectures import single_stage_a2
+from repro.core.variation import VariationSpec, monte_carlo_loss
+
+
+def run_analysis():
+    return monte_carlo_loss(
+        single_stage_a2(),
+        DSCH,
+        samples=200,
+        variation=VariationSpec(converter_loss_sigma=0.05, rdl_sigma=0.08),
+    )
+
+
+def test_variation(benchmark, report_header):
+    result = run_analysis()
+
+    report_header("Extension - Monte-Carlo tolerances (A2 + DSCH, n=200)")
+    print(f"nominal loss : {result.nominal_loss_w:.1f} W")
+    print(
+        f"sampled      : mean {result.mean_loss_w:.1f} W, "
+        f"sigma {result.std_loss_w:.1f} W"
+    )
+    print(
+        f"corners      : p5 {result.percentile_w(5):.1f} W, "
+        f"p95 {result.percentile_w(95):.1f} W"
+    )
+    for floor in (0.85, 0.88, 0.89):
+        yld = result.yield_at_efficiency(floor, 1000.0)
+        print(f"yield @ eta >= {floor:.0%} : {yld:.1%}")
+
+    assert result.percentile_w(95) > result.nominal_loss_w
+    assert result.yield_at_efficiency(0.85, 1000.0) > 0.95
+
+    benchmark.pedantic(run_analysis, rounds=2, iterations=1)

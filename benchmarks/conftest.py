@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Each bench regenerates one paper artifact (table/figure/claim),
+printing the paper-vs-measured rows once and timing the underlying
+pipeline with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_header(title: str) -> None:
+    """Uniform banner for bench reports."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def report_header():
+    """Expose the banner helper to benches."""
+    return print_header

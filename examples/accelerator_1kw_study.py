@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's headline study: characterize every architecture.
+
+Reproduces the full Fig. 7 experiment — A0 vs A1/A2/A3@12V/A3@6V with
+the DPMIH, DSCH and 3LHD converter topologies — for a 1 kW AI
+accelerator at 2 A/mm2, then prints the utilization story (how little
+of the vertical interconnect the 48 V feed needs) and the per-VR
+current-sharing observation.
+
+Run:  python examples/accelerator_1kw_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DSCH,
+    SystemSpec,
+    analyze_current_sharing,
+    a0_die_area_requirement,
+    characterize_all,
+    fig7_claims,
+    single_stage_a1,
+    single_stage_a2,
+    vertical_utilization,
+)
+from repro.reporting.figures import render_fig7
+
+
+def main() -> None:
+    spec = SystemSpec()
+
+    print("== Fig. 7: PCB-to-POL loss study ==")
+    rows = characterize_all(spec=spec)
+    print(render_fig7(rows=rows))
+    print()
+
+    claims = fig7_claims(rows)
+    print(f"A0 loses {claims.a0_loss_pct:.1f}% of the nominal kilowatt "
+          "(paper: over 40%).")
+    print(
+        "the best vertical architecture loses only "
+        f"{claims.best_vertical_loss_pct:.1f}% (paper: ~20% for most)."
+    )
+    print(
+        f"A3 cuts horizontal loss {claims.horizontal_reduction_a3_12v:.0f}x "
+        f"at 12 V and {claims.horizontal_reduction_a3_6v:.0f}x at 6 V vs A0."
+    )
+    print()
+
+    print("== interconnect utilization (A2, 48 V feed) ==")
+    report = vertical_utilization(single_stage_a2(), spec=spec)
+    for row in report.rows:
+        print(
+            f"  {row.technology:18s}: {row.utilization:6.2%} of sites "
+            f"({row.elements_per_polarity} per polarity at "
+            f"{row.rated_current_a * 1e3:.0f} mA each)"
+        )
+    a0_limit = a0_die_area_requirement(spec=spec)
+    print(
+        f"  A0 by contrast needs a {a0_limit.required_die_area_mm2:.0f} mm2 "
+        f"die ({a0_limit.power_density_limit_a_per_mm2:.2f} A/mm2 cap)."
+    )
+    print()
+
+    print("== per-VR current sharing (DSCH, 48 VRs) ==")
+    for arch in (single_stage_a1(), single_stage_a2()):
+        sharing = analyze_current_sharing(arch, DSCH, spec=spec)
+        print(
+            f"  {sharing.architecture}: {sharing.min_current_a:.0f} to "
+            f"{sharing.max_current_a:.0f} A per VR "
+            f"(mean {sharing.mean_current_a:.0f} A, "
+            f"{sharing.overloaded_count} VRs beyond the 30 A rating)"
+        )
+    print()
+    print("paper: A1 shares 16-27 A; A2 spans 10-93 A because the "
+          "under-die VRs beneath the hotspot pick up the local demand.")
+
+
+if __name__ == "__main__":
+    main()

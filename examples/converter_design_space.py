@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Converter design space: why the paper picks hybrid GaN topologies.
+
+Walks the Section III argument bottom-up with the physics models:
+
+1. a plain 48V-to-1V buck is on-time limited (~2% duty caps the
+   frequency, which forces bulky inductors);
+2. a switched-capacitor front relaxes the duty (DSCH: /3, 3LHD: /10);
+3. GaN devices keep switching loss acceptable at the frequencies
+   integrated passives need;
+4. the published hybrid converters (Table II) cover different
+   current/area corners - efficiency curves plotted from the
+   calibrated models.
+
+Run:  python examples/converter_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.converters.catalog import CATALOG
+from repro.converters.devices import Capacitor, Inductor, PowerSwitch
+from repro.converters.topologies.buck import SynchronousBuck
+from repro.converters.topologies.dickson3l import ThreeLevelHybridDickson
+from repro.converters.topologies.dsch import DSCHConverter
+from repro.core.exploration import si_vs_gan_buck
+from repro.errors import InfeasibleError
+from repro.reporting.ascii_plot import series_table
+
+
+def on_time_argument() -> None:
+    print("== 1. the high-ratio buck's on-time problem ==")
+    buck = SynchronousBuck(
+        v_in_v=48.0,
+        v_out_v=1.0,
+        frequency_hz=0.5e6,
+        inductor=Inductor(2.2e-6, 0.5e-3, 60.0),
+        output_capacitor=Capacitor(100e-6, 0.2e-3),
+        high_side=PowerSwitch.sized_for(4e-3),
+        low_side=PowerSwitch.sized_for(1.5e-3),
+    )
+    print(f"  48V-to-1V duty           : {buck.duty:.2%}")
+    print(f"  on-time at 0.5 MHz       : {buck.on_time_s * 1e9:.0f} ns")
+    print(
+        f"  max frequency (20 ns min): {buck.max_frequency_hz / 1e6:.2f} MHz"
+    )
+    dsch = DSCHConverter()
+    dickson = ThreeLevelHybridDickson()
+    print(f"  DSCH effective duty      : {dsch.buck_duty:.1%} (SC /3 front)")
+    print(
+        f"  3LHD effective on-time   : "
+        f"{dickson.effective_on_time_fraction:.1%} (Dickson /10 front)"
+    )
+    print()
+
+
+def gan_argument() -> None:
+    print("== 2. Si vs GaN over switching frequency (12V-to-1V buck) ==")
+    rows = []
+    by_freq: dict[float, dict[str, float]] = {}
+    for point in si_vs_gan_buck():
+        if point.feasible:
+            by_freq.setdefault(point.frequency_hz, {})[point.technology] = (
+                point.efficiency
+            )
+    for freq in sorted(by_freq):
+        eta = by_freq[freq]
+        rows.append(
+            [
+                f"{freq / 1e6:.1f} MHz",
+                f"{eta['Si']:.1%}",
+                f"{eta['GaN']:.1%}",
+                f"{(eta['GaN'] - eta['Si']) * 100:.1f} pts",
+            ]
+        )
+    print(series_table(["frequency", "Si", "GaN", "GaN advantage"], rows))
+    print()
+
+
+def hybrid_landscape() -> None:
+    print("== 3. the published hybrid converters (calibrated curves) ==")
+    currents = [1.0, 3.0, 10.0, 20.0, 30.0, 60.0, 100.0]
+    rows = []
+    for current in currents:
+        row: list[object] = [f"{current:.0f} A"]
+        for spec in CATALOG:
+            try:
+                eta = spec.loss_model.efficiency(current)
+                row.append(f"{eta:.1%}")
+            except InfeasibleError:
+                row.append("-")
+        rows.append(row)
+    print(series_table(["load", "DPMIH", "DSCH", "3LHD"], rows))
+    print()
+    for spec in CATALOG:
+        print(
+            f"  {spec.name:6s}: up to {spec.max_load_a:.0f} A, "
+            f"{spec.area_mm2:.1f} mm2/VR, "
+            f"{spec.inductor_count} inductors "
+            f"({spec.total_inductance_h * 1e6:.2f} uH total)"
+        )
+    print()
+    print(
+        "  DPMIH carries the most current but needs 7x the area; DSCH is "
+        "the compact mid-range choice; 3LHD tops out at 12 A - which is "
+        "exactly why the paper drops it from the 1 kA study."
+    )
+
+
+def main() -> None:
+    on_time_argument()
+    gan_argument()
+    hybrid_landscape()
+
+
+if __name__ == "__main__":
+    main()

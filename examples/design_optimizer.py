@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Pick the right power delivery architecture for *your* system.
+
+The paper characterizes one system (1 kW / 2 A/mm2).  A downstream
+user has a different chip: this example runs the optimizer across a
+range of system powers and constraint sets, showing how the best
+architecture shifts — 3LHD becomes viable for small systems, DPMIH
+survives area pressure, A0 only ever wins when nothing else is
+allowed.
+
+Run:  python examples/design_optimizer.py
+"""
+
+from __future__ import annotations
+
+from repro import SystemSpec
+from repro.core.optimizer import DesignConstraints, optimize_design
+from repro.errors import InfeasibleError
+
+
+def frontier_for(power_w: float) -> None:
+    spec = SystemSpec().with_power(power_w)
+    result = optimize_design(spec=spec)
+    best = result.best
+    runner_up = result.feasible[1] if len(result.feasible) > 1 else None
+    line = (
+        f"  {power_w:6.0f} W: best {best.architecture}+{best.topology} "
+        f"({best.efficiency:.1%})"
+    )
+    if runner_up:
+        line += (
+            f", then {runner_up.architecture}+{runner_up.topology} "
+            f"({runner_up.efficiency:.1%})"
+        )
+    feasible_3lhd = any(
+        c.topology == "3LHD" for c in result.feasible
+    )
+    line += f"; 3LHD {'viable' if feasible_3lhd else 'excluded'}"
+    print(line)
+
+
+def constrained_studies() -> None:
+    cases = [
+        (
+            "control caps VRs at 16",
+            DesignConstraints(max_vr_count=16),
+        ),
+        (
+            "interposer area capped at 300 mm2",
+            DesignConstraints(max_converter_area_mm2=300.0),
+        ),
+        (
+            "no board conversion allowed",
+            DesignConstraints(allow_pcb_conversion=False),
+        ),
+        (
+            "wide rail search (4..20 V)",
+            DesignConstraints(
+                intermediate_rails_v=(4.0, 8.0, 12.0, 16.0, 20.0)
+            ),
+        ),
+    ]
+    for label, constraints in cases:
+        try:
+            result = optimize_design(constraints=constraints)
+            best = result.best
+            print(
+                f"  {label:36s} -> {best.architecture}+{best.topology} "
+                f"({best.efficiency:.1%}, "
+                f"{len(result.rejected)} rejected)"
+            )
+        except InfeasibleError as exc:
+            print(f"  {label:36s} -> no feasible design ({exc})")
+
+
+def main() -> None:
+    print("== architecture frontier vs system power ==")
+    for power in (200.0, 400.0, 700.0, 1000.0, 1300.0):
+        frontier_for(power)
+    print()
+    print("== constrained searches (1 kW system) ==")
+    constrained_studies()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze one vertical power delivery design point.
+
+Builds the paper's 1 kW / 1 V / 48 V system, places DSCH regulators
+along the interposer periphery (architecture A1), and prints the
+PCB-to-POL loss breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DSCH, LossAnalyzer, SystemSpec, reference_a0, single_stage_a1
+
+
+def main() -> None:
+    # The paper's study system: 1 kW at 1 V (1 kA), 48 V at the PCB,
+    # 2 A/mm2 current density -> a 500 mm2 die.
+    spec = SystemSpec()
+    print(f"system: {spec.pol_power_w:.0f} W at {spec.pol_voltage_v:.0f} V, "
+          f"{spec.input_voltage_v:.0f} V input, "
+          f"{spec.die_area_mm2:.0f} mm2 die")
+    print()
+
+    analyzer = LossAnalyzer(spec)
+
+    # The traditional reference: 48V-to-1V conversion at the PCB.
+    a0 = analyzer.analyze(reference_a0(), DSCH)
+    # The proposed A1: single-stage conversion on the interposer,
+    # DSCH regulators along the die periphery.
+    a1 = analyzer.analyze(single_stage_a1(), DSCH)
+
+    for breakdown in (a0, a1):
+        print(f"--- {breakdown.architecture} ({breakdown.topology}) ---")
+        for component in breakdown.components:
+            print(
+                f"  {component.name:18s} {component.category:10s} "
+                f"{component.loss_w:8.2f} W   {component.detail}"
+            )
+        print(
+            f"  total loss: {breakdown.total_loss_w:.1f} W "
+            f"({breakdown.paper_loss_fraction:.1%} of nominal) | "
+            f"efficiency {breakdown.efficiency:.1%}"
+        )
+        print()
+
+    saved = a0.total_loss_w - a1.total_loss_w
+    print(
+        f"moving conversion from the PCB onto the interposer saves "
+        f"{saved:.0f} W ({saved / spec.pol_power_w:.0%} of the load power)."
+    )
+
+
+if __name__ == "__main__":
+    main()

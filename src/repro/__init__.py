@@ -1,0 +1,118 @@
+"""repro — vertical power delivery for 2.5D/3D integration.
+
+A reproduction of "Vertical Power Delivery for Emerging Packaging and
+Integration Platforms — Power Conversion and Distribution"
+(Krishnakumar & Partin-Vaisband, SOCC 2023): packaging PDN models,
+integrated voltage regulator (IVR) loss models, and the A0–A3
+architecture characterization.
+
+Quickstart::
+
+    from repro import SystemSpec, LossAnalyzer, single_stage_a1, DSCH
+
+    analyzer = LossAnalyzer(SystemSpec())
+    result = analyzer.analyze(single_stage_a1(), DSCH)
+    print(f"loss: {result.paper_loss_fraction:.1%}")
+"""
+
+from .config import PAPER_SYSTEM, PCBGeometry, SystemSpec
+from .converters import (
+    CATALOG,
+    DPMIH,
+    DSCH,
+    THREE_LEVEL_HYBRID_DICKSON,
+    ConverterSpec,
+    QuadraticLossModel,
+    StageModelMode,
+    converter,
+)
+from .core import (
+    ALL_ARCHITECTURES,
+    ArchitectureSpec,
+    LossAnalyzer,
+    LossBreakdown,
+    LossModelParameters,
+    analyze_current_sharing,
+    a0_die_area_requirement,
+    architecture,
+    characterize_all,
+    dual_stage_a3,
+    fig7_claims,
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+    vertical_utilization,
+)
+from .errors import (
+    CalibrationError,
+    ConfigError,
+    DatasetError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+)
+from .pdn import (
+    ADVANCED_CU_PAD,
+    BGA,
+    C4_BUMP,
+    MICRO_BUMP,
+    TABLE_I,
+    TSV,
+    GridPDN,
+    Netlist,
+    PowerMap,
+    solve_dc,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # config
+    "SystemSpec",
+    "PCBGeometry",
+    "PAPER_SYSTEM",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "InfeasibleError",
+    "SolverError",
+    "CalibrationError",
+    "DatasetError",
+    # pdn
+    "Netlist",
+    "solve_dc",
+    "GridPDN",
+    "PowerMap",
+    "TABLE_I",
+    "BGA",
+    "C4_BUMP",
+    "TSV",
+    "MICRO_BUMP",
+    "ADVANCED_CU_PAD",
+    # converters
+    "ConverterSpec",
+    "QuadraticLossModel",
+    "StageModelMode",
+    "CATALOG",
+    "DPMIH",
+    "DSCH",
+    "THREE_LEVEL_HYBRID_DICKSON",
+    "converter",
+    # core
+    "ArchitectureSpec",
+    "ALL_ARCHITECTURES",
+    "architecture",
+    "reference_a0",
+    "single_stage_a1",
+    "single_stage_a2",
+    "dual_stage_a3",
+    "LossAnalyzer",
+    "LossBreakdown",
+    "LossModelParameters",
+    "characterize_all",
+    "fig7_claims",
+    "analyze_current_sharing",
+    "vertical_utilization",
+    "a0_die_area_requirement",
+]

@@ -1,0 +1,244 @@
+"""Command-line interface: regenerate paper artifacts from a shell.
+
+Usage::
+
+    python -m repro fig7                # the headline loss study
+    python -m repro tables              # Table I and Table II
+    python -m repro experiments         # all claim-level checks
+    python -m repro sharing             # per-VR current distribution
+    python -m repro utilization         # interconnect utilization
+    python -m repro optimize --power 750
+    python -m repro report              # everything above in one go
+
+All output is plain text (the offline environment has no plotting
+backend); exit status is non-zero if any claim check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .config import SystemSpec
+from .converters.catalog import DSCH
+from .core.architectures import single_stage_a1, single_stage_a2
+from .core.current_sharing import analyze_current_sharing
+from .core.optimizer import DesignConstraints, optimize_design
+from .core.utilization import a0_die_area_requirement, vertical_utilization
+from .reporting.experiments import run_all
+from .reporting.figures import render_fig1, render_fig2, render_fig3, render_fig7
+from .reporting.tables import table_i_text, table_ii_text
+
+
+def _spec_from_args(args: argparse.Namespace) -> SystemSpec:
+    return SystemSpec(
+        pol_power_w=args.power,
+        pol_voltage_v=args.pol_voltage,
+        input_voltage_v=args.input_voltage,
+        current_density_a_per_mm2=args.density,
+    )
+
+
+def cmd_fig1(_spec: SystemSpec) -> int:
+    print(render_fig1())
+    return 0
+
+
+def cmd_fig2(_spec: SystemSpec) -> int:
+    print(render_fig2())
+    return 0
+
+
+def cmd_fig3(spec: SystemSpec) -> int:
+    print(render_fig3(spec))
+    return 0
+
+
+def cmd_fig7(spec: SystemSpec) -> int:
+    print(render_fig7(spec))
+    return 0
+
+
+def cmd_tables(_spec: SystemSpec) -> int:
+    print("Table I — vertical interconnect characteristics")
+    print(table_i_text())
+    print()
+    print("Table II — converter characteristics")
+    print(table_ii_text())
+    return 0
+
+
+def cmd_sharing(spec: SystemSpec) -> int:
+    for arch in (single_stage_a1(), single_stage_a2()):
+        result = analyze_current_sharing(arch, DSCH, spec=spec)
+        print(
+            f"{result.architecture}: {result.min_current_a:.1f} .. "
+            f"{result.max_current_a:.1f} A per VR "
+            f"(mean {result.mean_current_a:.1f}, "
+            f"{result.overloaded_count} above rating)"
+        )
+    return 0
+
+
+def cmd_utilization(spec: SystemSpec) -> int:
+    report = vertical_utilization(single_stage_a2(), spec=spec)
+    for row in report.rows:
+        print(
+            f"{row.technology:18s} {row.utilization:7.2%} "
+            f"({row.elements_per_polarity} per polarity of "
+            f"{row.sites_available})"
+        )
+    a0 = a0_die_area_requirement(spec)
+    print(
+        f"A0 requires {a0.required_die_area_mm2:.0f} mm2 "
+        f"({a0.power_density_limit_a_per_mm2:.2f} A/mm2 limit)"
+    )
+    return 0
+
+
+def cmd_experiments(spec: SystemSpec) -> int:
+    failures = 0
+    for result in run_all(spec):
+        flag = "OK " if result.holds else "FAIL"
+        if not result.holds:
+            failures += 1
+        print(
+            f"[{flag}] {result.experiment:12s} {result.claim}\n"
+            f"       paper: {result.paper_value} | measured: "
+            f"{result.measured_value}"
+        )
+    print()
+    print("all claims hold" if failures == 0 else f"{failures} claims FAILED")
+    return 0 if failures == 0 else 1
+
+
+def cmd_optimize(spec: SystemSpec) -> int:
+    result = optimize_design(spec=spec, constraints=DesignConstraints())
+    print(f"design space for {spec.pol_power_w:.0f} W at "
+          f"{spec.pol_voltage_v:g} V:")
+    for candidate in result.feasible:
+        print(
+            f"  {candidate.architecture:7s} {candidate.topology:10s} "
+            f"efficiency {candidate.efficiency:.1%}"
+        )
+    for candidate in result.rejected:
+        print(
+            f"  {candidate.architecture:7s} {candidate.topology:10s} "
+            f"rejected ({candidate.rejected_reason[:60]})"
+        )
+    best = result.best
+    print(f"best: {best.architecture} with {best.topology} "
+          f"({best.efficiency:.1%})")
+    return 0
+
+
+def cmd_export(spec: SystemSpec) -> int:
+    from .reporting.export import export_all
+
+    paths = export_all("repro_csv", spec)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_floorplan(spec: SystemSpec) -> int:
+    from .converters.catalog import DSCH as dsch_spec
+    from .placement.floorplan import build_floorplan
+    from .placement.planner import plan_placement
+
+    for arch in (single_stage_a1(), single_stage_a2()):
+        plan = plan_placement(
+            dsch_spec,
+            arch.pol_stage_style,
+            spec.pol_current_a,
+            spec.die_area_mm2,
+        )
+        print(f"== {arch.name} ==")
+        print(build_floorplan(plan, spec.die_area_mm2).render())
+        print()
+    return 0
+
+
+def cmd_report(spec: SystemSpec) -> int:
+    sections: list[tuple[str, Callable[[SystemSpec], int]]] = [
+        ("Fig. 1", cmd_fig1),
+        ("Fig. 2", cmd_fig2),
+        ("Fig. 3", cmd_fig3),
+        ("Fig. 7", cmd_fig7),
+        ("Tables", cmd_tables),
+        ("Current sharing", cmd_sharing),
+        ("Utilization", cmd_utilization),
+        ("Claim checks", cmd_experiments),
+    ]
+    status = 0
+    for title, command in sections:
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        status |= command(spec)
+        print()
+    return status
+
+
+COMMANDS: dict[str, Callable[[SystemSpec], int]] = {
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+    "fig3": cmd_fig3,
+    "fig7": cmd_fig7,
+    "tables": cmd_tables,
+    "sharing": cmd_sharing,
+    "utilization": cmd_utilization,
+    "experiments": cmd_experiments,
+    "optimize": cmd_optimize,
+    "floorplan": cmd_floorplan,
+    "export": cmd_export,
+    "report": cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vertical power delivery (SOCC 2023) reproduction CLI",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument(
+        "--power", type=float, default=1000.0, help="POL power in watts"
+    )
+    parser.add_argument(
+        "--pol-voltage", type=float, default=1.0, help="POL voltage"
+    )
+    parser.add_argument(
+        "--input-voltage", type=float, default=48.0, help="PCB input voltage"
+    )
+    parser.add_argument(
+        "--density",
+        type=float,
+        default=2.0,
+        help="current density target (A/mm2)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="for 'report': also write a markdown report to this path",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    spec = _spec_from_args(args)
+    status = COMMANDS[args.command](spec)
+    if args.command == "report" and args.output:
+        from .reporting.markdown import write_markdown_report
+
+        path = write_markdown_report(args.output, spec)
+        print(f"markdown report written to {path}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

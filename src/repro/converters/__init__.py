@@ -1,0 +1,39 @@
+"""Power conversion substrate.
+
+* :mod:`~repro.converters.devices` — switch-level loss primitives on
+  top of the Si/GaN technology models,
+* :mod:`~repro.converters.loss_model` — quadratic converter loss
+  curves fitted to published efficiency points,
+* :mod:`~repro.converters.topologies` — buck, switched-capacitor and
+  the paper's three hybrid 48V-to-1V converters (DSCH, DPMIH, 3LHD),
+* :mod:`~repro.converters.catalog` — the Table II registry used by the
+  architecture characterization,
+* :mod:`~repro.converters.waveforms` — switching waveform simulation
+  (Fig. 6 reproduction).
+"""
+
+from .catalog import (
+    CATALOG,
+    DPMIH,
+    DSCH,
+    THREE_LEVEL_HYBRID_DICKSON,
+    ConverterSpec,
+    StageModelMode,
+    converter,
+    table_ii_rows,
+)
+from .devices import PowerSwitch
+from .loss_model import QuadraticLossModel
+
+__all__ = [
+    "PowerSwitch",
+    "QuadraticLossModel",
+    "ConverterSpec",
+    "StageModelMode",
+    "CATALOG",
+    "DPMIH",
+    "DSCH",
+    "THREE_LEVEL_HYBRID_DICKSON",
+    "converter",
+    "table_ii_rows",
+]

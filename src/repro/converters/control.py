@@ -1,0 +1,178 @@
+"""Closed-loop regulation models: droop control and load sharing.
+
+The paper's architectures parallel dozens of VRs onto one rail; in
+practice they share load through *droop control* — each regulator's
+setpoint falls linearly with its output current, so paralleled units
+reach a common bus voltage with currents set by their droop gains and
+setpoint mismatches.  This module provides:
+
+* :class:`VoltageRegulator` — setpoint, droop gain, control bandwidth,
+  closed-loop output impedance ``Z_ol / (1 + T)`` with an
+  integrator-style loop gain,
+* :func:`droop_sharing` — the analytic bus solution for N paralleled
+  droop-controlled regulators (with setpoint tolerance),
+* :func:`sharing_with_mismatch` — Monte-Carlo setpoint spread, the
+  control-side counterpart of the network-driven sharing spread in
+  :mod:`repro.core.current_sharing`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VoltageRegulator:
+    """A droop-controlled regulator's terminal behaviour.
+
+    Attributes:
+        v_ref_v: no-load setpoint.
+        droop_ohm: droop gain (output resistance by design).
+        bandwidth_hz: control-loop crossover frequency.
+        l_out_h: effective output inductance (filter + layout).
+        r_out_ohm: open-loop (power-stage) output resistance.
+    """
+
+    v_ref_v: float = 1.0
+    droop_ohm: float = 0.15e-3
+    bandwidth_hz: float = 500e3
+    l_out_h: float = 5e-9
+    r_out_ohm: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.v_ref_v <= 0:
+            raise ConfigError("setpoint must be positive")
+        if self.droop_ohm <= 0:
+            raise ConfigError("droop gain must be positive")
+        if self.bandwidth_hz <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if self.l_out_h <= 0 or self.r_out_ohm <= 0:
+            raise ConfigError("output parasitics must be positive")
+
+    def output_voltage_v(self, i_out_a: float) -> float:
+        """Static regulation: V = V_ref − R_droop·I."""
+        if i_out_a < 0:
+            raise ConfigError("current must be non-negative")
+        return self.v_ref_v - self.droop_ohm * i_out_a
+
+    def load_regulation_fraction(self, i_max_a: float) -> float:
+        """Full-load voltage deviation as a fraction of the setpoint."""
+        if i_max_a <= 0:
+            raise ConfigError("current must be positive")
+        return self.droop_ohm * i_max_a / self.v_ref_v
+
+    def open_loop_impedance_ohm(self, frequency_hz: float) -> complex:
+        """Power-stage output impedance R + jωL."""
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        return self.r_out_ohm + 1j * 2 * math.pi * frequency_hz * self.l_out_h
+
+    def loop_gain(self, frequency_hz: float) -> complex:
+        """Integrator-style loop gain T(f) = f_c / (j·f)."""
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        return self.bandwidth_hz / (1j * frequency_hz)
+
+    def closed_loop_impedance_ohm(self, frequency_hz: float) -> complex:
+        """Z_cl(f) = Z_ol(f) / (1 + T(f)) — low below crossover,
+        approaching the open-loop impedance above it."""
+        z_ol = self.open_loop_impedance_ohm(frequency_hz)
+        return z_ol / (1.0 + self.loop_gain(frequency_hz))
+
+    def worst_case_deviation_v(
+        self, step_current_a: float, frequencies_hz: np.ndarray | None = None
+    ) -> float:
+        """Peak small-signal deviation for a load step: the step
+        excites the worst |Z_cl| across the band."""
+        if step_current_a < 0:
+            raise ConfigError("step current must be non-negative")
+        if frequencies_hz is None:
+            frequencies_hz = np.logspace(3, 8, 201)
+        magnitudes = np.array(
+            [
+                abs(self.closed_loop_impedance_ohm(float(f)))
+                for f in frequencies_hz
+            ]
+        )
+        return float(step_current_a * magnitudes.max())
+
+
+def droop_sharing(
+    v_refs_v: np.ndarray | list[float],
+    droops_ohm: np.ndarray | list[float],
+    i_load_a: float,
+) -> tuple[np.ndarray, float]:
+    """Bus solution for N paralleled droop-controlled regulators.
+
+    Each unit satisfies ``i_k = (v_ref_k − v_bus) / r_droop_k`` and
+    the currents sum to the load.  Solving for the bus:
+
+        v_bus = (Σ v_ref_k/r_k − I_load) / Σ 1/r_k
+
+    Returns (per-unit currents, bus voltage).  Units whose setpoint
+    falls below the bus (strong mismatch, light load) sink negative
+    current — a real behaviour droop designs must guard against, so
+    it is reported rather than clipped.
+    """
+    refs = np.asarray(v_refs_v, dtype=float)
+    droops = np.asarray(droops_ohm, dtype=float)
+    if refs.shape != droops.shape or refs.ndim != 1 or len(refs) == 0:
+        raise ConfigError("need matching 1-D setpoint and droop arrays")
+    if np.any(droops <= 0):
+        raise ConfigError("droop gains must be positive")
+    if i_load_a < 0:
+        raise ConfigError("load must be non-negative")
+    conductances = 1.0 / droops
+    v_bus = (np.sum(refs * conductances) - i_load_a) / np.sum(conductances)
+    currents = (refs - v_bus) * conductances
+    return currents, float(v_bus)
+
+
+@dataclass(frozen=True)
+class MismatchSharingResult:
+    """Monte-Carlo droop-sharing statistics."""
+
+    worst_spread_a: float
+    mean_spread_a: float
+    reverse_current_fraction: float
+
+
+def sharing_with_mismatch(
+    unit_count: int,
+    i_load_a: float,
+    droop_ohm: float = 0.15e-3,
+    setpoint_sigma_v: float = 2e-3,
+    samples: int = 200,
+    seed: int = 7,
+) -> MismatchSharingResult:
+    """Spread of per-unit currents under setpoint tolerance.
+
+    The expected spread scales as ``sigma_vref / r_droop`` — the
+    design rule that links the droop gain to the trimming accuracy.
+    """
+    if unit_count < 2:
+        raise ConfigError("need at least two units")
+    if samples < 1:
+        raise ConfigError("need at least one sample")
+    if setpoint_sigma_v < 0:
+        raise ConfigError("sigma must be non-negative")
+    rng = np.random.default_rng(seed)
+    spreads = np.empty(samples)
+    reverse = 0
+    droops = np.full(unit_count, droop_ohm)
+    for k in range(samples):
+        refs = 1.0 + rng.normal(0.0, setpoint_sigma_v, size=unit_count)
+        currents, _v_bus = droop_sharing(refs, droops, i_load_a)
+        spreads[k] = currents.max() - currents.min()
+        if np.any(currents < 0):
+            reverse += 1
+    return MismatchSharingResult(
+        worst_spread_a=float(spreads.max()),
+        mean_spread_a=float(spreads.mean()),
+        reverse_current_fraction=reverse / samples,
+    )

@@ -1,0 +1,158 @@
+"""Switch-level loss primitives.
+
+A :class:`PowerSwitch` wraps a
+:class:`~repro.materials.TransistorTechnology` scaled to a target
+on-resistance and provides the three canonical loss terms of a hard- or
+soft-switched power stage:
+
+* conduction: ``I_rms² · R_on`` (duty-weighted by the caller),
+* overlap switching: ``½ · V · I · (t_r + t_f) · f_sw``,
+* charge-based: ``(Q_g · V_drive + Q_oss · V) · f_sw``.
+
+These are textbook first-order models — adequate for the architecture
+trade-offs the paper studies and for the Si-vs-GaN ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..materials import GAN_100V, TransistorTechnology
+
+
+@dataclass(frozen=True)
+class PowerSwitch:
+    """One power switch instance inside a converter.
+
+    Attributes:
+        technology: the (scaled) device technology.
+        transition_time_s: combined effective voltage/current overlap
+            time per edge (t_r ≈ t_f assumed).
+        soft_switched: when True, overlap (V-I) switching loss is
+            waived — the hybrid converters in the paper achieve soft
+            switching via their inductors — while charge-based gate
+            loss remains.
+    """
+
+    technology: TransistorTechnology
+    transition_time_s: float = 2e-9
+    soft_switched: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transition_time_s <= 0:
+            raise ConfigError("transition time must be positive")
+
+    @staticmethod
+    def sized_for(
+        r_on_ohm: float,
+        technology: TransistorTechnology = GAN_100V,
+        soft_switched: bool = False,
+    ) -> "PowerSwitch":
+        """A switch of the given technology scaled to a target R_on."""
+        return PowerSwitch(
+            technology=technology.scaled(r_on_ohm),
+            soft_switched=soft_switched,
+        )
+
+    # -- loss terms -----------------------------------------------------------
+
+    def conduction_loss_w(self, rms_current_a: float, duty: float = 1.0) -> float:
+        """Conduction loss for the given RMS current and conduction duty."""
+        if rms_current_a < 0:
+            raise ConfigError("RMS current must be non-negative")
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigError("duty must be in [0, 1]")
+        return rms_current_a**2 * self.technology.r_on_ohm * duty
+
+    def switching_loss_w(
+        self, blocking_voltage_v: float, switched_current_a: float, frequency_hz: float
+    ) -> float:
+        """Hard-switching overlap loss (zero when soft-switched)."""
+        if blocking_voltage_v < 0 or switched_current_a < 0:
+            raise ConfigError("voltage and current must be non-negative")
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.soft_switched:
+            return 0.0
+        return (
+            blocking_voltage_v
+            * switched_current_a
+            * self.transition_time_s
+            * frequency_hz
+        )
+
+    def charge_loss_w(self, blocking_voltage_v: float, frequency_hz: float) -> float:
+        """Gate-drive plus output-charge loss per cycle."""
+        if blocking_voltage_v < 0:
+            raise ConfigError("voltage must be non-negative")
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        tech = self.technology
+        gate = tech.gate_charge_c * tech.gate_drive_v
+        output = tech.output_charge_c * blocking_voltage_v
+        return (gate + output) * frequency_hz
+
+    def total_loss_w(
+        self,
+        rms_current_a: float,
+        blocking_voltage_v: float,
+        switched_current_a: float,
+        frequency_hz: float,
+        duty: float = 1.0,
+    ) -> float:
+        """Sum of conduction, overlap, and charge losses."""
+        return (
+            self.conduction_loss_w(rms_current_a, duty)
+            + self.switching_loss_w(
+                blocking_voltage_v, switched_current_a, frequency_hz
+            )
+            + self.charge_loss_w(blocking_voltage_v, frequency_hz)
+        )
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """A power inductor with a DC-resistance loss model."""
+
+    inductance_h: float
+    dcr_ohm: float
+    rated_current_a: float
+
+    def __post_init__(self) -> None:
+        if self.inductance_h <= 0:
+            raise ConfigError("inductance must be positive")
+        if self.dcr_ohm < 0:
+            raise ConfigError("DCR must be non-negative")
+        if self.rated_current_a <= 0:
+            raise ConfigError("rated current must be positive")
+
+    def conduction_loss_w(self, rms_current_a: float) -> float:
+        """Copper (DCR) loss at the given RMS current."""
+        if rms_current_a < 0:
+            raise ConfigError("RMS current must be non-negative")
+        return rms_current_a**2 * self.dcr_ohm
+
+    def is_within_rating(self, peak_current_a: float) -> bool:
+        """True if the peak current respects the saturation rating."""
+        return peak_current_a <= self.rated_current_a
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A (flying or output) capacitor with ESR loss."""
+
+    capacitance_f: float
+    esr_ohm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0:
+            raise ConfigError("capacitance must be positive")
+        if self.esr_ohm < 0:
+            raise ConfigError("ESR must be non-negative")
+
+    def conduction_loss_w(self, rms_current_a: float) -> float:
+        """ESR loss at the given RMS ripple current."""
+        if rms_current_a < 0:
+            raise ConfigError("RMS current must be non-negative")
+        return rms_current_a**2 * self.esr_ohm

@@ -1,0 +1,25 @@
+"""Converter topology models.
+
+Physics-based models (buck, switched-capacitor) and the paper's three
+published hybrid 48V-to-1V converters (DSCH, DPMIH, 3LHD), plus the
+reference architecture's PCB-level transformer + multiphase-buck stage.
+"""
+
+from .base import SwitchingConverter
+from .buck import SynchronousBuck
+from .sc import SeriesParallelSC
+from .dsch import DSCHConverter
+from .dpmih import DPMIHConverter
+from .dickson3l import ThreeLevelHybridDickson
+from .transformer_stage import FixedEfficiencyConverter, pcb_reference_converter
+
+__all__ = [
+    "SwitchingConverter",
+    "SynchronousBuck",
+    "SeriesParallelSC",
+    "DSCHConverter",
+    "DPMIHConverter",
+    "ThreeLevelHybridDickson",
+    "FixedEfficiencyConverter",
+    "pcb_reference_converter",
+]

@@ -1,0 +1,52 @@
+"""Common interface for converter topology models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ...errors import ConfigError
+
+
+class SwitchingConverter(ABC):
+    """A DC-DC step-down converter model.
+
+    Concrete classes provide the loss at a given output current; the
+    base class derives efficiency and validates the operating point.
+    """
+
+    def __init__(self, v_in_v: float, v_out_v: float, max_load_a: float) -> None:
+        if v_in_v <= 0 or v_out_v <= 0:
+            raise ConfigError("voltages must be positive")
+        if v_out_v >= v_in_v:
+            raise ConfigError("step-down converter needs v_out < v_in")
+        if max_load_a <= 0:
+            raise ConfigError("maximum load must be positive")
+        self.v_in_v = v_in_v
+        self.v_out_v = v_out_v
+        self.max_load_a = max_load_a
+
+    @property
+    def conversion_ratio(self) -> float:
+        """Step-down ratio V_in / V_out."""
+        return self.v_in_v / self.v_out_v
+
+    @abstractmethod
+    def loss_w(self, i_out_a: float) -> float:
+        """Total converter loss at the given output current."""
+
+    def efficiency(self, i_out_a: float) -> float:
+        """P_out / (P_out + P_loss); zero at zero load."""
+        if i_out_a < 0:
+            raise ConfigError("output current must be non-negative")
+        if i_out_a == 0:
+            return 0.0
+        p_out = self.v_out_v * i_out_a
+        return p_out / (p_out + self.loss_w(i_out_a))
+
+    def input_power_w(self, i_out_a: float) -> float:
+        """Input power needed to deliver ``i_out_a`` at the output."""
+        return self.v_out_v * i_out_a + self.loss_w(i_out_a)
+
+    def is_feasible(self, i_out_a: float) -> bool:
+        """True if the load current is within the converter rating."""
+        return 0.0 <= i_out_a <= self.max_load_a * (1.0 + 1e-9)

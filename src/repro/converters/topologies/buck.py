@@ -1,0 +1,133 @@
+"""Synchronous (multi-phase) buck converter — the SMPS of Fig. 6(a).
+
+Beyond the loss model, this class encodes the argument the paper makes
+against single-stage buck conversion at high ratios: a 48V-to-1V buck
+runs at ~2% duty, so for any realistic minimum controllable on-time the
+switching frequency is capped (``max_frequency_hz``), which in turn
+forces bulky inductors — exactly why the hybrid topologies exist.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import ConfigError, InfeasibleError
+from ..devices import Capacitor, Inductor, PowerSwitch
+from .base import SwitchingConverter
+
+
+class SynchronousBuck(SwitchingConverter):
+    """A hard-switched synchronous buck with ``n_phases`` phases.
+
+    Args:
+        v_in_v / v_out_v: conversion endpoints.
+        frequency_hz: per-phase switching frequency.
+        inductor: per-phase inductor model.
+        output_capacitor: shared output capacitor.
+        high_side / low_side: switch models.
+        n_phases: number of interleaved phases.
+        min_on_time_s: minimum controllable PWM on-time.
+        max_load_a: converter output current rating.
+    """
+
+    def __init__(
+        self,
+        v_in_v: float,
+        v_out_v: float,
+        frequency_hz: float,
+        inductor: Inductor,
+        output_capacitor: Capacitor,
+        high_side: PowerSwitch,
+        low_side: PowerSwitch,
+        n_phases: int = 1,
+        min_on_time_s: float = 20e-9,
+        max_load_a: float = 100.0,
+    ) -> None:
+        super().__init__(v_in_v, v_out_v, max_load_a)
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if n_phases < 1:
+            raise ConfigError("at least one phase required")
+        if min_on_time_s <= 0:
+            raise ConfigError("minimum on-time must be positive")
+        self.frequency_hz = frequency_hz
+        self.inductor = inductor
+        self.output_capacitor = output_capacitor
+        self.high_side = high_side
+        self.low_side = low_side
+        self.n_phases = n_phases
+        self.min_on_time_s = min_on_time_s
+        if self.on_time_s < min_on_time_s:
+            raise InfeasibleError(
+                f"on-time {self.on_time_s * 1e9:.1f} ns below the "
+                f"{min_on_time_s * 1e9:.1f} ns minimum at "
+                f"{frequency_hz / 1e6:.2f} MHz and duty {self.duty:.3%}"
+            )
+
+    # -- operating point -------------------------------------------------------
+
+    @property
+    def duty(self) -> float:
+        """Ideal CCM duty cycle D = V_out / V_in (~2% for 48V-to-1V)."""
+        return self.v_out_v / self.v_in_v
+
+    @property
+    def on_time_s(self) -> float:
+        """High-side on-time per cycle, D / f."""
+        return self.duty / self.frequency_hz
+
+    @property
+    def max_frequency_hz(self) -> float:
+        """Highest frequency honouring the minimum on-time at this duty."""
+        return self.duty / self.min_on_time_s
+
+    def inductor_ripple_a(self) -> float:
+        """Peak-to-peak inductor current ripple per phase."""
+        return (
+            (self.v_in_v - self.v_out_v)
+            * self.duty
+            / (self.inductor.inductance_h * self.frequency_hz)
+        )
+
+    def output_ripple_v(self, i_out_a: float) -> float:
+        """Peak-to-peak output-voltage ripple (capacitor charge model,
+        interleaving reduces the effective ripple by n_phases)."""
+        if i_out_a < 0:
+            raise ConfigError("current must be non-negative")
+        ripple = self.inductor_ripple_a() / self.n_phases
+        return ripple / (
+            8.0 * self.output_capacitor.capacitance_f * self.frequency_hz
+        )
+
+    # -- losses -------------------------------------------------------------------
+
+    def loss_w(self, i_out_a: float) -> float:
+        """Conduction + switching + magnetics + capacitor losses."""
+        if i_out_a < 0:
+            raise ConfigError("output current must be non-negative")
+        if not self.is_feasible(i_out_a):
+            raise InfeasibleError(
+                f"load {i_out_a:.1f} A exceeds rating {self.max_load_a:.1f} A"
+            )
+        per_phase = i_out_a / self.n_phases
+        ripple = self.inductor_ripple_a()
+        # RMS of a triangular-ripple trapezoid around the DC value.
+        rms_sq = per_phase**2 + ripple**2 / 12.0
+        rms = math.sqrt(rms_sq)
+
+        conduction = (
+            self.high_side.conduction_loss_w(rms, self.duty)
+            + self.low_side.conduction_loss_w(rms, 1.0 - self.duty)
+        )
+        switching = self.high_side.switching_loss_w(
+            self.v_in_v, per_phase, self.frequency_hz
+        )
+        charge = self.high_side.charge_loss_w(
+            self.v_in_v, self.frequency_hz
+        ) + self.low_side.charge_loss_w(self.v_in_v, self.frequency_hz)
+        magnetics = self.inductor.conduction_loss_w(rms)
+        cap = self.output_capacitor.conduction_loss_w(
+            ripple / math.sqrt(12.0)
+        )
+        per_phase_loss = conduction + switching + charge + magnetics + cap
+        return per_phase_loss * self.n_phases

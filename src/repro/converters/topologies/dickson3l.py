@@ -1,0 +1,89 @@
+"""Three-level hybrid Dickson (3LHD) converter [Gong, Zhang &
+Raychowdhury, VLSI 2022].
+
+A three-phase hybrid Dickson: eleven switches, five self-balanced
+flying capacitors and three inductors.  The Dickson front steps the
+input down by 10x (48 V -> 4.8 V), relaxing switch stress and pushing
+the effective on-time from ~2% to ~20%.  Published 48V-to-1V figures:
+12 A maximum load, 90.4% peak efficiency at 3 A (two GaN + nine Si in
+the original; the paper evaluates an all-GaN variant).
+
+With 48 VRs sharing 1 kA each converter would have to deliver
+20.8 A — beyond the published 12 A rating — so the paper excludes
+3LHD from its Fig. 7 results.  The catalog reproduces that exclusion.
+"""
+
+from __future__ import annotations
+
+from ..loss_model import QuadraticLossModel
+from .base import SwitchingConverter
+
+#: Published characteristics (Table II + §III).
+PUBLISHED_V_IN = 48.0
+PUBLISHED_V_OUT = 1.0
+PUBLISHED_MAX_LOAD_A = 12.0
+PUBLISHED_PEAK_EFFICIENCY = 0.904
+PUBLISHED_I_AT_PEAK_A = 3.0
+#: Full-load efficiency assumed for the curve fit ([10]'s plot rolls
+#: off to the mid-80s at the 12 A corner).
+ASSUMED_FULL_LOAD_EFFICIENCY = 0.85
+
+#: Structural data (Table II).
+SWITCH_COUNT = 11
+SWITCHES_PER_MM2 = 1.22
+INDUCTOR_COUNT = 3
+TOTAL_INDUCTANCE_H = 1.86e-6
+CAPACITOR_COUNT = 5
+TOTAL_CAPACITANCE_F = 5.0e-6
+
+#: Dickson-front division factor (48 V -> 4.8 V).
+DICKSON_DIVISION_FACTOR = 10.0
+
+
+class ThreeLevelHybridDickson(SwitchingConverter):
+    """3LHD model driven by the published-curve fit."""
+
+    def __init__(
+        self,
+        v_in_v: float = PUBLISHED_V_IN,
+        v_out_v: float = PUBLISHED_V_OUT,
+        loss_model: QuadraticLossModel | None = None,
+    ) -> None:
+        super().__init__(v_in_v, v_out_v, PUBLISHED_MAX_LOAD_A)
+        self.loss_model = loss_model or published_loss_model()
+
+    @property
+    def intermediate_voltage_v(self) -> float:
+        """Voltage after the Dickson front (V_in / 10)."""
+        return self.v_in_v / DICKSON_DIVISION_FACTOR
+
+    @property
+    def effective_on_time_fraction(self) -> float:
+        """Effective regulation on-time: V_out over the divided input
+        (~20% for 48V-to-1V, vs ~2% for a plain buck)."""
+        return self.v_out_v / self.intermediate_voltage_v
+
+    @property
+    def area_mm2(self) -> float:
+        """Switch-area footprint from the Table II density figure."""
+        return SWITCH_COUNT / SWITCHES_PER_MM2
+
+    @property
+    def capacitors_self_balance(self) -> bool:
+        """All five flying capacitors balance without extra control."""
+        return True
+
+    def loss_w(self, i_out_a: float) -> float:
+        """Published-curve loss at the given output current."""
+        return self.loss_model.loss_w(i_out_a)
+
+
+def published_loss_model(v_out_v: float = PUBLISHED_V_OUT) -> QuadraticLossModel:
+    """The calibrated quadratic loss curve for the published device."""
+    return QuadraticLossModel.fit(
+        v_out_v=v_out_v,
+        i_peak_a=PUBLISHED_I_AT_PEAK_A,
+        eta_peak=PUBLISHED_PEAK_EFFICIENCY,
+        i_max_a=PUBLISHED_MAX_LOAD_A,
+        eta_max=ASSUMED_FULL_LOAD_EFFICIENCY,
+    )

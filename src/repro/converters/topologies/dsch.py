@@ -1,0 +1,95 @@
+"""Double series-capacitor hybrid (DSCH) converter [Kirshenboim &
+Peretz, TPEL 2017].
+
+A buck-derived hybrid: a compact two-capacitor/one-switch SC front
+divides the input by three, then a dual-phase buck regulates to the
+POL voltage.  Published 48V-to-1V figures used by the paper: 30 A
+maximum load, 91.5% peak efficiency at 10 A (Si devices; the paper
+assumes GaN when embedding).
+
+The paper notes the inter-phase current imbalance of this topology as
+its main conduction-loss liability; ``phase_current_imbalance``
+exposes that first-order asymmetry for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigError
+from ..loss_model import QuadraticLossModel
+from .base import SwitchingConverter
+
+#: Published characteristics (Table II + §III of the paper).
+PUBLISHED_V_IN = 48.0
+PUBLISHED_V_OUT = 1.0
+PUBLISHED_MAX_LOAD_A = 30.0
+PUBLISHED_PEAK_EFFICIENCY = 0.915
+PUBLISHED_I_AT_PEAK_A = 10.0
+#: Full-load efficiency assumed for the curve fit (documented
+#: substitution; [8] reports high-20s% currents a few points below peak).
+ASSUMED_FULL_LOAD_EFFICIENCY = 0.88
+
+#: Structural data (Table II).
+SWITCH_COUNT = 5
+SWITCHES_PER_MM2 = 0.69
+INDUCTOR_COUNT = 2
+TOTAL_INDUCTANCE_H = 0.88e-6
+CAPACITOR_COUNT = 2
+TOTAL_CAPACITANCE_F = 6.6e-6
+
+#: The SC front divides V_in by this factor before the buck stage.
+SC_DIVISION_FACTOR = 3.0
+
+
+class DSCHConverter(SwitchingConverter):
+    """DSCH model driven by the published-curve fit."""
+
+    def __init__(
+        self,
+        v_in_v: float = PUBLISHED_V_IN,
+        v_out_v: float = PUBLISHED_V_OUT,
+        loss_model: QuadraticLossModel | None = None,
+    ) -> None:
+        super().__init__(v_in_v, v_out_v, PUBLISHED_MAX_LOAD_A)
+        self.loss_model = loss_model or published_loss_model()
+
+    @property
+    def intermediate_voltage_v(self) -> float:
+        """Voltage after the series-capacitor divider (V_in / 3)."""
+        return self.v_in_v / SC_DIVISION_FACTOR
+
+    @property
+    def buck_duty(self) -> float:
+        """Duty of the internal dual-phase buck (vs. 2% for a plain
+        48V-to-1V buck — the topology's key advantage)."""
+        return self.v_out_v / self.intermediate_voltage_v
+
+    @property
+    def area_mm2(self) -> float:
+        """Switch-area footprint from the Table II density figure."""
+        return SWITCH_COUNT / SWITCHES_PER_MM2
+
+    def phase_current_imbalance(self, i_out_a: float) -> tuple[float, float]:
+        """First-order per-phase currents of the dual-phase output.
+
+        The series-capacitor phase conducts the capacitor charging
+        current on top of its share, yielding roughly a 60/40 split —
+        the imbalance the paper calls out as extra conduction loss.
+        """
+        if i_out_a < 0:
+            raise ConfigError("current must be non-negative")
+        return 0.6 * i_out_a, 0.4 * i_out_a
+
+    def loss_w(self, i_out_a: float) -> float:
+        """Published-curve loss at the given output current."""
+        return self.loss_model.loss_w(i_out_a)
+
+
+def published_loss_model(v_out_v: float = PUBLISHED_V_OUT) -> QuadraticLossModel:
+    """The calibrated quadratic loss curve for the published device."""
+    return QuadraticLossModel.fit(
+        v_out_v=v_out_v,
+        i_peak_a=PUBLISHED_I_AT_PEAK_A,
+        eta_peak=PUBLISHED_PEAK_EFFICIENCY,
+        i_max_a=PUBLISHED_MAX_LOAD_A,
+        eta_max=ASSUMED_FULL_LOAD_EFFICIENCY,
+    )

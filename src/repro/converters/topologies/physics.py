@@ -1,0 +1,250 @@
+"""Bottom-up physics models of the paper's hybrid converters.
+
+The calibrated quadratic curves are the source of truth for the
+architecture study (they *are* the published data); these models
+rebuild each converter's loss from switch/inductor/capacitor
+primitives instead, serving two purposes:
+
+* **cross-validation** — a sanity check that devices of plausible
+  size reproduce the published efficiency within a reasonable band
+  (tested in ``tests/test_physics_models.py``),
+* **what-if studies** the fitted curves cannot answer: device
+  technology swaps (Si vs GaN), frequency scaling, R_on sizing.
+
+Loss accounting per topology (first order, matching Section III):
+
+DSCH    five switches; the SC front divides by 3 so the dual-phase
+        buck runs at duty 3·V_o/V_in; the series-capacitor phase
+        carries ~60% of the current (the imbalance the paper notes).
+DPMIH   eight soft-switched switches and four inductors; no overlap
+        loss, gate/output-charge loss at V_in/2 stress, conduction
+        split across two interleaved phases.
+3LHD    eleven switches; the Dickson front divides by 10, so
+        regulation runs at ~20% duty with low-voltage switches; five
+        flying capacitors add ESR loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError
+from ...materials import GAN_30V, GAN_60V, GAN_100V, TransistorTechnology
+from ..devices import Capacitor, Inductor, PowerSwitch
+from .base import SwitchingConverter
+from . import dickson3l, dpmih, dsch
+
+
+@dataclass(frozen=True)
+class PhysicsDesign:
+    """Common device-level knobs for a physics model."""
+
+    technology: TransistorTechnology = GAN_100V
+    switch_r_on_ohm: float = 2.0e-3
+    frequency_hz: float = 1.0e6
+    inductor_dcr_ohm: float = 0.35e-3
+    capacitor_esr_ohm: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.switch_r_on_ohm <= 0:
+            raise ConfigError("switch R_on must be positive")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.inductor_dcr_ohm < 0 or self.capacitor_esr_ohm < 0:
+            raise ConfigError("parasitics must be non-negative")
+
+
+class DSCHPhysics(SwitchingConverter):
+    """Device-level DSCH: series-capacitor front + dual-phase buck."""
+
+    def __init__(
+        self,
+        v_in_v: float = dsch.PUBLISHED_V_IN,
+        v_out_v: float = dsch.PUBLISHED_V_OUT,
+        design: PhysicsDesign | None = None,
+    ) -> None:
+        super().__init__(v_in_v, v_out_v, dsch.PUBLISHED_MAX_LOAD_A)
+        # The /3 front leaves 16 V stress: 30 V-class devices suffice.
+        self.design = design or PhysicsDesign(
+            technology=GAN_30V, switch_r_on_ohm=2.0e-3, frequency_hz=1.0e6
+        )
+        d = self.design
+        self.switch = PowerSwitch.sized_for(
+            d.switch_r_on_ohm, d.technology, soft_switched=False
+        )
+        per_inductor = dsch.TOTAL_INDUCTANCE_H / dsch.INDUCTOR_COUNT
+        self.inductor = Inductor(
+            per_inductor, d.inductor_dcr_ohm, rated_current_a=self.max_load_a
+        )
+        per_cap = dsch.TOTAL_CAPACITANCE_F / dsch.CAPACITOR_COUNT
+        self.capacitor = Capacitor(per_cap, d.capacitor_esr_ohm)
+
+    @property
+    def buck_duty(self) -> float:
+        """Duty of the internal buck (input divided by 3 first)."""
+        return self.v_out_v * dsch.SC_DIVISION_FACTOR / self.v_in_v
+
+    def loss_w(self, i_out_a: float) -> float:
+        """Front + buck conduction, switching, and passive losses."""
+        if i_out_a < 0:
+            raise ConfigError("current must be non-negative")
+        d = self.design
+        heavy, light = 0.6 * i_out_a, 0.4 * i_out_a
+        duty = self.buck_duty
+        stress = self.v_in_v / dsch.SC_DIVISION_FACTOR
+
+        conduction = 0.0
+        for phase_current in (heavy, light):
+            # High-side path: two devices in series (SC + buck).
+            conduction += 2 * self.switch.conduction_loss_w(
+                phase_current, duty
+            )
+            conduction += self.switch.conduction_loss_w(
+                phase_current, 1.0 - duty
+            )
+            conduction += self.inductor.conduction_loss_w(phase_current)
+        switching = 2 * self.switch.switching_loss_w(
+            stress, i_out_a / 2, d.frequency_hz
+        )
+        charge = dsch.SWITCH_COUNT * self.switch.charge_loss_w(
+            stress, d.frequency_hz
+        )
+        # The flying capacitors carry the heavy phase's AC current.
+        cap = 2 * self.capacitor.conduction_loss_w(0.3 * i_out_a)
+        return conduction + switching + charge + cap
+
+
+class DPMIHPhysics(SwitchingConverter):
+    """Device-level DPMIH: fully soft-switched multi-inductor hybrid."""
+
+    def __init__(
+        self,
+        v_in_v: float = dpmih.PUBLISHED_V_IN,
+        v_out_v: float = dpmih.PUBLISHED_V_OUT,
+        design: PhysicsDesign | None = None,
+    ) -> None:
+        super().__init__(v_in_v, v_out_v, dpmih.PUBLISHED_MAX_LOAD_A)
+        # Half-bus stress (~24 V): 60 V-class devices, big (low R_on)
+        # because this is the 100 A topology.
+        self.design = design or PhysicsDesign(
+            technology=GAN_60V, switch_r_on_ohm=1.5e-3, frequency_hz=0.5e6
+        )
+        d = self.design
+        self.switch = PowerSwitch.sized_for(
+            d.switch_r_on_ohm, d.technology, soft_switched=True
+        )
+        per_inductor = dpmih.TOTAL_INDUCTANCE_H / dpmih.INDUCTOR_COUNT
+        self.inductor = Inductor(
+            per_inductor, d.inductor_dcr_ohm, rated_current_a=self.max_load_a
+        )
+        per_cap = dpmih.TOTAL_CAPACITANCE_F / dpmih.CAPACITOR_COUNT
+        self.capacitor = Capacitor(per_cap, d.capacitor_esr_ohm)
+
+    def loss_w(self, i_out_a: float) -> float:
+        """Soft-switched: conduction + charge + magnetics only."""
+        if i_out_a < 0:
+            raise ConfigError("current must be non-negative")
+        d = self.design
+        per_phase = i_out_a / 2.0
+        stress = self.v_in_v / 2.0
+
+        # Each phase's current path crosses two on switches.
+        conduction = 2 * (
+            2 * self.switch.conduction_loss_w(per_phase)
+        )
+        # The four inductors each carry roughly a quarter of the load.
+        magnetics = dpmih.INDUCTOR_COUNT * self.inductor.conduction_loss_w(
+            i_out_a / dpmih.INDUCTOR_COUNT
+        )
+        charge = dpmih.SWITCH_COUNT * self.switch.charge_loss_w(
+            stress, d.frequency_hz
+        )
+        cap = dpmih.CAPACITOR_COUNT * self.capacitor.conduction_loss_w(
+            0.2 * i_out_a
+        )
+        return conduction + magnetics + charge + cap
+
+
+class Dickson3LPhysics(SwitchingConverter):
+    """Device-level 3LHD: Dickson /10 front + three-phase regulation."""
+
+    def __init__(
+        self,
+        v_in_v: float = dickson3l.PUBLISHED_V_IN,
+        v_out_v: float = dickson3l.PUBLISHED_V_OUT,
+        design: PhysicsDesign | None = None,
+    ) -> None:
+        super().__init__(v_in_v, v_out_v, dickson3l.PUBLISHED_MAX_LOAD_A)
+        # The /10 front leaves ~4.8 V stress; the 12 A rating allows
+        # small (higher R_on) switches at a higher frequency.
+        self.design = design or PhysicsDesign(
+            technology=GAN_30V, switch_r_on_ohm=8.0e-3, frequency_hz=2.0e6
+        )
+        d = self.design
+        self.switch = PowerSwitch.sized_for(
+            d.switch_r_on_ohm, d.technology, soft_switched=False
+        )
+        per_inductor = (
+            dickson3l.TOTAL_INDUCTANCE_H / dickson3l.INDUCTOR_COUNT
+        )
+        self.inductor = Inductor(
+            per_inductor, d.inductor_dcr_ohm, rated_current_a=self.max_load_a
+        )
+        per_cap = (
+            dickson3l.TOTAL_CAPACITANCE_F / dickson3l.CAPACITOR_COUNT
+        )
+        self.capacitor = Capacitor(per_cap, d.capacitor_esr_ohm)
+
+    @property
+    def regulation_duty(self) -> float:
+        """~20% duty after the /10 Dickson front."""
+        return (
+            self.v_out_v
+            * dickson3l.DICKSON_DIVISION_FACTOR
+            / self.v_in_v
+        )
+
+    def loss_w(self, i_out_a: float) -> float:
+        """Dickson charge transfer + low-voltage regulation losses."""
+        if i_out_a < 0:
+            raise ConfigError("current must be non-negative")
+        d = self.design
+        stress = self.v_in_v / dickson3l.DICKSON_DIVISION_FACTOR
+        per_phase = i_out_a / dickson3l.INDUCTOR_COUNT
+        duty = self.regulation_duty
+
+        conduction = dickson3l.INDUCTOR_COUNT * (
+            2 * self.switch.conduction_loss_w(per_phase, duty)
+            + self.switch.conduction_loss_w(per_phase, 1.0 - duty)
+            + self.inductor.conduction_loss_w(per_phase)
+        )
+        switching = dickson3l.INDUCTOR_COUNT * self.switch.switching_loss_w(
+            stress, per_phase, d.frequency_hz
+        )
+        charge = dickson3l.SWITCH_COUNT * self.switch.charge_loss_w(
+            stress, d.frequency_hz
+        )
+        cap = dickson3l.CAPACITOR_COUNT * self.capacitor.conduction_loss_w(
+            0.25 * i_out_a
+        )
+        return conduction + switching + charge + cap
+
+
+def cross_validate(
+    physics: SwitchingConverter,
+    published_efficiency: float,
+    i_test_a: float,
+) -> dict[str, float]:
+    """Compare a physics model against a published efficiency point.
+
+    Returns the two efficiencies and their absolute gap; callers (and
+    tests) decide the acceptance band.
+    """
+    if not 0.0 < published_efficiency < 1.0:
+        raise ConfigError("published efficiency out of range")
+    model_eta = physics.efficiency(i_test_a)
+    return {
+        "physics_efficiency": model_eta,
+        "published_efficiency": published_efficiency,
+        "gap": abs(model_eta - published_efficiency),
+    }

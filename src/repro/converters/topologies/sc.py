@@ -1,0 +1,128 @@
+"""Switched-capacitor series-parallel charge pump — Fig. 6(b).
+
+Implements the Seeman–Sanders output-impedance model: at low frequency
+the converter is slow-switching-limited (SSL, impedance 1/(fC)); at
+high frequency it is fast-switching-limited (FSL, switch resistance).
+For an n:1 series-parallel converter with n−1 equal flying capacitors:
+
+    R_SSL = (n − 1) / (n² · C_fly · f_sw)
+    R_FSL = 2 · Σ a_sw,i² · R_on  ≈ 2 · (2(n−1)+1) · R_on / n²
+
+(the charge multipliers of all switches are 1/n; phase-A has n−1+1
+switches in the series path, phase-B has n−1 parallel legs).  The two
+asymptotes are combined in quadrature, the standard approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import ConfigError, InfeasibleError
+from ..devices import PowerSwitch
+from .base import SwitchingConverter
+
+
+class SeriesParallelSC(SwitchingConverter):
+    """An n:1 series-parallel switched-capacitor converter.
+
+    Args:
+        v_in_v: input voltage.
+        ratio: integer step-down ratio n (v_out_ideal = v_in / n).
+        fly_capacitance_f: capacitance of each flying capacitor.
+        frequency_hz: switching frequency.
+        switch: the (identical) power switch model.
+        max_load_a: output current rating.
+    """
+
+    def __init__(
+        self,
+        v_in_v: float,
+        ratio: int,
+        fly_capacitance_f: float,
+        frequency_hz: float,
+        switch: PowerSwitch,
+        max_load_a: float = 50.0,
+    ) -> None:
+        if ratio < 2:
+            raise ConfigError("step-down ratio must be >= 2")
+        super().__init__(v_in_v, v_in_v / ratio, max_load_a)
+        if fly_capacitance_f <= 0:
+            raise ConfigError("flying capacitance must be positive")
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        self.ratio = ratio
+        self.fly_capacitance_f = fly_capacitance_f
+        self.frequency_hz = frequency_hz
+        self.switch = switch
+
+    # -- impedance model ---------------------------------------------------------
+
+    @property
+    def switch_count(self) -> int:
+        """Total switches: series path (n) plus parallel legs (2(n−1))."""
+        return 3 * (self.ratio - 1) + 1
+
+    @property
+    def r_ssl_ohm(self) -> float:
+        """Slow-switching-limit output impedance."""
+        n = self.ratio
+        return (n - 1) / (n**2 * self.fly_capacitance_f * self.frequency_hz)
+
+    @property
+    def r_fsl_ohm(self) -> float:
+        """Fast-switching-limit output impedance."""
+        n = self.ratio
+        active_per_phase = 2 * (n - 1) + 1
+        return (
+            2.0
+            * active_per_phase
+            * self.switch.technology.r_on_ohm
+            / n**2
+        )
+
+    @property
+    def r_out_ohm(self) -> float:
+        """Combined output impedance, sqrt(SSL² + FSL²)."""
+        return math.hypot(self.r_ssl_ohm, self.r_fsl_ohm)
+
+    def output_voltage_v(self, i_out_a: float) -> float:
+        """Loaded output voltage: v_in/n − I·R_out."""
+        if i_out_a < 0:
+            raise ConfigError("current must be non-negative")
+        return self.v_in_v / self.ratio - i_out_a * self.r_out_ohm
+
+    # -- losses -------------------------------------------------------------------
+
+    def loss_w(self, i_out_a: float) -> float:
+        """Charge-sharing (I²·R_out) plus gate-charge losses."""
+        if i_out_a < 0:
+            raise ConfigError("output current must be non-negative")
+        if not self.is_feasible(i_out_a):
+            raise InfeasibleError(
+                f"load {i_out_a:.1f} A exceeds rating {self.max_load_a:.1f} A"
+            )
+        if self.output_voltage_v(i_out_a) <= 0:
+            raise InfeasibleError(
+                "output collapses at this load; raise frequency or C_fly"
+            )
+        impedance = i_out_a**2 * self.r_out_ohm
+        # Each switch blocks roughly v_in/n in this topology.
+        gates = self.switch_count * self.switch.charge_loss_w(
+            self.v_in_v / self.ratio, self.frequency_hz
+        )
+        return impedance + gates
+
+    def efficiency(self, i_out_a: float) -> float:
+        """Efficiency including the intrinsic charge-sharing droop.
+
+        For an SC converter, output power is taken at the *loaded*
+        output voltage, so efficiency is bounded by
+        v_out(I) / (v_in / n) even before gate loss.
+        """
+        if i_out_a < 0:
+            raise ConfigError("output current must be non-negative")
+        if i_out_a == 0:
+            return 0.0
+        v_loaded = self.output_voltage_v(i_out_a)
+        p_out = v_loaded * i_out_a
+        return p_out / (p_out + self.loss_w(i_out_a))

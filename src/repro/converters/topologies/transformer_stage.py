@@ -1,0 +1,67 @@
+"""The reference architecture's PCB-level converter.
+
+A0 converts 48V-to-1V at the board with a transformer-based
+48V-to-12V first stage followed by a multi-phase synchronous buck.
+The paper models the composite simply as a 90%-efficient block, which
+:func:`pcb_reference_converter` reproduces;
+:class:`FixedEfficiencyConverter` is the general building block.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigError, InfeasibleError
+from .base import SwitchingConverter
+
+#: Composite efficiency the paper assigns to the A0 PCB converter.
+PCB_REFERENCE_EFFICIENCY = 0.90
+
+
+class FixedEfficiencyConverter(SwitchingConverter):
+    """A converter with load-independent efficiency.
+
+    Useful for board-level supplies whose efficiency is flat over the
+    relevant load range (the paper's A0 assumption).
+    """
+
+    def __init__(
+        self,
+        v_in_v: float,
+        v_out_v: float,
+        efficiency: float,
+        max_load_a: float = 2000.0,
+    ) -> None:
+        super().__init__(v_in_v, v_out_v, max_load_a)
+        if not 0.0 < efficiency < 1.0:
+            raise ConfigError("efficiency must be in (0, 1)")
+        self._efficiency = efficiency
+
+    def loss_w(self, i_out_a: float) -> float:
+        """Loss implied by the fixed efficiency at this load."""
+        if i_out_a < 0:
+            raise ConfigError("output current must be non-negative")
+        if not self.is_feasible(i_out_a):
+            raise InfeasibleError(
+                f"load {i_out_a:.1f} A exceeds rating {self.max_load_a:.1f} A"
+            )
+        p_out = self.v_out_v * i_out_a
+        return p_out * (1.0 / self._efficiency - 1.0)
+
+    def efficiency(self, i_out_a: float) -> float:
+        """The fixed efficiency (zero at zero load by convention)."""
+        if i_out_a < 0:
+            raise ConfigError("output current must be non-negative")
+        if i_out_a == 0:
+            return 0.0
+        return self._efficiency
+
+
+def pcb_reference_converter(
+    v_in_v: float = 48.0, v_out_v: float = 1.0
+) -> FixedEfficiencyConverter:
+    """The A0 board converter: transformer 48->12 + multiphase buck
+    12->1, modeled as a single 90%-efficient step."""
+    return FixedEfficiencyConverter(
+        v_in_v=v_in_v,
+        v_out_v=v_out_v,
+        efficiency=PCB_REFERENCE_EFFICIENCY,
+    )

@@ -1,0 +1,110 @@
+"""The paper's primary contribution: vertical power delivery
+architectures and their characterization.
+
+* :mod:`~repro.core.architectures` — A0 (reference) and the four
+  proposed vertical architectures (A1, A2, A3@12V, A3@6V),
+* :mod:`~repro.core.loss_analysis` — the PCB-to-POL DC loss engine
+  (Fig. 7),
+* :mod:`~repro.core.current_sharing` — per-VR current distribution via
+  the grid PDN solver (the 16–27 A / 10–93 A observations),
+* :mod:`~repro.core.utilization` — vertical-interconnect utilization
+  and the A0 power-density limit,
+* :mod:`~repro.core.characterization` — the full architecture x
+  topology study,
+* :mod:`~repro.core.exploration` — design-space sweeps and ablations.
+"""
+
+from .architectures import (
+    ALL_ARCHITECTURES,
+    ArchitectureKind,
+    ArchitectureSpec,
+    architecture,
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+    dual_stage_a3,
+)
+from .loss_analysis import (
+    LossAnalyzer,
+    LossBreakdown,
+    LossComponent,
+    LossModelParameters,
+)
+from .current_sharing import SharingResult, analyze_current_sharing
+from .utilization import (
+    A0DensityReport,
+    UtilizationReport,
+    UtilizationRow,
+    a0_die_area_requirement,
+    vertical_utilization,
+)
+from .characterization import CharacterizationRow, characterize_all, fig7_claims
+from .electro_thermal import ElectroThermalResult, electro_thermal_loss
+from .energy import DeploymentModel, EnergyReport, annual_energy, annual_savings
+from .ir_drop import IRDropReport, analyze_ir_drop, compare_architectures
+from .optimizer import (
+    DesignCandidate,
+    DesignConstraints,
+    OptimizationResult,
+    optimize_design,
+)
+from .redundancy import (
+    FailureResult,
+    ToleranceReport,
+    failure_tolerance,
+    inject_failures,
+)
+from .scaling_study import (
+    DensityPoint,
+    a0_density_limit,
+    density_scaling_study,
+)
+from .variation import VariationResult, VariationSpec, monte_carlo_loss
+
+__all__ = [
+    "ArchitectureKind",
+    "ArchitectureSpec",
+    "architecture",
+    "reference_a0",
+    "single_stage_a1",
+    "single_stage_a2",
+    "dual_stage_a3",
+    "ALL_ARCHITECTURES",
+    "LossAnalyzer",
+    "LossBreakdown",
+    "LossComponent",
+    "LossModelParameters",
+    "SharingResult",
+    "analyze_current_sharing",
+    "UtilizationReport",
+    "UtilizationRow",
+    "A0DensityReport",
+    "vertical_utilization",
+    "a0_die_area_requirement",
+    "CharacterizationRow",
+    "characterize_all",
+    "fig7_claims",
+    "ElectroThermalResult",
+    "electro_thermal_loss",
+    "DeploymentModel",
+    "EnergyReport",
+    "annual_energy",
+    "annual_savings",
+    "IRDropReport",
+    "analyze_ir_drop",
+    "compare_architectures",
+    "DesignConstraints",
+    "DesignCandidate",
+    "OptimizationResult",
+    "optimize_design",
+    "VariationSpec",
+    "VariationResult",
+    "monte_carlo_loss",
+    "DensityPoint",
+    "density_scaling_study",
+    "a0_density_limit",
+    "FailureResult",
+    "ToleranceReport",
+    "inject_failures",
+    "failure_tolerance",
+]

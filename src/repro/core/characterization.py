@@ -1,0 +1,158 @@
+"""Full architecture × topology characterization (the Fig. 7 study).
+
+Runs the loss engine for every (architecture, converter) pair,
+recording infeasible pairs with the exclusion reason instead of
+failing — exactly how the paper handles 3LHD ("the efficiency for the
+required current load of 20 A per VR is not reported ... power loss
+... with the 3LHD topology is not shown in Figure 7").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemSpec
+from ..converters.catalog import CATALOG, ConverterSpec
+from ..errors import InfeasibleError
+from .architectures import ALL_ARCHITECTURES, ArchitectureSpec
+from .loss_analysis import LossAnalyzer, LossBreakdown, LossModelParameters
+
+
+@dataclass(frozen=True)
+class CharacterizationRow:
+    """One Fig. 7 design point: a breakdown or an exclusion reason."""
+
+    architecture: str
+    topology: str
+    breakdown: LossBreakdown | None
+    excluded_reason: str | None
+
+    @property
+    def included(self) -> bool:
+        """True when the design point appears in Fig. 7."""
+        return self.breakdown is not None
+
+
+def characterize_all(
+    spec: SystemSpec | None = None,
+    architectures: tuple[ArchitectureSpec, ...] | None = None,
+    topologies: tuple[ConverterSpec, ...] | None = None,
+    params: LossModelParameters | None = None,
+) -> list[CharacterizationRow]:
+    """Characterize every architecture × topology pair.
+
+    A0 is evaluated once (its converter is the fixed PCB stage, not a
+    swept topology); vertical architectures are evaluated per topology.
+    """
+    spec = spec or SystemSpec()
+    architectures = architectures or ALL_ARCHITECTURES
+    topologies = topologies or CATALOG
+    analyzer = LossAnalyzer(spec=spec, params=params)
+
+    rows: list[CharacterizationRow] = []
+    for arch in architectures:
+        if not arch.is_vertical:
+            breakdown = analyzer.analyze(arch, topologies[0])
+            rows.append(
+                CharacterizationRow(
+                    architecture=arch.name,
+                    topology="PCB 48V-to-1V",
+                    breakdown=breakdown,
+                    excluded_reason=None,
+                )
+            )
+            continue
+        for topo in topologies:
+            try:
+                breakdown = analyzer.analyze(arch, topo)
+            except InfeasibleError as exc:
+                rows.append(
+                    CharacterizationRow(
+                        architecture=arch.name,
+                        topology=topo.name,
+                        breakdown=None,
+                        excluded_reason=str(exc),
+                    )
+                )
+            else:
+                rows.append(
+                    CharacterizationRow(
+                        architecture=arch.name,
+                        topology=topo.name,
+                        breakdown=breakdown,
+                        excluded_reason=None,
+                    )
+                )
+    return rows
+
+
+@dataclass(frozen=True)
+class Fig7Claims:
+    """The quantitative claims the paper attaches to Fig. 7."""
+
+    a0_loss_pct: float
+    best_vertical_loss_pct: float
+    worst_vertical_loss_pct: float
+    vertical_loss_negligible: bool
+    all_ppdn_below_10pct: bool
+    all_converters_above_10pct: bool
+    horizontal_reduction_a3_12v: float
+    horizontal_reduction_a3_6v: float
+    excluded_topologies: tuple[str, ...]
+
+
+def fig7_claims(rows: list[CharacterizationRow]) -> Fig7Claims:
+    """Extract the paper's headline claims from a characterization."""
+    by_arch: dict[str, list[CharacterizationRow]] = {}
+    for row in rows:
+        by_arch.setdefault(row.architecture, []).append(row)
+
+    a0_rows = [r for r in by_arch.get("A0", []) if r.included]
+    if not a0_rows:
+        raise InfeasibleError("characterization lacks an A0 row")
+    a0 = a0_rows[0].breakdown
+
+    vertical = [
+        r.breakdown
+        for r in rows
+        if r.included and r.architecture != "A0"
+    ]
+    if not vertical:
+        raise InfeasibleError("characterization lacks vertical rows")
+
+    def pct(b: LossBreakdown) -> float:
+        return 100.0 * b.paper_loss_fraction
+
+    a0_horizontal = a0.horizontal_loss_w
+
+    def horizontal_reduction(arch_name: str) -> float:
+        candidates = [
+            r.breakdown
+            for r in by_arch.get(arch_name, [])
+            if r.included
+        ]
+        if not candidates:
+            return float("nan")
+        best = min(c.horizontal_loss_w for c in candidates)
+        return a0_horizontal / best
+
+    nominal = a0.spec.pol_power_w
+    return Fig7Claims(
+        a0_loss_pct=pct(a0),
+        best_vertical_loss_pct=min(pct(b) for b in vertical),
+        worst_vertical_loss_pct=max(pct(b) for b in vertical),
+        vertical_loss_negligible=all(
+            b.vertical_loss_w / nominal < 0.01 for b in vertical + [a0]
+        ),
+        all_ppdn_below_10pct=all(
+            b.ppdn_loss_w / nominal < 0.10 for b in vertical
+        ),
+        all_converters_above_10pct=all(
+            b.converter_loss_w / nominal > 0.10 for b in vertical
+        ),
+        horizontal_reduction_a3_12v=horizontal_reduction("A3@12V"),
+        horizontal_reduction_a3_6v=horizontal_reduction("A3@6V"),
+        excluded_topologies=tuple(
+            sorted({r.topology for r in rows if not r.included})
+        ),
+    )

@@ -1,0 +1,140 @@
+"""Electro-thermal coupling of the DC loss engine.
+
+Losses heat the stack; copper/solder resistivity and switch R_on rise
+with temperature; the hotter stack dissipates more.
+:func:`electro_thermal_loss` iterates that fixed point on top of the
+:class:`~repro.pdn.thermal.ThermalStack` ladder.
+
+Vertical power delivery concentrates converter loss *inside* the
+package, so the thermal feedback penalizes A1/A2 slightly more than
+A0 — a real co-design effect the paper's conclusion alludes to
+("vital to improve the efficiency of the converters").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..converters.catalog import ConverterSpec
+from ..errors import ConfigError, SolverError
+from ..pdn.thermal import (
+    CONVERTER_TEMPCO_PER_C,
+    INTERCONNECT_TEMPCO_PER_C,
+    REFERENCE_TEMPERATURE_C,
+    StackTemperatures,
+    ThermalStack,
+)
+from .architectures import ArchitectureSpec
+from .loss_analysis import LossAnalyzer, LossBreakdown
+
+
+@dataclass(frozen=True)
+class ElectroThermalResult:
+    """Converged electro-thermal operating point.
+
+    Attributes:
+        breakdown_25c: the reference (25 °C) loss breakdown.
+        total_loss_w: converged total loss including thermal derating.
+        temperatures: converged stack temperatures.
+        loss_increase_w: extra loss attributable to heating.
+        iterations: fixed-point iterations used.
+    """
+
+    breakdown_25c: LossBreakdown
+    total_loss_w: float
+    temperatures: StackTemperatures
+    loss_increase_w: float
+    iterations: int
+
+    @property
+    def efficiency(self) -> float:
+        """End-to-end efficiency at temperature."""
+        p_pol = self.breakdown_25c.spec.pol_power_w
+        return p_pol / (p_pol + self.total_loss_w)
+
+
+def _thermally_scaled_loss(
+    breakdown: LossBreakdown, temperatures: StackTemperatures
+) -> float:
+    """Total loss rescaled to the given stack temperatures.
+
+    Interconnect I²R scales with ρ(T) of its level.  Converter loss is
+    roughly half conduction at the paper's operating points, so half
+    of it follows the switches' R_on(T).
+    """
+
+    def scale(delta_c: float, tempco: float) -> float:
+        return 1.0 + tempco * delta_c
+
+    interposer_delta = temperatures.interposer_c - REFERENCE_TEMPERATURE_C
+    board_delta = temperatures.board_c - REFERENCE_TEMPERATURE_C
+    die_delta = temperatures.die_c - REFERENCE_TEMPERATURE_C
+
+    total = 0.0
+    for component in breakdown.components:
+        loss = component.loss_w
+        if component.category == "converter":
+            factor = 1.0 + 0.5 * CONVERTER_TEMPCO_PER_C * interposer_delta
+        elif component.name in ("pcb-planes", "bga"):
+            factor = scale(board_delta, INTERCONNECT_TEMPCO_PER_C)
+        elif component.name in ("die-grid", "die-attach"):
+            factor = scale(die_delta, INTERCONNECT_TEMPCO_PER_C)
+        else:
+            factor = scale(interposer_delta, INTERCONNECT_TEMPCO_PER_C)
+        total += loss * factor
+    return total
+
+
+def electro_thermal_loss(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    analyzer: LossAnalyzer | None = None,
+    stack: ThermalStack | None = None,
+    max_iterations: int = 50,
+    tolerance_w: float = 0.01,
+) -> ElectroThermalResult:
+    """Fixed-point electro-thermal solve for one design point.
+
+    Losses are computed at 25 °C, injected into the thermal ladder,
+    the stack temperatures rescale the losses, and the loop repeats
+    until the total changes by less than ``tolerance_w``.
+    """
+    if max_iterations < 1:
+        raise ConfigError("need at least one iteration")
+    if tolerance_w <= 0:
+        raise ConfigError("tolerance must be positive")
+    analyzer = analyzer or LossAnalyzer()
+    stack = stack or ThermalStack()
+
+    breakdown = analyzer.analyze(arch, topology)
+    spec = breakdown.spec
+    total = breakdown.total_loss_w
+
+    for iteration in range(1, max_iterations + 1):
+        # Where the conversion loss lands thermally depends on the
+        # architecture: on-package (vertical) vs on the board (A0).
+        if arch.is_vertical:
+            interposer_heat = breakdown.converter_loss_w
+            board_heat = total - interposer_heat
+        else:
+            interposer_heat = 0.0
+            board_heat = total
+        temperatures = stack.temperatures(
+            die_power_w=spec.pol_power_w,
+            interposer_power_w=interposer_heat,
+            board_power_w=board_heat,
+        )
+        new_total = _thermally_scaled_loss(breakdown, temperatures)
+        if abs(new_total - total) < tolerance_w:
+            return ElectroThermalResult(
+                breakdown_25c=breakdown,
+                total_loss_w=new_total,
+                temperatures=temperatures,
+                loss_increase_w=new_total - breakdown.total_loss_w,
+                iterations=iteration,
+            )
+        total = new_total
+    raise SolverError(
+        f"electro-thermal iteration did not converge in {max_iterations} "
+        "steps (thermal runaway?)"
+    )

@@ -1,0 +1,119 @@
+"""Fleet-level energy economics of power delivery efficiency.
+
+The paper's Fig. 1 motivation is ultimately economic: a 20 kW server
+wasting 25–45% of its power between the PCB and the die pays for that
+loss twice — once at the meter and again in the cooling plant (PUE).
+This module turns a :class:`~repro.core.loss_analysis.LossBreakdown`
+into annual energy and cost, so the A0 → A2 comparison reads in
+megawatt-hours and dollars instead of percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .loss_analysis import LossBreakdown
+
+#: Hours in a (non-leap) year.
+HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class DeploymentModel:
+    """A fleet deployment for energy accounting.
+
+    Attributes:
+        chip_count: accelerators in the fleet.
+        utilization: average duty (fraction of peak power drawn).
+        pue: datacenter power usage effectiveness (cooling overhead
+            multiplies every wasted watt).
+        energy_cost_per_kwh: electricity price.
+    """
+
+    chip_count: int = 1000
+    utilization: float = 0.7
+    pue: float = 1.3
+    energy_cost_per_kwh: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.chip_count < 1:
+            raise ConfigError("fleet needs at least one chip")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigError("utilization must be in (0, 1]")
+        if self.pue < 1.0:
+            raise ConfigError("PUE cannot be below 1")
+        if self.energy_cost_per_kwh <= 0:
+            raise ConfigError("energy cost must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Annual energy accounting for one design point.
+
+    Attributes:
+        architecture / topology: design-point labels.
+        delivery_loss_kwh_per_year: fleet-wide PDN+conversion waste
+            (at the meter, including PUE).
+        delivery_cost_per_year: that waste priced.
+        compute_energy_kwh_per_year: useful (POL) energy.
+    """
+
+    architecture: str
+    topology: str
+    delivery_loss_kwh_per_year: float
+    delivery_cost_per_year: float
+    compute_energy_kwh_per_year: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Wasted over useful energy."""
+        return (
+            self.delivery_loss_kwh_per_year
+            / self.compute_energy_kwh_per_year
+        )
+
+
+def annual_energy(
+    breakdown: LossBreakdown,
+    deployment: DeploymentModel | None = None,
+) -> EnergyReport:
+    """Annual fleet energy for one characterized design point."""
+    deployment = deployment or DeploymentModel()
+    hours_equiv = HOURS_PER_YEAR * deployment.utilization
+    scale = deployment.chip_count * hours_equiv / 1000.0  # W -> kWh
+
+    loss_kwh = breakdown.total_loss_w * scale * deployment.pue
+    compute_kwh = breakdown.spec.pol_power_w * scale
+    return EnergyReport(
+        architecture=breakdown.architecture,
+        topology=breakdown.topology,
+        delivery_loss_kwh_per_year=loss_kwh,
+        delivery_cost_per_year=loss_kwh * deployment.energy_cost_per_kwh,
+        compute_energy_kwh_per_year=compute_kwh,
+    )
+
+
+def annual_savings(
+    baseline: LossBreakdown,
+    improved: LossBreakdown,
+    deployment: DeploymentModel | None = None,
+) -> dict[str, float]:
+    """Yearly savings of one design point over another.
+
+    Returns kWh and cost deltas (positive = the improved design
+    saves).  Both points must describe the same system spec.
+    """
+    if baseline.spec.pol_power_w != improved.spec.pol_power_w:
+        raise ConfigError("design points must share the system spec")
+    deployment = deployment or DeploymentModel()
+    base = annual_energy(baseline, deployment)
+    new = annual_energy(improved, deployment)
+    return {
+        "energy_kwh_per_year": (
+            base.delivery_loss_kwh_per_year - new.delivery_loss_kwh_per_year
+        ),
+        "cost_per_year": (
+            base.delivery_cost_per_year - new.delivery_cost_per_year
+        ),
+    }

@@ -1,0 +1,283 @@
+"""Design-space exploration and ablations.
+
+* :func:`conversion_location_sweep` — Fig. 3's message quantified:
+  total loss vs where the 48V-to-1V conversion happens (PCB → package
+  → interposer periphery → below die).
+* :func:`intermediate_voltage_sweep` — A3 total loss vs intermediate
+  rail voltage (the paper evaluates 12 V and 6 V; the sweep shows the
+  whole curve).
+* :func:`stage_mode_comparison` — "as-published" vs "ratio-scaled"
+  stage models: the paper's conservative reuse makes dual-stage lose
+  to single-stage; ratio-optimized stage converters flip the ordering.
+* :func:`rdl_thickness_sweep` / :func:`hotspot_sweep` — substrate
+  ablations for the horizontal-loss and current-sharing results.
+* :func:`si_vs_gan_buck` — device-technology ablation on a physics
+  buck model (the paper's motivation for GaN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemSpec
+from ..converters.catalog import DSCH, ConverterSpec, StageModelMode
+from ..converters.devices import Capacitor, Inductor, PowerSwitch
+from ..converters.topologies.buck import SynchronousBuck
+from ..errors import InfeasibleError
+from ..materials import GAN_100V, SI_POWER_MOSFET, TransistorTechnology
+from ..pdn.powermap import PowerMap
+from .architectures import (
+    dual_stage_a3,
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+)
+from .current_sharing import SharingResult, analyze_current_sharing
+from .loss_analysis import LossAnalyzer, LossBreakdown, LossModelParameters
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a 1-D sweep."""
+
+    label: str
+    value: float
+    total_loss_w: float
+    loss_pct: float
+    efficiency: float
+    detail: str = ""
+
+
+def conversion_location_sweep(
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+) -> list[SweepPoint]:
+    """Total loss vs conversion location (Fig. 3 quantified).
+
+    "PCB" is A0; "interposer-periphery" is A1; "below-die" is A2.
+    "package" approximates package-level conversion by removing the
+    PCB lateral run from A0's 1 V path (conversion after the board
+    planes, before the BGA field).
+    """
+    spec = spec or SystemSpec()
+    analyzer = LossAnalyzer(spec=spec)
+    points: list[SweepPoint] = []
+
+    a0 = analyzer.analyze(reference_a0(), topology)
+    points.append(_sweep_point("PCB", 0.0, a0))
+
+    pkg_loss = a0.total_loss_w - a0.component_loss_w("pcb-planes")
+    i_input = (spec.pol_power_w + pkg_loss) / spec.input_voltage_v
+    pcb_at_48v = i_input**2 * analyzer._pcb_resistance_pair()
+    pkg_total = pkg_loss + pcb_at_48v
+    points.append(
+        SweepPoint(
+            label="package",
+            value=1.0,
+            total_loss_w=pkg_total,
+            loss_pct=100.0 * pkg_total / spec.pol_power_w,
+            efficiency=spec.pol_power_w / (spec.pol_power_w + pkg_total),
+            detail="A0 with the board lateral run at 48 V",
+        )
+    )
+
+    a1 = analyzer.analyze(single_stage_a1(), topology)
+    points.append(_sweep_point("interposer-periphery", 2.0, a1))
+    a2 = analyzer.analyze(single_stage_a2(), topology)
+    points.append(_sweep_point("below-die", 3.0, a2))
+    return points
+
+
+def _sweep_point(
+    label: str, value: float, breakdown: LossBreakdown
+) -> SweepPoint:
+    return SweepPoint(
+        label=label,
+        value=value,
+        total_loss_w=breakdown.total_loss_w,
+        loss_pct=100.0 * breakdown.paper_loss_fraction,
+        efficiency=breakdown.efficiency,
+        detail=f"{breakdown.architecture} ({breakdown.topology})",
+    )
+
+
+def intermediate_voltage_sweep(
+    voltages: tuple[float, ...] = (3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0),
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+    mode: StageModelMode = StageModelMode.AS_PUBLISHED,
+) -> list[SweepPoint]:
+    """A3 total loss vs intermediate rail voltage."""
+    spec = spec or SystemSpec()
+    analyzer = LossAnalyzer(
+        spec=spec, params=LossModelParameters(stage_mode=mode)
+    )
+    points: list[SweepPoint] = []
+    for v_int in voltages:
+        arch = dual_stage_a3(v_int)
+        try:
+            breakdown = analyzer.analyze(arch, topology)
+        except InfeasibleError as exc:
+            points.append(
+                SweepPoint(
+                    label=arch.name,
+                    value=v_int,
+                    total_loss_w=float("nan"),
+                    loss_pct=float("nan"),
+                    efficiency=float("nan"),
+                    detail=f"infeasible: {exc}",
+                )
+            )
+            continue
+        points.append(_sweep_point(arch.name, v_int, breakdown))
+    return points
+
+
+def stage_mode_comparison(
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+    intermediate_voltage_v: float = 12.0,
+) -> dict[str, LossBreakdown]:
+    """Dual-stage A3 under both stage-model policies, plus the
+    single-stage A1 baseline for the ordering comparison."""
+    spec = spec or SystemSpec()
+    arch = dual_stage_a3(intermediate_voltage_v)
+    results: dict[str, LossBreakdown] = {}
+    for mode in StageModelMode:
+        analyzer = LossAnalyzer(
+            spec=spec, params=LossModelParameters(stage_mode=mode)
+        )
+        results[mode.value] = analyzer.analyze(arch, topology)
+    results["single-stage-A1"] = LossAnalyzer(spec=spec).analyze(
+        single_stage_a1(), topology
+    )
+    return results
+
+
+def rdl_thickness_sweep(
+    thicknesses_um: tuple[float, ...] = (9.0, 18.0, 27.0, 54.0, 108.0),
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+) -> list[SweepPoint]:
+    """A1 horizontal loss vs interposer RDL copper thickness.
+
+    The RDL sheet resistance sets the periphery architecture's
+    dominant interconnect loss; this ablation shows the sensitivity.
+    """
+    from ..pdn.stackup import LateralMetal, PackagingLevel, PackagingStack
+    from ..pdn.stackup import default_stack
+    from ..units import um
+
+    spec = spec or SystemSpec()
+    points: list[SweepPoint] = []
+    for thickness in thicknesses_um:
+        base = default_stack(spec)
+        levels = list(base.levels)
+        interposer = levels[2]
+        levels[2] = PackagingLevel(
+            name=interposer.name,
+            lateral=LateralMetal(
+                name="interposer RDL", thickness_m=um(thickness)
+            ),
+            down_interface=interposer.down_interface,
+        )
+        stack = PackagingStack(levels=tuple(levels), spec=spec)
+        analyzer = LossAnalyzer(spec=spec, stack=stack)
+        breakdown = analyzer.analyze(single_stage_a1(), topology)
+        points.append(
+            SweepPoint(
+                label=f"RDL {thickness:g} um",
+                value=thickness,
+                total_loss_w=breakdown.total_loss_w,
+                loss_pct=100.0 * breakdown.paper_loss_fraction,
+                efficiency=breakdown.efficiency,
+                detail=f"horizontal {breakdown.horizontal_loss_w:.1f} W",
+            )
+        )
+    return points
+
+
+def hotspot_sweep(
+    uniform_fractions: tuple[float, ...] = (1.0, 0.7, 0.45, 0.25, 0.1),
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+) -> list[tuple[float, SharingResult, SharingResult]]:
+    """A1 vs A2 per-VR current spread as the hotspot sharpens.
+
+    Returns (uniform_fraction, A1 sharing, A2 sharing) tuples; as the
+    map concentrates, A2's spread explodes while A1's stays bounded —
+    the paper's qualitative point.
+    """
+    spec = spec or SystemSpec()
+    results = []
+    for fraction in uniform_fractions:
+        if fraction >= 1.0:
+            pmap = PowerMap.uniform()
+        else:
+            pmap = PowerMap.hotspot_mixture(uniform_fraction=fraction)
+        a1 = analyze_current_sharing(
+            single_stage_a1(), topology, spec=spec, power_map=pmap
+        )
+        a2 = analyze_current_sharing(
+            single_stage_a2(), topology, spec=spec, power_map=pmap
+        )
+        results.append((fraction, a1, a2))
+    return results
+
+
+@dataclass(frozen=True)
+class DeviceComparisonPoint:
+    """Si vs GaN buck comparison at one switching frequency."""
+
+    frequency_hz: float
+    technology: str
+    feasible: bool
+    efficiency: float
+    loss_w: float
+
+
+def si_vs_gan_buck(
+    frequencies_hz: tuple[float, ...] = (0.5e6, 1e6, 2e6, 5e6),
+    v_in_v: float = 12.0,
+    v_out_v: float = 1.0,
+    i_out_a: float = 25.0,
+) -> list[DeviceComparisonPoint]:
+    """Physics-based buck efficiency for Si vs GaN over frequency.
+
+    Shows GaN's advantage growing with frequency — the paper's case
+    for GaN in small-form-factor integrated regulators.
+    """
+    technologies: list[TransistorTechnology] = [SI_POWER_MOSFET, GAN_100V]
+    results: list[DeviceComparisonPoint] = []
+    for frequency in frequencies_hz:
+        for tech in technologies:
+            try:
+                buck = SynchronousBuck(
+                    v_in_v=v_in_v,
+                    v_out_v=v_out_v,
+                    frequency_hz=frequency,
+                    inductor=Inductor(
+                        inductance_h=200e-9 * (1e6 / frequency),
+                        dcr_ohm=0.3e-3,
+                        rated_current_a=60.0,
+                    ),
+                    output_capacitor=Capacitor(100e-6, esr_ohm=0.2e-3),
+                    high_side=PowerSwitch.sized_for(2e-3, tech),
+                    low_side=PowerSwitch.sized_for(1e-3, tech),
+                    max_load_a=60.0,
+                )
+                efficiency = buck.efficiency(i_out_a)
+                loss = buck.loss_w(i_out_a)
+                feasible = True
+            except InfeasibleError:
+                efficiency, loss, feasible = 0.0, float("nan"), False
+            results.append(
+                DeviceComparisonPoint(
+                    frequency_hz=frequency,
+                    technology=tech.material,
+                    feasible=feasible,
+                    efficiency=efficiency,
+                    loss_w=loss,
+                )
+            )
+    return results

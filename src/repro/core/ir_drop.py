@@ -1,0 +1,151 @@
+"""Die-level IR-drop (voltage map) analysis.
+
+The DC loss numbers say how much power an architecture wastes; the
+IR-drop map says whether the die even *works* — every POL node must
+stay above the minimum supply voltage (a 3–5% droop budget at 1 V).
+This analysis solves the same die-level grid used for current sharing
+and reports the spatial voltage statistics per architecture, showing
+why distributed under-die regulation (A2) beats the periphery ring
+(A1) on worst-case droop even when the loss numbers are close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemSpec
+from ..converters.catalog import ConverterSpec
+from ..errors import ConfigError
+from ..pdn.grid import GridPDN
+from ..pdn.powermap import PowerMap
+from ..pdn.stackup import default_stack
+from ..placement.planner import PlacementStyle, plan_placement
+from .architectures import ArchitectureSpec
+from .current_sharing import (
+    DEFAULT_OUTPUT_RESISTANCE_OHM,
+    RING_BUS_SHEET_OHM_SQ,
+    RING_BUS_WIDTH_M,
+)
+
+#: Default droop budget: the die must stay within 5% of nominal.
+DEFAULT_DROOP_BUDGET_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class IRDropReport:
+    """Spatial voltage statistics of one design point.
+
+    Attributes:
+        architecture / topology: design-point labels.
+        nominal_v: the POL target voltage.
+        min_voltage_v / mean_voltage_v: across all die nodes.
+        worst_droop_v: nominal minus the minimum node voltage.
+        droop_budget_v: the allowed droop.
+        voltage_map: full (ny, nx) node-voltage array.
+        worst_node: (x_frac, y_frac) of the worst node.
+    """
+
+    architecture: str
+    topology: str
+    nominal_v: float
+    min_voltage_v: float
+    mean_voltage_v: float
+    worst_droop_v: float
+    droop_budget_v: float
+    voltage_map: np.ndarray
+    worst_node: tuple[float, float]
+
+    @property
+    def within_budget(self) -> bool:
+        """True if the worst droop respects the budget."""
+        return self.worst_droop_v <= self.droop_budget_v + 1e-12
+
+    @property
+    def droop_fraction(self) -> float:
+        """Worst droop as a fraction of nominal."""
+        return self.worst_droop_v / self.nominal_v
+
+
+def analyze_ir_drop(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    spec: SystemSpec | None = None,
+    power_map: PowerMap | None = None,
+    grid_nodes: int = 28,
+    droop_budget_fraction: float = DEFAULT_DROOP_BUDGET_FRACTION,
+    output_resistance_ohm: float = DEFAULT_OUTPUT_RESISTANCE_OHM,
+) -> IRDropReport:
+    """Solve the die voltage map for a vertical architecture.
+
+    The VRs regulate to ``nominal + budget/2`` (centering the band, as
+    a real design would) and the report measures the excursion of the
+    worst node from nominal.
+    """
+    if not arch.is_vertical:
+        raise ConfigError("IR-drop maps apply to on-package VR stages")
+    if not 0.0 < droop_budget_fraction < 0.5:
+        raise ConfigError("droop budget fraction must be in (0, 0.5)")
+    spec = spec or SystemSpec()
+    power_map = power_map or PowerMap.hotspot_mixture()
+
+    plan = plan_placement(
+        topology,
+        arch.pol_stage_style,
+        spec.pol_current_a,
+        spec.die_area_mm2,
+    )
+    stack = default_stack(spec)
+    sheet = stack.level("Interposer").lateral.sheet_ohm_sq
+    grid = GridPDN(
+        width_m=spec.die_side_m,
+        height_m=spec.die_side_m,
+        sheet_ohm_sq=sheet,
+        nx=grid_nodes,
+        ny=grid_nodes,
+    )
+    grid.set_sinks(power_map, spec.pol_current_a)
+
+    nominal = spec.pol_voltage_v
+    budget = droop_budget_fraction * nominal
+    setpoint = nominal + budget / 2.0
+    for index, position in enumerate(plan.positions):
+        grid.add_source(
+            f"vr{index}", position.x, position.y, setpoint, output_resistance_ohm
+        )
+    if plan.style is PlacementStyle.PERIPHERY and plan.vr_count >= 3:
+        spacing = 4.0 * spec.die_side_m / plan.vr_count
+        grid.connect_sources_with_ring_bus(
+            RING_BUS_SHEET_OHM_SQ * spacing / RING_BUS_WIDTH_M
+        )
+
+    solution = grid.solve()
+    vmap = solution.voltage_map
+    iy, ix = np.unravel_index(int(np.argmin(vmap)), vmap.shape)
+    return IRDropReport(
+        architecture=arch.name,
+        topology=topology.name,
+        nominal_v=nominal,
+        min_voltage_v=float(vmap.min()),
+        mean_voltage_v=float(vmap.mean()),
+        worst_droop_v=float(nominal - vmap.min()),
+        droop_budget_v=budget,
+        voltage_map=vmap,
+        worst_node=(ix / (grid_nodes - 1), iy / (grid_nodes - 1)),
+    )
+
+
+def compare_architectures(
+    architectures: list[ArchitectureSpec],
+    topology: ConverterSpec,
+    spec: SystemSpec | None = None,
+    **kwargs: object,
+) -> list[IRDropReport]:
+    """IR-drop reports for several architectures, same conditions."""
+    if not architectures:
+        raise ConfigError("at least one architecture required")
+    return [
+        analyze_ir_drop(arch, topology, spec=spec, **kwargs)
+        for arch in architectures
+    ]

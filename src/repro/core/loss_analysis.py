@@ -1,0 +1,594 @@
+"""PCB-to-POL DC loss analysis — the engine behind Fig. 7.
+
+The engine walks each architecture's power path *backwards* from the
+POL: interconnect segments below a converter stage add to the power
+that stage must deliver, so converter losses are evaluated at the true
+throughput.  Interconnect I²R terms use the nominal rail currents
+(P/V at each voltage domain), matching the paper's accounting, and the
+total is reported as a percentage of the nominal 1 kW "available at
+the PCB" — the normalization under which the paper's A0 shows >40%
+loss.
+
+Component categories:
+
+* ``vertical``  — BGA, C4, TSV, die-attach arrays (Table I),
+* ``horizontal``— PCB planes, package convergence, interposer RDL,
+  intermediate rail, die BEOL grid,
+* ``converter`` — VR stages.
+
+Vertical arrays are sized per architecture: the 48 V feed of the
+vertical architectures uses rating-minimal arrays (which is what makes
+the paper's "1% of BGAs / 2% of C4 / 10% of TSVs" utilization claims);
+A0's 1 kA path uses the full utilization-capped platforms since a
+kilo-amp design has no slack to leave bumps unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import SystemSpec
+from ..converters.catalog import ConverterSpec, StageModelMode
+from ..converters.topologies.transformer_stage import pcb_reference_converter
+from ..errors import ConfigError
+from ..pdn.interconnect import BGA, C4_BUMP, TSV, VerticalInterconnect
+from ..pdn.planes import (
+    annular_spreading_resistance,
+    disk_edge_feed_resistance,
+    distributed_cell_feed_resistance,
+    equivalent_radius,
+    plane_resistance,
+    sheet_resistance,
+)
+from ..pdn.stackup import PackagingStack, default_stack
+from ..placement.planner import (
+    PlacementPlan,
+    PlacementStyle,
+    optimal_stage_count,
+    plan_placement,
+)
+from .architectures import ArchitectureKind, ArchitectureSpec
+
+#: Utilization caps the paper quotes for the reference architecture.
+BGA_UTILIZATION_CAP = 0.60
+C4_UTILIZATION_CAP = 0.85
+
+
+@dataclass(frozen=True)
+class LossModelParameters:
+    """Calibration knobs of the loss engine (defaults reproduce the
+    paper's anchors; see EXPERIMENTS.md for the calibration record).
+
+    Attributes:
+        die_grid_resistance_ohm: effective rail-pair resistance of the
+            on-die global BEOL grid redistribution.  Derived as
+            R_sq(BEOL)/(8π·n_clusters) per polarity with
+            R_sq ≈ 2.8 mΩ/sq (6 µm Cu) and ~18 feed clusters → ~6 µΩ.
+        intermediate_rail_squares: RDL squares (per polarity) of the
+            dedicated intermediate-voltage routes from the periphery
+            stage-1 ring to the under-die stage-2 region.
+        stage_mode: how stage converters are modeled off their
+            published 48V-to-1V operating point.
+        interposer_area_mm2: interposer platform area for placement
+            budgets.
+    """
+
+    die_grid_resistance_ohm: float = 6.0e-6
+    intermediate_rail_squares: float = 0.97
+    stage_mode: StageModelMode = StageModelMode.AS_PUBLISHED
+    interposer_area_mm2: float = 1200.0
+
+    def __post_init__(self) -> None:
+        if self.die_grid_resistance_ohm <= 0:
+            raise ConfigError("die grid resistance must be positive")
+        if self.intermediate_rail_squares <= 0:
+            raise ConfigError("rail squares must be positive")
+        if self.interposer_area_mm2 <= 0:
+            raise ConfigError("interposer area must be positive")
+
+
+@dataclass(frozen=True)
+class LossComponent:
+    """One named loss term."""
+
+    name: str
+    category: str  # "vertical" | "horizontal" | "converter"
+    loss_w: float
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in ("vertical", "horizontal", "converter"):
+            raise ConfigError(f"unknown category {self.category!r}")
+        if self.loss_w < 0:
+            raise ConfigError("loss must be non-negative")
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Operating point of one converter stage."""
+
+    name: str
+    converter: str
+    vr_count: int
+    per_vr_current_a: float
+    per_vr_efficiency: float
+    output_power_w: float
+    loss_w: float
+    placement: str
+
+
+@dataclass(frozen=True)
+class LossBreakdown:
+    """Complete PCB-to-POL loss decomposition for one design point."""
+
+    architecture: str
+    topology: str
+    spec: SystemSpec
+    components: tuple[LossComponent, ...]
+    stages: tuple[StageReport, ...]
+    pol_plan: PlacementPlan | None = None
+
+    def category_loss_w(self, category: str) -> float:
+        """Total loss of one category."""
+        return sum(c.loss_w for c in self.components if c.category == category)
+
+    @property
+    def vertical_loss_w(self) -> float:
+        """Loss in vertical interconnect (BGA + C4 + TSV + die attach)."""
+        return self.category_loss_w("vertical")
+
+    @property
+    def horizontal_loss_w(self) -> float:
+        """Loss in lateral interconnect at all levels."""
+        return self.category_loss_w("horizontal")
+
+    @property
+    def converter_loss_w(self) -> float:
+        """Loss inside the VR stages."""
+        return self.category_loss_w("converter")
+
+    @property
+    def ppdn_loss_w(self) -> float:
+        """Interconnect (non-converter) loss."""
+        return self.vertical_loss_w + self.horizontal_loss_w
+
+    @property
+    def total_loss_w(self) -> float:
+        """Total PCB-to-POL loss."""
+        return sum(c.loss_w for c in self.components)
+
+    @property
+    def paper_loss_fraction(self) -> float:
+        """Loss as a fraction of the nominal power at the PCB (the
+        paper's Fig. 7 normalization)."""
+        return self.total_loss_w / self.spec.pol_power_w
+
+    @property
+    def efficiency(self) -> float:
+        """True end-to-end efficiency P_POL / (P_POL + losses)."""
+        return self.spec.pol_power_w / (
+            self.spec.pol_power_w + self.total_loss_w
+        )
+
+    def component_loss_w(self, name_prefix: str) -> float:
+        """Sum of losses whose component name starts with a prefix."""
+        return sum(
+            c.loss_w for c in self.components if c.name.startswith(name_prefix)
+        )
+
+    def fig7_bars(self) -> dict[str, float]:
+        """The Fig. 7 stacked-bar values (percent of nominal power)."""
+        scale = 100.0 / self.spec.pol_power_w
+        return {
+            "BGA": self.component_loss_w("bga") * scale,
+            "C4": self.component_loss_w("c4") * scale,
+            "TSV": self.component_loss_w("tsv") * scale,
+            "die-attach": self.component_loss_w("die-attach") * scale,
+            "horizontal": self.horizontal_loss_w * scale,
+            "VR": self.converter_loss_w * scale,
+        }
+
+
+class LossAnalyzer:
+    """Evaluates the PCB-to-POL loss of an architecture/topology pair."""
+
+    def __init__(
+        self,
+        spec: SystemSpec | None = None,
+        params: LossModelParameters | None = None,
+        stack: PackagingStack | None = None,
+    ) -> None:
+        self.spec = spec or SystemSpec()
+        self.params = params or LossModelParameters()
+        self.stack = stack or default_stack(self.spec)
+
+    # -- public API -------------------------------------------------------------
+
+    def analyze(
+        self, arch: ArchitectureSpec, topology: ConverterSpec
+    ) -> LossBreakdown:
+        """Full loss breakdown for one design point.
+
+        Raises:
+            InfeasibleError: if the topology cannot supply the load
+                within its published rating under the paper's count
+                policy (3LHD at ~21 A per VR).
+        """
+        if arch.kind is ArchitectureKind.PCB_CONVERSION:
+            return self._analyze_a0(arch, topology)
+        return self._analyze_vertical(arch, topology)
+
+    # -- shared primitives --------------------------------------------------------
+
+    def _rdl_sheet(self) -> float:
+        """Interposer RDL sheet resistance (one polarity)."""
+        return self.stack.level("Interposer").lateral.sheet_ohm_sq
+
+    def _pkg_sheet(self) -> float:
+        """Package plane sheet resistance (one polarity)."""
+        return self.stack.level("PKG").lateral.sheet_ohm_sq
+
+    def _pcb_resistance_pair(self) -> float:
+        """PCB lateral plane resistance, rail pair."""
+        pcb = self.spec.pcb
+        sheet = sheet_resistance(pcb.plane_thickness_m * pcb.plane_pairs)
+        return 2.0 * plane_resistance(
+            sheet, pcb.vrm_distance_m, pcb.plane_width_m
+        )
+
+    def _pkg_convergence_pair(self, from_area_m2: float) -> float:
+        """Package-plane annular convergence to the die shadow, pair."""
+        inner = equivalent_radius(self.spec.die_area)
+        outer = equivalent_radius(from_area_m2)
+        if outer <= inner:
+            return 0.0
+        return 2.0 * annular_spreading_resistance(
+            self._pkg_sheet(), inner, outer
+        )
+
+    def _die_grid_component(self, current_a: float) -> LossComponent:
+        """On-die BEOL global grid redistribution loss."""
+        return LossComponent(
+            name="die-grid",
+            category="horizontal",
+            loss_w=current_a**2 * self.params.die_grid_resistance_ohm,
+            detail="on-die BEOL redistribution",
+        )
+
+    def _die_attach_component(
+        self, tech: VerticalInterconnect, current_a: float, minimal: bool
+    ) -> LossComponent:
+        """Die-attach (micro-bump or Cu-pad) array loss."""
+        if minimal:
+            count = max(
+                1, int(current_a / tech.rated_current_a) + 1
+            )
+            count = min(count, max(tech.sites_on_area(self.spec.die_area) // 2, 1))
+        else:
+            count = max(tech.sites_on_area(self.spec.die_area) // 2, 1)
+        array = tech.array(count)
+        return LossComponent(
+            name="die-attach",
+            category="vertical",
+            loss_w=array.loss_w(current_a),
+            detail=f"{tech.name} x{count} per polarity",
+        )
+
+    def _feed_array_components(
+        self, current_a: float, minimal: bool, include_tsv: bool
+    ) -> list[LossComponent]:
+        """BGA / C4 / (TSV) array losses for the board-side feed."""
+        components: list[LossComponent] = []
+        caps = {BGA.name: BGA_UTILIZATION_CAP, C4_BUMP.name: C4_UTILIZATION_CAP}
+        techs: list[VerticalInterconnect] = [BGA, C4_BUMP]
+        if include_tsv:
+            techs.append(TSV)
+        for tech in techs:
+            if minimal:
+                count = max(1, int(current_a / tech.rated_current_a) + 1)
+                count = min(count, tech.power_sites_per_polarity)
+            else:
+                cap = caps.get(tech.name, 1.0)
+                count = max(int(tech.power_sites_per_polarity * cap), 1)
+            array = tech.array(count)
+            name = {"BGA": "bga", "C4 bump": "c4", "TSV": "tsv"}[tech.name]
+            components.append(
+                LossComponent(
+                    name=name,
+                    category="vertical",
+                    loss_w=array.loss_w(current_a),
+                    detail=f"{tech.name} x{count} per polarity",
+                )
+            )
+        return components
+
+    # -- A0 ------------------------------------------------------------------------
+
+    def _analyze_a0(
+        self, arch: ArchitectureSpec, topology: ConverterSpec
+    ) -> LossBreakdown:
+        """Reference architecture: conversion at the PCB, POL current
+        through the entire PPDN.  ``topology`` is ignored (the paper
+        models A0 with its fixed 90% transformer+buck converter) but
+        recorded for reporting."""
+        spec = self.spec
+        i_pol = spec.pol_current_a
+        components: list[LossComponent] = []
+
+        components.append(self._die_grid_component(i_pol))
+        components.append(
+            self._die_attach_component(arch.die_attach, i_pol, minimal=False)
+        )
+        # Interposer lateral: C4s sit densely under the die shadow, so
+        # spreading is distributed over very many cells — negligible
+        # but accounted.
+        c4_cells = max(
+            C4_BUMP.sites_on_area(spec.die_area) // 2, 1
+        )
+        components.append(
+            LossComponent(
+                name="interposer-spread",
+                category="horizontal",
+                loss_w=i_pol**2
+                * 2.0
+                * distributed_cell_feed_resistance(self._rdl_sheet(), c4_cells),
+                detail="dense C4 feed under die",
+            )
+        )
+        # A0 is the traditional flip-chip stack: C4s land on the
+        # package (no passive TSV interposer in the 1 kA path).
+        components.extend(
+            self._feed_array_components(i_pol, minimal=False, include_tsv=False)
+        )
+        components.append(
+            LossComponent(
+                name="pkg-convergence",
+                category="horizontal",
+                loss_w=i_pol**2 * self._pkg_convergence_pair(BGA.platform_area_m2),
+                detail="BGA field -> die shadow through package planes",
+            )
+        )
+        components.append(
+            LossComponent(
+                name="pcb-planes",
+                category="horizontal",
+                loss_w=i_pol**2 * self._pcb_resistance_pair(),
+                detail="VRM -> socket power planes",
+            )
+        )
+
+        downstream = sum(c.loss_w for c in components)
+        converter = pcb_reference_converter(
+            spec.input_voltage_v, spec.pol_voltage_v
+        )
+        p_out = spec.pol_power_w + downstream
+        conv_loss = converter.loss_w(p_out / spec.pol_voltage_v)
+        components.append(
+            LossComponent(
+                name="vr-pcb",
+                category="converter",
+                loss_w=conv_loss,
+                detail="transformer 48->12 + multiphase buck 12->1 @ 90%",
+            )
+        )
+        stage = StageReport(
+            name="pcb-stage",
+            converter="transformer+buck",
+            vr_count=1,
+            per_vr_current_a=p_out / spec.pol_voltage_v,
+            per_vr_efficiency=0.90,
+            output_power_w=p_out,
+            loss_w=conv_loss,
+            placement="pcb",
+        )
+        return LossBreakdown(
+            architecture=arch.name,
+            topology=topology.name,
+            spec=spec,
+            components=tuple(components),
+            stages=(stage,),
+        )
+
+    # -- vertical architectures -------------------------------------------------------
+
+    def _pol_lateral_component(
+        self, plan: PlacementPlan, current_a: float
+    ) -> LossComponent:
+        """Interposer-RDL lateral loss from the POL VR outputs into the
+        die: rim-fed disk for periphery plans, distributed cells for
+        under-die plans (with the overflow share rim-fed)."""
+        sheet = self._rdl_sheet()
+        if plan.style is PlacementStyle.PERIPHERY:
+            resistance = 2.0 * disk_edge_feed_resistance(sheet)
+            loss = current_a**2 * resistance
+            detail = "periphery ring -> die (rim-fed disk)"
+        else:
+            below = max(plan.below_die_count, 1)
+            f_below = plan.below_die_count / plan.vr_count
+            i_below = current_a * f_below
+            i_ring = current_a - i_below
+            loss = i_below**2 * 2.0 * distributed_cell_feed_resistance(
+                sheet, below
+            )
+            loss += i_ring**2 * 2.0 * disk_edge_feed_resistance(sheet)
+            detail = f"{plan.below_die_count} under-die cells"
+            if plan.overflow_count:
+                detail += f" + {plan.overflow_count} periphery overflow"
+        return LossComponent(
+            name="interposer-spread",
+            category="horizontal",
+            loss_w=loss,
+            detail=detail,
+        )
+
+    def _analyze_vertical(
+        self, arch: ArchitectureSpec, topology: ConverterSpec
+    ) -> LossBreakdown:
+        spec = self.spec
+        params = self.params
+        i_pol = spec.pol_current_a
+        die_mm2 = spec.die_area_mm2
+        components: list[LossComponent] = []
+        stages: list[StageReport] = []
+
+        # 1. POL-voltage side (1 V domain).
+        components.append(self._die_grid_component(i_pol))
+        components.append(
+            self._die_attach_component(arch.die_attach, i_pol, minimal=True)
+        )
+        p_into_die = spec.pol_power_w + sum(c.loss_w for c in components)
+
+        # 2. POL VR stage.
+        pol_current_required = p_into_die / spec.pol_voltage_v
+        plan = plan_placement(
+            topology,
+            arch.pol_stage_style,
+            pol_current_required,
+            die_mm2,
+            params.interposer_area_mm2,
+        )
+        components.append(
+            self._pol_lateral_component(plan, pol_current_required)
+        )
+        pol_current_required = (
+            spec.pol_power_w + sum(c.loss_w for c in components)
+        ) / spec.pol_voltage_v
+        v_in_pol_stage = (
+            arch.intermediate_voltage_v
+            if arch.is_dual_stage
+            else spec.input_voltage_v
+        )
+        pol_model = topology.stage_loss_model(
+            v_in_v=v_in_pol_stage,
+            v_out_v=spec.pol_voltage_v,
+            mode=params.stage_mode,
+        )
+        per_vr = pol_current_required / plan.vr_count
+        topology.require_feasible(per_vr)
+        pol_loss = plan.vr_count * pol_model.loss_w(per_vr)
+        components.append(
+            LossComponent(
+                name="vr-pol",
+                category="converter",
+                loss_w=pol_loss,
+                detail=(
+                    f"{plan.vr_count}x {topology.name} @ {per_vr:.1f} A "
+                    f"({plan.style.value})"
+                ),
+            )
+        )
+        stages.append(
+            StageReport(
+                name="pol-stage",
+                converter=topology.name,
+                vr_count=plan.vr_count,
+                per_vr_current_a=per_vr,
+                per_vr_efficiency=pol_model.efficiency(per_vr),
+                output_power_w=pol_current_required * spec.pol_voltage_v,
+                loss_w=pol_loss,
+                placement=plan.style.value,
+            )
+        )
+        p_above_pol_stage = spec.pol_power_w + sum(
+            c.loss_w for c in components
+        )
+
+        # 3. Intermediate rail + first stage (A3 only).
+        if arch.is_dual_stage:
+            v_int = arch.intermediate_voltage_v
+            i_int = p_above_pol_stage / v_int
+            rail_resistance = (
+                2.0 * self._rdl_sheet() * params.intermediate_rail_squares
+            )
+            rail_loss = i_int**2 * rail_resistance
+            components.append(
+                LossComponent(
+                    name="intermediate-rail",
+                    category="horizontal",
+                    loss_w=rail_loss,
+                    detail=f"{v_int:g} V RDL routes, periphery -> under-die",
+                )
+            )
+            stage1_spec = arch.stage1_converter
+            stage1_model = stage1_spec.stage_loss_model(
+                v_in_v=spec.input_voltage_v,
+                v_out_v=v_int,
+                mode=params.stage_mode,
+            )
+            i_stage1_out = (
+                p_above_pol_stage + rail_loss
+            ) / v_int
+            count1 = optimal_stage_count(
+                stage1_model,
+                i_stage1_out,
+                max_count=max(stage1_spec.vrs_along_periphery, 1),
+            )
+            per_vr1 = i_stage1_out / count1
+            stage1_loss = count1 * stage1_model.loss_w(per_vr1)
+            components.append(
+                LossComponent(
+                    name="vr-stage1",
+                    category="converter",
+                    loss_w=stage1_loss,
+                    detail=(
+                        f"{count1}x {stage1_spec.name} 48->{v_int:g} V @ "
+                        f"{per_vr1:.1f} A (periphery)"
+                    ),
+                )
+            )
+            stages.append(
+                StageReport(
+                    name="stage1",
+                    converter=stage1_spec.name,
+                    vr_count=count1,
+                    per_vr_current_a=per_vr1,
+                    per_vr_efficiency=stage1_model.efficiency(per_vr1),
+                    output_power_w=i_stage1_out * v_int,
+                    loss_w=stage1_loss,
+                    placement="periphery",
+                )
+            )
+
+        # 4. 48 V feed from the PCB.
+        p_total_so_far = spec.pol_power_w + sum(c.loss_w for c in components)
+        i_input = p_total_so_far / spec.input_voltage_v
+        components.extend(
+            self._feed_array_components(i_input, minimal=True, include_tsv=True)
+        )
+        v_in = spec.input_voltage_v
+        components.append(
+            LossComponent(
+                name="pkg-convergence",
+                category="horizontal",
+                loss_w=i_input**2
+                * self._pkg_convergence_pair(BGA.platform_area_m2),
+                detail=f"{v_in:g} V feed through package planes",
+            )
+        )
+        components.append(
+            LossComponent(
+                name="pcb-planes",
+                category="horizontal",
+                loss_w=i_input**2 * self._pcb_resistance_pair(),
+                detail=f"{v_in:g} V feed, VRM/entry -> socket",
+            )
+        )
+
+        return LossBreakdown(
+            architecture=arch.name,
+            topology=topology.name,
+            spec=spec,
+            components=tuple(components),
+            stages=tuple(stages),
+            pol_plan=plan,
+        )
+
+    # -- convenience -----------------------------------------------------------------
+
+    def with_params(self, **overrides: object) -> "LossAnalyzer":
+        """A copy of this analyzer with modified parameters."""
+        return LossAnalyzer(
+            spec=self.spec,
+            params=replace(self.params, **overrides),
+            stack=self.stack,
+        )

@@ -1,0 +1,202 @@
+"""Architecture/topology design optimizer.
+
+The paper closes by calling for "power delivery architectures, and
+design methodologies"; this module provides the obvious methodology:
+enumerate the feasible design space (architecture × POL topology ×
+intermediate rail) for a given system spec and constraints, rank by
+end-to-end efficiency, and report the frontier.
+
+The search is exhaustive — the space is tiny (tens of points) and
+exactness beats cleverness here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemSpec
+from ..converters.catalog import CATALOG, ConverterSpec, StageModelMode
+from ..errors import ConfigError, InfeasibleError
+from .architectures import (
+    ArchitectureSpec,
+    dual_stage_a3,
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+)
+from .loss_analysis import LossAnalyzer, LossBreakdown, LossModelParameters
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """Constraints the optimizer enforces.
+
+    Attributes:
+        max_vr_count: cap on POL-stage VR count (control complexity).
+        min_efficiency: designs below this end-to-end efficiency are
+            rejected.
+        max_converter_area_mm2: cap on total VR silicon/passives area.
+        allow_pcb_conversion: include A0 in the search.
+        intermediate_rails_v: candidate A3 rail voltages.
+    """
+
+    max_vr_count: int | None = None
+    min_efficiency: float = 0.0
+    max_converter_area_mm2: float | None = None
+    allow_pcb_conversion: bool = True
+    intermediate_rails_v: tuple[float, ...] = (6.0, 12.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_efficiency < 1.0:
+            raise ConfigError("min efficiency must be in [0, 1)")
+        if self.max_vr_count is not None and self.max_vr_count < 1:
+            raise ConfigError("max VR count must be >= 1")
+        if not self.intermediate_rails_v:
+            raise ConfigError("at least one candidate rail required")
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One evaluated design point."""
+
+    architecture: str
+    topology: str
+    breakdown: LossBreakdown | None
+    rejected_reason: str | None = None
+
+    @property
+    def feasible(self) -> bool:
+        """True if the point passed feasibility and constraints."""
+        return self.breakdown is not None
+
+    @property
+    def efficiency(self) -> float:
+        """End-to-end efficiency (0 for rejected points)."""
+        return self.breakdown.efficiency if self.breakdown else 0.0
+
+
+@dataclass
+class OptimizationResult:
+    """Ranked outcome of a design-space search."""
+
+    candidates: list[DesignCandidate] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> list[DesignCandidate]:
+        """Feasible candidates, best efficiency first."""
+        return sorted(
+            (c for c in self.candidates if c.feasible),
+            key=lambda c: -c.efficiency,
+        )
+
+    @property
+    def best(self) -> DesignCandidate:
+        """The most efficient feasible candidate."""
+        ranked = self.feasible
+        if not ranked:
+            raise InfeasibleError("no feasible design in the search space")
+        return ranked[0]
+
+    @property
+    def rejected(self) -> list[DesignCandidate]:
+        """Candidates rejected by feasibility or constraints."""
+        return [c for c in self.candidates if not c.feasible]
+
+
+def _candidate_architectures(
+    constraints: DesignConstraints,
+) -> list[ArchitectureSpec]:
+    archs: list[ArchitectureSpec] = []
+    if constraints.allow_pcb_conversion:
+        archs.append(reference_a0())
+    archs.append(single_stage_a1())
+    archs.append(single_stage_a2())
+    for rail in constraints.intermediate_rails_v:
+        archs.append(dual_stage_a3(rail))
+    return archs
+
+
+def optimize_design(
+    spec: SystemSpec | None = None,
+    constraints: DesignConstraints | None = None,
+    topologies: tuple[ConverterSpec, ...] | None = None,
+    stage_mode: StageModelMode = StageModelMode.AS_PUBLISHED,
+) -> OptimizationResult:
+    """Search the architecture × topology space for the given system.
+
+    Every point is evaluated with the full loss engine; infeasible
+    points (ratings, slots, area) and constraint violations are kept
+    in the result with their rejection reason, so the report can show
+    *why* the frontier looks the way it does.
+    """
+    spec = spec or SystemSpec()
+    constraints = constraints or DesignConstraints()
+    topologies = topologies or CATALOG
+    analyzer = LossAnalyzer(
+        spec=spec, params=LossModelParameters(stage_mode=stage_mode)
+    )
+
+    result = OptimizationResult()
+    for arch in _candidate_architectures(constraints):
+        arch_topologies = topologies if arch.is_vertical else topologies[:1]
+        for topology in arch_topologies:
+            label_topo = topology.name if arch.is_vertical else "PCB stage"
+            try:
+                breakdown = analyzer.analyze(arch, topology)
+            except InfeasibleError as exc:
+                result.candidates.append(
+                    DesignCandidate(
+                        architecture=arch.name,
+                        topology=label_topo,
+                        breakdown=None,
+                        rejected_reason=f"infeasible: {exc}",
+                    )
+                )
+                continue
+            reason = _constraint_violation(breakdown, constraints)
+            if reason is not None:
+                result.candidates.append(
+                    DesignCandidate(
+                        architecture=arch.name,
+                        topology=label_topo,
+                        breakdown=None,
+                        rejected_reason=reason,
+                    )
+                )
+                continue
+            result.candidates.append(
+                DesignCandidate(
+                    architecture=arch.name,
+                    topology=label_topo,
+                    breakdown=breakdown,
+                )
+            )
+    return result
+
+
+def _constraint_violation(
+    breakdown: LossBreakdown, constraints: DesignConstraints
+) -> str | None:
+    """The first violated constraint, or None."""
+    if breakdown.efficiency < constraints.min_efficiency:
+        return (
+            f"efficiency {breakdown.efficiency:.1%} below the "
+            f"{constraints.min_efficiency:.1%} floor"
+        )
+    total_vrs = sum(stage.vr_count for stage in breakdown.stages)
+    if (
+        constraints.max_vr_count is not None
+        and total_vrs > constraints.max_vr_count
+    ):
+        return (
+            f"{total_vrs} VRs exceed the {constraints.max_vr_count} cap"
+        )
+    if constraints.max_converter_area_mm2 is not None:
+        if breakdown.pol_plan is not None:
+            area = breakdown.pol_plan.area_used_mm2
+            if area > constraints.max_converter_area_mm2:
+                return (
+                    f"VR area {area:.0f} mm2 exceeds the "
+                    f"{constraints.max_converter_area_mm2:.0f} mm2 cap"
+                )
+    return None

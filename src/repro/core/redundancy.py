@@ -1,0 +1,246 @@
+"""VR fault injection and N−1 redundancy analysis.
+
+A vertical power delivery system paralleling 48 regulators will see
+unit failures in the field; the companion methodology the paper builds
+on ([11], "A Robust Integrated Power Delivery Method...") makes
+robustness a first-class requirement.  This module answers:
+
+* if *k* VRs drop out, does the remaining bank still carry the load
+  within its ratings (`inject_failures`)?
+* how many arbitrary failures can the design absorb in the worst case
+  (`failure_tolerance`)?
+
+Failures are modeled by removing the failed VRs' sources from the
+die-level grid and re-solving: surviving neighbours pick up the
+orphaned region through the lateral metal, so *which* VR fails
+matters — a corner failure is benign, a hotspot failure is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..config import SystemSpec
+from ..converters.catalog import ConverterSpec
+from ..errors import ConfigError
+from ..pdn.grid import GridPDN
+from ..pdn.powermap import PowerMap
+from ..pdn.stackup import default_stack
+from ..placement.planner import PlacementStyle, plan_placement
+from .architectures import ArchitectureSpec
+from .current_sharing import (
+    DEFAULT_OUTPUT_RESISTANCE_OHM,
+    RING_BUS_SHEET_OHM_SQ,
+    RING_BUS_WIDTH_M,
+)
+
+
+@dataclass(frozen=True)
+class FailureResult:
+    """Outcome of one failure scenario.
+
+    Attributes:
+        failed_indices: the VRs removed (plan position order).
+        survivor_currents_a: per-surviving-VR currents.
+        overloaded_count: survivors beyond the converter rating.
+        worst_overload_fraction: max survivor current over the rating
+            (1.0 = exactly at rating).
+        worst_droop_v: node-voltage spread after the failure.
+    """
+
+    failed_indices: tuple[int, ...]
+    survivor_currents_a: np.ndarray
+    overloaded_count: int
+    worst_overload_fraction: float
+    worst_droop_v: float
+
+    @property
+    def survives(self) -> bool:
+        """True when no surviving VR exceeds its rating."""
+        return self.overloaded_count == 0
+
+
+def _solve_with_failures(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    failed: tuple[int, ...],
+    spec: SystemSpec,
+    power_map: PowerMap,
+    grid_nodes: int,
+    output_resistance_ohm: float,
+) -> FailureResult:
+    plan = plan_placement(
+        topology,
+        arch.pol_stage_style,
+        spec.pol_current_a,
+        spec.die_area_mm2,
+    )
+    if any(i < 0 or i >= plan.vr_count for i in failed):
+        raise ConfigError("failed index out of range")
+    if len(failed) >= plan.vr_count:
+        raise ConfigError("cannot fail every VR")
+
+    stack = default_stack(spec)
+    sheet = stack.level("Interposer").lateral.sheet_ohm_sq
+    grid = GridPDN(
+        width_m=spec.die_side_m,
+        height_m=spec.die_side_m,
+        sheet_ohm_sq=sheet,
+        nx=grid_nodes,
+        ny=grid_nodes,
+    )
+    grid.set_sinks(power_map, spec.pol_current_a)
+    survivors: list[int] = []
+    for index, position in enumerate(plan.positions):
+        if index in failed:
+            continue
+        survivors.append(index)
+        grid.add_source(
+            f"vr{index}",
+            position.x,
+            position.y,
+            spec.pol_voltage_v,
+            output_resistance_ohm,
+        )
+    if plan.style is PlacementStyle.PERIPHERY and len(survivors) >= 3:
+        spacing = 4.0 * spec.die_side_m / plan.vr_count
+        grid.connect_sources_with_ring_bus(
+            RING_BUS_SHEET_OHM_SQ * spacing / RING_BUS_WIDTH_M
+        )
+    solution = grid.solve()
+    currents = solution.source_currents_a
+    limit = topology.max_load_a
+    overloaded = int(np.count_nonzero(currents > limit * (1 + 1e-9)))
+    return FailureResult(
+        failed_indices=tuple(failed),
+        survivor_currents_a=currents,
+        overloaded_count=overloaded,
+        worst_overload_fraction=float(currents.max() / limit),
+        worst_droop_v=solution.worst_droop_v,
+    )
+
+
+def inject_failures(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    failed_indices: tuple[int, ...],
+    spec: SystemSpec | None = None,
+    power_map: PowerMap | None = None,
+    grid_nodes: int = 24,
+    output_resistance_ohm: float = DEFAULT_OUTPUT_RESISTANCE_OHM,
+) -> FailureResult:
+    """Remove the given VRs and re-solve the sharing network."""
+    if not arch.is_vertical:
+        raise ConfigError("fault injection applies to on-package VR banks")
+    spec = spec or SystemSpec()
+    power_map = power_map or PowerMap.hotspot_mixture()
+    return _solve_with_failures(
+        arch,
+        topology,
+        tuple(failed_indices),
+        spec,
+        power_map,
+        grid_nodes,
+        output_resistance_ohm,
+    )
+
+
+@dataclass(frozen=True)
+class ToleranceReport:
+    """Worst-case failure tolerance of a design point."""
+
+    architecture: str
+    topology: str
+    vr_count: int
+    tolerates_any_single_failure: bool
+    worst_single_failure_index: int
+    worst_single_overload_fraction: float
+
+
+def failure_tolerance(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    spec: SystemSpec | None = None,
+    power_map: PowerMap | None = None,
+    grid_nodes: int = 24,
+    sample_limit: int | None = None,
+) -> ToleranceReport:
+    """Exhaustive N−1 sweep: fail each VR in turn, find the worst.
+
+    Args:
+        sample_limit: optionally only test the first k single-failure
+            scenarios (for quick checks on large banks).
+    """
+    spec = spec or SystemSpec()
+    power_map = power_map or PowerMap.hotspot_mixture()
+    plan = plan_placement(
+        topology,
+        arch.pol_stage_style,
+        spec.pol_current_a,
+        spec.die_area_mm2,
+    )
+    indices = list(range(plan.vr_count))
+    if sample_limit is not None:
+        if sample_limit < 1:
+            raise ConfigError("sample limit must be >= 1")
+        indices = indices[:sample_limit]
+
+    worst_fraction = 0.0
+    worst_index = -1
+    all_survive = True
+    for index in indices:
+        result = inject_failures(
+            arch,
+            topology,
+            (index,),
+            spec=spec,
+            power_map=power_map,
+            grid_nodes=grid_nodes,
+        )
+        if result.worst_overload_fraction > worst_fraction:
+            worst_fraction = result.worst_overload_fraction
+            worst_index = index
+        if not result.survives:
+            all_survive = False
+    return ToleranceReport(
+        architecture=arch.name,
+        topology=topology.name,
+        vr_count=plan.vr_count,
+        tolerates_any_single_failure=all_survive,
+        worst_single_failure_index=worst_index,
+        worst_single_overload_fraction=worst_fraction,
+    )
+
+
+def multi_failure_samples(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    failure_count: int,
+    spec: SystemSpec | None = None,
+    max_scenarios: int = 20,
+) -> list[FailureResult]:
+    """A deterministic sample of k-failure scenarios (first
+    ``max_scenarios`` index combinations)."""
+    if failure_count < 1:
+        raise ConfigError("failure count must be >= 1")
+    if max_scenarios < 1:
+        raise ConfigError("need at least one scenario")
+    spec = spec or SystemSpec()
+    plan = plan_placement(
+        topology,
+        arch.pol_stage_style,
+        spec.pol_current_a,
+        spec.die_area_mm2,
+    )
+    scenarios = []
+    for combo in combinations(range(plan.vr_count), failure_count):
+        scenarios.append(combo)
+        if len(scenarios) >= max_scenarios:
+            break
+    return [
+        inject_failures(arch, topology, combo, spec=spec)
+        for combo in scenarios
+    ]

@@ -1,0 +1,103 @@
+"""Current-density scaling study — the paper's forward-looking claim.
+
+Fig. 1's caption warns that power density "is expected to double in
+the near future".  This study sweeps the POL current density at fixed
+power and asks, per architecture: does the design still close?
+
+* A0 is capped by its die-level vertical interconnect at
+  ~0.83 A/mm² (`a0_die_area_requirement`), so it fails the paper's
+  2 A/mm² system and everything beyond;
+* the vertical architectures ride the advanced Cu-Cu pads
+  (~8.5 mA/pad at 20 µm pitch → ~42 A/mm² ceiling) and keep closing
+  as the die shrinks — but their *loss* rises because the same
+  current concentrates the converters onto less area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemSpec
+from ..converters.catalog import ConverterSpec, DSCH
+from ..errors import InfeasibleError
+from .architectures import ArchitectureSpec, single_stage_a2
+from .loss_analysis import LossAnalyzer
+from .utilization import a0_die_area_requirement
+
+
+@dataclass(frozen=True)
+class DensityPoint:
+    """One density step of the scaling study."""
+
+    density_a_per_mm2: float
+    die_area_mm2: float
+    a0_supported: bool
+    vertical_supported: bool
+    vertical_loss_pct: float | None
+    note: str = ""
+
+
+def density_ceiling_a_per_mm2(arch: ArchitectureSpec) -> float:
+    """The die-attach technology's density ceiling for an
+    architecture: rating / (2 · pitch²), independent of die size."""
+    tech = arch.die_attach
+    pitch_mm = tech.pitch_m * 1e3
+    return (
+        tech.rated_current_a
+        * tech.power_site_fraction
+        / (2.0 * pitch_mm**2)
+    )
+
+
+def density_scaling_study(
+    densities: tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0),
+    pol_power_w: float = 1000.0,
+    topology: ConverterSpec = DSCH,
+) -> list[DensityPoint]:
+    """Sweep POL current density at fixed power.
+
+    For each density: is the reference architecture's die-attach able
+    to carry the current in the implied die area, and does the
+    vertical architecture still close (placement + ratings)?
+    """
+    points: list[DensityPoint] = []
+    for density in densities:
+        spec = SystemSpec(
+            pol_power_w=pol_power_w,
+            current_density_a_per_mm2=density,
+        )
+        a0_report = a0_die_area_requirement(spec)
+        a0_ok = a0_report.feasible_at_spec_die
+
+        arch = single_stage_a2()
+        vertical_ceiling = density_ceiling_a_per_mm2(arch)
+        note = ""
+        vertical_ok = density <= vertical_ceiling
+        loss_pct: float | None = None
+        if vertical_ok:
+            try:
+                breakdown = LossAnalyzer(spec).analyze(arch, topology)
+                loss_pct = 100.0 * breakdown.paper_loss_fraction
+            except InfeasibleError as exc:
+                vertical_ok = False
+                note = str(exc)
+        else:
+            note = (
+                f"beyond the {vertical_ceiling:.1f} A/mm2 Cu-pad ceiling"
+            )
+        points.append(
+            DensityPoint(
+                density_a_per_mm2=density,
+                die_area_mm2=spec.die_area_mm2,
+                a0_supported=a0_ok,
+                vertical_supported=vertical_ok,
+                vertical_loss_pct=loss_pct,
+                note=note,
+            )
+        )
+    return points
+
+
+def a0_density_limit() -> float:
+    """The reference architecture's density cap (≈0.83 A/mm²)."""
+    return a0_die_area_requirement().power_density_limit_a_per_mm2

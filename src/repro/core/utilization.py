@@ -1,0 +1,213 @@
+"""Vertical interconnect utilization and power-density limits.
+
+Reproduces the Section IV utilization discussion:
+
+* with vertical power delivery, 1 kA reaches a 500 mm² die while
+  using only ~1% of BGAs, ~2% of C4 bumps, ~10% of TSVs and <20% of
+  the advanced Cu-Cu pads (the 48 V feed is ~25 A);
+* with the reference architecture the die-level vertical interconnect
+  must carry the full 1 kA, which (with 60%/85% caps on BGA/C4 and
+  derated micro-bump ratings) forces a ~1200 mm² die and caps power
+  density at ~0.8 A/mm².
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import SystemSpec
+from ..errors import ConfigError
+from ..pdn.interconnect import (
+    ADVANCED_CU_PAD,
+    BGA,
+    C4_BUMP,
+    MICRO_BUMP,
+    TSV,
+    VerticalInterconnect,
+)
+from ..units import mm2
+from .architectures import ArchitectureSpec
+from .loss_analysis import BGA_UTILIZATION_CAP, C4_UTILIZATION_CAP
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    """Utilization of one vertical technology.
+
+    ``utilization`` counts both polarities against the technology's
+    power-allocatable sites, matching how the paper quotes it.
+    """
+
+    technology: str
+    rail_current_a: float
+    elements_per_polarity: int
+    sites_available: int
+    utilization: float
+    utilization_cap: float
+    rated_current_a: float
+
+    @property
+    def within_cap(self) -> bool:
+        """True if the allocation respects the platform cap."""
+        return self.utilization <= self.utilization_cap + 1e-12
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Per-technology utilization for one architecture."""
+
+    architecture: str
+    rows: tuple[UtilizationRow, ...]
+
+    def row(self, technology: str) -> UtilizationRow:
+        """Look up a row by technology name."""
+        for entry in self.rows:
+            if entry.technology.lower() == technology.lower():
+                return entry
+        raise ConfigError(f"no utilization row for {technology!r}")
+
+    @property
+    def all_within_caps(self) -> bool:
+        """True when every technology respects its cap."""
+        return all(row.within_cap for row in self.rows)
+
+
+def _row(
+    tech: VerticalInterconnect,
+    rail_current_a: float,
+    cap: float = 1.0,
+    die_area_m2: float | None = None,
+) -> UtilizationRow:
+    """Rating-minimal allocation of one technology for a rail current."""
+    if rail_current_a <= 0:
+        raise ConfigError("rail current must be positive")
+    needed = math.ceil(rail_current_a / tech.rated_current_a)
+    if die_area_m2 is not None:
+        available = tech.sites_on_area(die_area_m2)
+    else:
+        available = tech.power_sites
+    utilization = 2.0 * needed / max(available, 1)
+    return UtilizationRow(
+        technology=tech.name,
+        rail_current_a=rail_current_a,
+        elements_per_polarity=needed,
+        sites_available=available,
+        utilization=utilization,
+        utilization_cap=cap,
+        rated_current_a=tech.rated_current_a,
+    )
+
+
+def vertical_utilization(
+    arch: ArchitectureSpec,
+    spec: SystemSpec | None = None,
+    input_current_a: float | None = None,
+) -> UtilizationReport:
+    """Utilization of every vertical technology for an architecture.
+
+    Args:
+        arch: the architecture (decides which current each level sees).
+        spec: system spec.
+        input_current_a: actual 48 V feed current including conversion
+            losses; estimated as P/(0.8·48) when not provided.
+    """
+    spec = spec or SystemSpec()
+    if input_current_a is None:
+        input_current_a = spec.pol_power_w / (0.8 * spec.input_voltage_v)
+
+    if arch.is_vertical:
+        # 48 V feed crosses BGA/C4/TSV; the POL current only crosses
+        # the die attach.
+        rows = (
+            _row(BGA, input_current_a, BGA_UTILIZATION_CAP),
+            _row(C4_BUMP, input_current_a, C4_UTILIZATION_CAP),
+            _row(TSV, input_current_a),
+            _row(
+                arch.die_attach,
+                spec.pol_current_a,
+                die_area_m2=spec.die_area,
+            ),
+        )
+    else:
+        i_pol = spec.pol_current_a
+        rows = (
+            _row(BGA, i_pol, BGA_UTILIZATION_CAP),
+            _row(C4_BUMP, i_pol, C4_UTILIZATION_CAP),
+            _row(
+                arch.die_attach,
+                i_pol,
+                die_area_m2=spec.die_area,
+            ),
+        )
+    return UtilizationReport(architecture=arch.name, rows=rows)
+
+
+@dataclass(frozen=True)
+class A0DensityReport:
+    """Die-size requirement of the reference architecture.
+
+    Attributes:
+        required_die_area_mm2: smallest die whose vertical die-level
+            interconnect can sink the POL current.
+        power_density_limit_a_per_mm2: POL current over that area.
+        binding_technology: which technology forces the area.
+        bga_capacity_a / c4_capacity_a: platform feed capacities under
+            the paper's 60% / 85% caps.
+        feasible_at_spec_die: True if the nominal die already suffices.
+    """
+
+    required_die_area_mm2: float
+    power_density_limit_a_per_mm2: float
+    binding_technology: str
+    bga_capacity_a: float
+    c4_capacity_a: float
+    feasible_at_spec_die: bool
+
+
+def a0_die_area_requirement(
+    spec: SystemSpec | None = None,
+    die_attach: VerticalInterconnect = MICRO_BUMP,
+) -> A0DensityReport:
+    """How large must the A0 die be to sink the POL current?
+
+    The die-level technology (micro-bumps by default) scales with die
+    area: each polarity gets half the sites, each site carries at most
+    its derated rating.  Solving ``sites(area)/2 · rating = I`` for the
+    area reproduces the paper's ~1200 mm² / ~0.8 A/mm² numbers.
+    """
+    spec = spec or SystemSpec()
+    i_pol = spec.pol_current_a
+
+    per_site = die_attach.rated_current_a
+    sites_needed = 2.0 * math.ceil(i_pol / per_site)
+    required_area_m2 = (
+        sites_needed * die_attach.pitch_m**2 / die_attach.power_site_fraction
+    )
+    required_area_mm2 = required_area_m2 / mm2(1.0)
+
+    bga_capacity = BGA.max_current_a(BGA_UTILIZATION_CAP)
+    c4_capacity = C4_BUMP.max_current_a(C4_UTILIZATION_CAP)
+
+    binding = die_attach.name
+    if bga_capacity < i_pol or c4_capacity < i_pol:
+        binding = "BGA" if bga_capacity <= c4_capacity else "C4 bump"
+
+    return A0DensityReport(
+        required_die_area_mm2=required_area_mm2,
+        power_density_limit_a_per_mm2=i_pol / required_area_mm2,
+        binding_technology=binding,
+        bga_capacity_a=bga_capacity,
+        c4_capacity_a=c4_capacity,
+        feasible_at_spec_die=required_area_mm2 <= spec.die_area_mm2 + 1e-9,
+    )
+
+
+def cu_pad_utilization_at_pol(spec: SystemSpec | None = None) -> float:
+    """Fraction of advanced Cu-Cu pads needed to sink the POL current
+    (the paper's "<20%" claim)."""
+    spec = spec or SystemSpec()
+    report_row = _row(
+        ADVANCED_CU_PAD, spec.pol_current_a, die_area_m2=spec.die_area
+    )
+    return report_row.utilization

@@ -1,0 +1,157 @@
+"""Monte-Carlo variation analysis.
+
+The calibrated models carry tolerances: converter efficiency spreads
+across units, RDL plating thickness varies a few percent, and derated
+interconnect ratings are conservative means.  This module perturbs
+the loss model's inputs and reports the distribution of total loss,
+answering "with what margin does the design meet its efficiency
+target?" — the kind of robustness question the paper's companion
+methodology [11] centers on.
+
+Sampling is deterministic given the seed (numpy Generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemSpec
+from ..converters.catalog import ConverterSpec
+from ..converters.loss_model import QuadraticLossModel
+from ..core.architectures import ArchitectureSpec
+from ..core.loss_analysis import LossAnalyzer, LossModelParameters
+from ..errors import ConfigError, InfeasibleError
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Relative 1-sigma tolerances applied per sample.
+
+    Attributes:
+        converter_loss_sigma: on each converter-loss coefficient.
+        rdl_sigma: on the die-grid / intermediate-rail resistance
+            (plating thickness variation).
+        seed: RNG seed (determinism contract).
+    """
+
+    converter_loss_sigma: float = 0.05
+    rdl_sigma: float = 0.08
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        for name in ("converter_loss_sigma", "rdl_sigma"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 0.5:
+                raise ConfigError(f"{name} must be in [0, 0.5)")
+
+
+@dataclass(frozen=True)
+class VariationResult:
+    """Monte-Carlo outcome for one design point.
+
+    Attributes:
+        samples_w: total-loss samples (watts).
+        nominal_loss_w: the unperturbed total loss.
+        infeasible_count: samples where the perturbed converter could
+            no longer carry its share.
+    """
+
+    samples_w: np.ndarray
+    nominal_loss_w: float
+    infeasible_count: int
+
+    @property
+    def mean_loss_w(self) -> float:
+        """Mean of the feasible samples."""
+        return float(self.samples_w.mean())
+
+    @property
+    def std_loss_w(self) -> float:
+        """Standard deviation of the feasible samples."""
+        return float(self.samples_w.std())
+
+    def percentile_w(self, q: float) -> float:
+        """Loss percentile (e.g. 95 for the pessimistic corner)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError("percentile must be in [0, 100]")
+        return float(np.percentile(self.samples_w, q))
+
+    def yield_at_efficiency(
+        self, min_efficiency: float, pol_power_w: float
+    ) -> float:
+        """Fraction of samples meeting an efficiency floor."""
+        if not 0.0 < min_efficiency < 1.0:
+            raise ConfigError("efficiency floor must be in (0, 1)")
+        max_loss = pol_power_w * (1.0 / min_efficiency - 1.0)
+        total = len(self.samples_w) + self.infeasible_count
+        good = int(np.count_nonzero(self.samples_w <= max_loss))
+        return good / total
+
+
+def _perturbed_spec(
+    topology: ConverterSpec, factors: np.ndarray
+) -> ConverterSpec:
+    """A copy of the converter spec with scaled loss coefficients."""
+    base = topology.loss_model
+    model = QuadraticLossModel(
+        v_out_v=base.v_out_v,
+        a_w=base.a_w * factors[0],
+        b_v=base.b_v * factors[1],
+        c_ohm=base.c_ohm * factors[2],
+        i_max_a=base.i_max_a,
+    )
+    from dataclasses import replace
+
+    return replace(topology, loss_model=model)
+
+
+def monte_carlo_loss(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    spec: SystemSpec | None = None,
+    variation: VariationSpec | None = None,
+    samples: int = 200,
+) -> VariationResult:
+    """Sample the total loss of a design point under tolerances."""
+    if samples < 2:
+        raise ConfigError("need at least two samples")
+    spec = spec or SystemSpec()
+    variation = variation or VariationSpec()
+    rng = np.random.default_rng(variation.seed)
+
+    nominal = LossAnalyzer(spec=spec).analyze(arch, topology)
+
+    results: list[float] = []
+    infeasible = 0
+    for _ in range(samples):
+        loss_factors = np.exp(
+            rng.normal(0.0, variation.converter_loss_sigma, size=3)
+        )
+        rdl_factor = float(
+            np.exp(rng.normal(0.0, variation.rdl_sigma))
+        )
+        perturbed_topology = _perturbed_spec(topology, loss_factors)
+        params = LossModelParameters(
+            die_grid_resistance_ohm=6.0e-6 * rdl_factor,
+            intermediate_rail_squares=0.97 * rdl_factor,
+        )
+        analyzer = LossAnalyzer(spec=spec, params=params)
+        try:
+            breakdown = analyzer.analyze(arch, perturbed_topology)
+        except InfeasibleError:
+            infeasible += 1
+            continue
+        results.append(breakdown.total_loss_w)
+
+    if not results:
+        raise InfeasibleError(
+            "every Monte-Carlo sample was infeasible; the design has no "
+            "margin against the modeled tolerances"
+        )
+    return VariationResult(
+        samples_w=np.asarray(results),
+        nominal_loss_w=nominal.total_loss_w,
+        infeasible_count=infeasible,
+    )

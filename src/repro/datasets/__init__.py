@@ -1,0 +1,35 @@
+"""Reconstructed datasets behind the paper's motivation figures."""
+
+from .hpc_demand import (
+    CHIPS,
+    SERVERS,
+    DemandPoint,
+    chips,
+    servers,
+    demand_envelope,
+)
+from .scaling_trends import (
+    PACKAGING_TREND,
+    POWER_TREND,
+    PackagingFeaturePoint,
+    PowerTrendPoint,
+    current_demand_series,
+    ppdn_resistance_series,
+    trend_summary,
+)
+
+__all__ = [
+    "DemandPoint",
+    "CHIPS",
+    "SERVERS",
+    "chips",
+    "servers",
+    "demand_envelope",
+    "PowerTrendPoint",
+    "PackagingFeaturePoint",
+    "POWER_TREND",
+    "PACKAGING_TREND",
+    "current_demand_series",
+    "ppdn_resistance_series",
+    "trend_summary",
+]

@@ -1,0 +1,163 @@
+"""HPC power / current-density demand dataset (Fig. 1 reconstruction).
+
+The paper's Fig. 1 scatters state-of-the-art HPC chips and server
+systems by power and current density, shading each point by power
+delivery efficiency, to show chips approaching 1 kW and servers
+approaching 20 kW.  The underlying data is not published; this module
+reconstructs a representative dataset from public specification points
+(TDPs from vendor datasheets, die sizes from teardowns/press
+material, delivery efficiencies representative of the deployment
+class).  Each entry records its provenance in ``source``.
+
+The dataset is for reproducing the *envelope and trend* of Fig. 1,
+not vendor benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class DemandPoint:
+    """One chip or server system data point.
+
+    Attributes:
+        name: product name.
+        year: introduction year.
+        kind: ``"chip"`` or ``"server"``.
+        power_w: rated (TDP-class) power.
+        current_density_a_per_mm2: POL current density estimate
+            (power / POL voltage / active area) — chips only carry a
+            meaningful value; server entries use the hosted chip's.
+        delivery_efficiency: end-to-end power delivery efficiency
+            estimate for the deployment class.
+        source: provenance note.
+    """
+
+    name: str
+    year: int
+    kind: str
+    power_w: float
+    current_density_a_per_mm2: float
+    delivery_efficiency: float
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("chip", "server"):
+            raise DatasetError(f"{self.name}: kind must be chip or server")
+        if self.power_w <= 0:
+            raise DatasetError(f"{self.name}: power must be positive")
+        if self.current_density_a_per_mm2 < 0:
+            raise DatasetError(f"{self.name}: density must be non-negative")
+        if not 0.0 < self.delivery_efficiency < 1.0:
+            raise DatasetError(f"{self.name}: efficiency out of range")
+
+
+#: Individual accelerator / CPU chips (left side of Fig. 1).
+CHIPS: tuple[DemandPoint, ...] = (
+    DemandPoint(
+        "Intel Xeon 8380", 2021, "chip", 270.0, 0.45, 0.84,
+        "vendor TDP; ~600 mm2 die at ~1 V",
+    ),
+    DemandPoint(
+        "AMD EPYC 7763", 2021, "chip", 280.0, 0.42, 0.84,
+        "vendor TDP; chiplet aggregate area",
+    ),
+    DemandPoint(
+        "NVIDIA V100", 2017, "chip", 300.0, 0.37, 0.85,
+        "vendor TDP; 815 mm2 die",
+    ),
+    DemandPoint(
+        "NVIDIA A100", 2020, "chip", 400.0, 0.49, 0.83,
+        "vendor TDP; 826 mm2 die",
+    ),
+    DemandPoint(
+        "NVIDIA H100 (SXM)", 2022, "chip", 700.0, 0.87, 0.80,
+        "vendor TDP; 814 mm2 die",
+    ),
+    DemandPoint(
+        "Google TPU v4", 2021, "chip", 192.0, 0.40, 0.85,
+        "Jouppi et al. CACM 2020/ISCA 2023 system papers",
+    ),
+    DemandPoint(
+        "Tesla Dojo D1", 2021, "chip", 400.0, 0.62, 0.78,
+        "SemiAnalysis Dojo packaging analysis [1]",
+    ),
+    DemandPoint(
+        "Graphcore GC200", 2020, "chip", 300.0, 0.37, 0.84,
+        "vendor material; 823 mm2 die",
+    ),
+    DemandPoint(
+        "AMD MI250X", 2021, "chip", 560.0, 0.76, 0.81,
+        "vendor TDP; dual-GCD aggregate",
+    ),
+    DemandPoint(
+        "Cerebras WSE-2", 2021, "chip", 15000.0, 0.36, 0.76,
+        "wafer-scale engine, 46225 mm2; vendor material",
+    ),
+)
+
+#: Server-level systems hosting the chips (right side of Fig. 1).
+SERVERS: tuple[DemandPoint, ...] = (
+    DemandPoint(
+        "2S Xeon server", 2021, "server", 1200.0, 0.45, 0.82,
+        "dual-socket platform budget",
+    ),
+    DemandPoint(
+        "DGX-1 (8x V100)", 2017, "server", 3500.0, 0.37, 0.82,
+        "vendor system spec",
+    ),
+    DemandPoint(
+        "DGX A100", 2020, "server", 6500.0, 0.49, 0.80,
+        "vendor system spec",
+    ),
+    DemandPoint(
+        "DGX H100", 2022, "server", 10200.0, 0.87, 0.78,
+        "vendor system spec",
+    ),
+    DemandPoint(
+        "TPU v4 board (4x)", 2021, "server", 1300.0, 0.40, 0.83,
+        "4-chip tray estimate from system papers",
+    ),
+    DemandPoint(
+        "Tesla Dojo training tile", 2021, "server", 15000.0, 0.62, 0.76,
+        "25-die tile, SemiAnalysis [1]",
+    ),
+    DemandPoint(
+        "Cerebras CS-2", 2021, "server", 20000.0, 0.36, 0.75,
+        "vendor system spec (aha: ~20 kW per system)",
+    ),
+)
+
+
+def chips() -> list[DemandPoint]:
+    """Chip-level points, year-ordered."""
+    return sorted(CHIPS, key=lambda p: (p.year, p.name))
+
+
+def servers() -> list[DemandPoint]:
+    """Server-level points, year-ordered."""
+    return sorted(SERVERS, key=lambda p: (p.year, p.name))
+
+
+def demand_envelope() -> dict[str, float]:
+    """The Fig. 1 headline envelope: maximum chip and server power,
+    maximum current density, and the efficiency range."""
+    non_wafer_chips = [p for p in CHIPS if p.power_w < 5000]
+    all_points = CHIPS + SERVERS
+    return {
+        "max_chip_power_w": max(p.power_w for p in non_wafer_chips),
+        "max_server_power_w": max(p.power_w for p in SERVERS),
+        "max_current_density_a_per_mm2": max(
+            p.current_density_a_per_mm2 for p in all_points
+        ),
+        "min_delivery_efficiency": min(
+            p.delivery_efficiency for p in all_points
+        ),
+        "max_delivery_efficiency": max(
+            p.delivery_efficiency for p in all_points
+        ),
+    }

@@ -1,0 +1,125 @@
+"""Current-demand vs packaging-feature scaling trends (Fig. 2).
+
+Fig. 2 contrasts two historical curves:
+
+* **die current demand**, estimated (per the paper) as Intel-reported
+  power density times a typical 200 mm² die at the era's core voltage —
+  it grows by orders of magnitude;
+* **packaging feature size** (which sets PPDN resistance), taken from
+  Iyer's 3-D integration survey [12] — it shrinks by only ~4x over the
+  same decades (wirebond pitch → C4 pitch → micro-bump pitch).
+
+The punchline: I²·R grows quadratically with the first curve while R
+only improves linearly with the second, so packaging alone cannot
+absorb the loss — the paper's motivation for vertical power delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DatasetError
+
+#: Typical die area the paper uses to convert power density to current.
+REFERENCE_DIE_AREA_MM2 = 200.0
+
+
+@dataclass(frozen=True)
+class PowerTrendPoint:
+    """One era of processor power density (Intel-reported class data)."""
+
+    year: int
+    node_nm: float
+    power_density_w_per_mm2: float
+    core_voltage_v: float
+    example: str
+
+    def __post_init__(self) -> None:
+        if self.power_density_w_per_mm2 <= 0:
+            raise DatasetError("power density must be positive")
+        if self.core_voltage_v <= 0:
+            raise DatasetError("core voltage must be positive")
+
+    @property
+    def die_current_a(self) -> float:
+        """Current for the reference 200 mm² die at this era."""
+        return (
+            self.power_density_w_per_mm2
+            * REFERENCE_DIE_AREA_MM2
+            / self.core_voltage_v
+        )
+
+
+@dataclass(frozen=True)
+class PackagingFeaturePoint:
+    """One era of packaging interconnect feature size (Iyer [12])."""
+
+    year: int
+    technology: str
+    feature_um: float
+
+    def __post_init__(self) -> None:
+        if self.feature_um <= 0:
+            raise DatasetError("feature size must be positive")
+
+
+#: Processor power-density eras (public Intel-class data points).
+POWER_TREND: tuple[PowerTrendPoint, ...] = (
+    PowerTrendPoint(1974, 6000.0, 0.005, 5.0, "8080 class"),
+    PowerTrendPoint(1985, 1500.0, 0.02, 5.0, "386 class"),
+    PowerTrendPoint(1995, 350.0, 0.10, 3.3, "Pentium class"),
+    PowerTrendPoint(2000, 180.0, 0.25, 1.7, "Pentium 4 class"),
+    PowerTrendPoint(2006, 65.0, 0.45, 1.3, "Core 2 class"),
+    PowerTrendPoint(2012, 22.0, 0.55, 1.0, "Ivy Bridge class"),
+    PowerTrendPoint(2018, 14.0, 0.70, 1.0, "Skylake-SP class"),
+    PowerTrendPoint(2023, 7.0, 1.00, 0.9, "AI accelerator class"),
+)
+
+#: Packaging feature eras (Iyer, MRS Bulletin 2015 — pitch-setting
+#: interconnect feature over time; only ~4x total reduction).
+PACKAGING_TREND: tuple[PackagingFeaturePoint, ...] = (
+    PackagingFeaturePoint(1974, "wirebond", 400.0),
+    PackagingFeaturePoint(1985, "wirebond (fine)", 300.0),
+    PackagingFeaturePoint(1995, "C4 solder bump", 250.0),
+    PackagingFeaturePoint(2006, "C4 (fine pitch)", 180.0),
+    PackagingFeaturePoint(2012, "Cu pillar", 130.0),
+    PackagingFeaturePoint(2023, "micro-bump", 100.0),
+)
+
+
+def current_demand_series() -> list[tuple[int, float]]:
+    """(year, die current in A) series for the reference die."""
+    return [(p.year, p.die_current_a) for p in POWER_TREND]
+
+
+def feature_size_series() -> list[tuple[int, float]]:
+    """(year, packaging feature in µm) series."""
+    return [(p.year, p.feature_um) for p in PACKAGING_TREND]
+
+
+def ppdn_resistance_series() -> list[tuple[int, float]]:
+    """(year, relative PPDN resistance) series.
+
+    PPDN resistance scales inversely with interconnect cross-section,
+    i.e. with the feature size squared for a fixed array area — but
+    pitch shrinks along with the feature, keeping the metal fraction
+    roughly constant; the net effect tracks 1/feature (per Fig. 2's
+    flat-ish resistance curve).  Normalized to the first era.
+    """
+    base = PACKAGING_TREND[0].feature_um
+    return [
+        (p.year, base / p.feature_um) for p in PACKAGING_TREND
+    ]
+
+
+def trend_summary() -> dict[str, float]:
+    """The Fig. 2 punchline numbers."""
+    currents = [p.die_current_a for p in POWER_TREND]
+    features = [p.feature_um for p in PACKAGING_TREND]
+    return {
+        "current_growth_x": currents[-1] / currents[0],
+        "feature_reduction_x": features[0] / features[-1],
+        "first_year": float(POWER_TREND[0].year),
+        "last_year": float(POWER_TREND[-1].year),
+        "final_die_current_a": currents[-1],
+    }

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the vertical power delivery library.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError`` and friends pass through).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-raised errors."""
+
+
+class ConfigError(ReproError):
+    """A system/architecture configuration is inconsistent or out of range."""
+
+
+class InfeasibleError(ReproError):
+    """A requested design point violates a hard constraint.
+
+    Examples: a converter asked to supply more than its maximum load
+    current (the paper excludes 3LHD from Fig. 7 for exactly this
+    reason), or a placement that does not fit the available area.
+    """
+
+
+class SolverError(ReproError):
+    """The network solver could not produce a solution (singular or
+    disconnected system, non-finite values)."""
+
+
+class CalibrationError(ReproError):
+    """A loss-model fit could not satisfy the published data points."""
+
+
+class DatasetError(ReproError):
+    """A dataset lookup failed (unknown entry, malformed record)."""

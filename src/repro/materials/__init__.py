@@ -1,0 +1,31 @@
+"""Material models: interconnect conductors and power semiconductors."""
+
+from .conductors import (
+    ALUMINUM,
+    COPPER,
+    SOLDER_SAC305,
+    Conductor,
+    resistivity_at,
+)
+from .semiconductors import (
+    GAN_30V,
+    GAN_60V,
+    GAN_100V,
+    GAN_650V,
+    SI_POWER_MOSFET,
+    TransistorTechnology,
+)
+
+__all__ = [
+    "Conductor",
+    "COPPER",
+    "ALUMINUM",
+    "SOLDER_SAC305",
+    "resistivity_at",
+    "TransistorTechnology",
+    "SI_POWER_MOSFET",
+    "GAN_30V",
+    "GAN_60V",
+    "GAN_100V",
+    "GAN_650V",
+]

@@ -1,0 +1,91 @@
+"""Conductor materials used across the packaging stack.
+
+Resistivities are room-temperature bulk values; packaging-grade films
+and solder joints are somewhat worse, which is captured by each
+interconnect technology's geometry factor rather than by fudging the
+material constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Reference temperature for the tabulated resistivities (Celsius).
+REFERENCE_TEMPERATURE_C = 25.0
+
+
+@dataclass(frozen=True)
+class Conductor:
+    """An electrical conductor material.
+
+    Attributes:
+        name: human-readable material name.
+        resistivity_ohm_m: bulk resistivity at 25 °C.
+        temp_coefficient_per_c: linear temperature coefficient of
+            resistivity (1/°C).
+    """
+
+    name: str
+    resistivity_ohm_m: float
+    temp_coefficient_per_c: float
+
+    def __post_init__(self) -> None:
+        if self.resistivity_ohm_m <= 0:
+            raise ConfigError(f"{self.name}: resistivity must be positive")
+
+    def resistivity(self, temperature_c: float = REFERENCE_TEMPERATURE_C) -> float:
+        """Resistivity at the given temperature (linear model)."""
+        delta = temperature_c - REFERENCE_TEMPERATURE_C
+        factor = 1.0 + self.temp_coefficient_per_c * delta
+        if factor <= 0:
+            raise ConfigError(
+                f"{self.name}: temperature {temperature_c} C out of the "
+                "linear-model range"
+            )
+        return self.resistivity_ohm_m * factor
+
+    def wire_resistance(
+        self,
+        length_m: float,
+        cross_section_m2: float,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+    ) -> float:
+        """Resistance of a uniform conductor: R = rho * l / A."""
+        if length_m < 0:
+            raise ConfigError("length must be non-negative")
+        if cross_section_m2 <= 0:
+            raise ConfigError("cross-section must be positive")
+        return self.resistivity(temperature_c) * length_m / cross_section_m2
+
+    def sheet_resistance(
+        self,
+        thickness_m: float,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+    ) -> float:
+        """Sheet resistance of a film: R_sq = rho / t (ohm per square)."""
+        if thickness_m <= 0:
+            raise ConfigError("thickness must be positive")
+        return self.resistivity(temperature_c) / thickness_m
+
+
+#: Electrodeposited copper (planes, RDL, TSV fill, hybrid-bond pads).
+COPPER = Conductor(
+    name="Cu", resistivity_ohm_m=1.68e-8, temp_coefficient_per_c=3.9e-3
+)
+
+#: Aluminum (legacy on-chip metal; kept for BEOL comparisons).
+ALUMINUM = Conductor(
+    name="Al", resistivity_ohm_m=2.82e-8, temp_coefficient_per_c=3.9e-3
+)
+
+#: SAC305 lead-free solder (BGA balls, C4 bumps, micro-bumps).
+SOLDER_SAC305 = Conductor(
+    name="SAC305", resistivity_ohm_m=1.32e-7, temp_coefficient_per_c=2.0e-3
+)
+
+
+def resistivity_at(material: Conductor, temperature_c: float) -> float:
+    """Functional wrapper over :meth:`Conductor.resistivity`."""
+    return material.resistivity(temperature_c)

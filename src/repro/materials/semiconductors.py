@@ -1,0 +1,154 @@
+"""Power transistor technology models (Si vs GaN).
+
+The paper motivates GaN power devices for on-/in-interposer conversion
+because of their superior R_on x Q_g figure of merit: for a given
+on-resistance a GaN switch has far less gate/output charge, so it can
+switch at the high frequencies integrated passives require without the
+switching loss exploding.
+
+The numbers below are representative of published 100 V-class devices
+(e.g. EPC eGaN FETs vs state-of-the-art Si trench MOSFETs) and are only
+used for the bottom-up ("physics") converter models and the Si-vs-GaN
+ablation; the paper-calibrated loss curves do not depend on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TransistorTechnology:
+    """A power-switch technology operating point.
+
+    Attributes:
+        name: technology label.
+        material: 'Si' or 'GaN'.
+        voltage_rating_v: maximum drain-source voltage.
+        r_on_ohm: on-resistance of the reference device.
+        gate_charge_c: total gate charge Q_g of the reference device.
+        output_charge_c: output charge Q_oss of the reference device.
+        gate_drive_v: gate drive voltage used for switching-loss
+            estimates.
+        specific_r_on_ohm_mm2: R_on x area product; device area for a
+            target R_on is ``specific_r_on_ohm_mm2 / r_on``.
+    """
+
+    name: str
+    material: str
+    voltage_rating_v: float
+    r_on_ohm: float
+    gate_charge_c: float
+    output_charge_c: float
+    gate_drive_v: float
+    specific_r_on_ohm_mm2: float
+
+    def __post_init__(self) -> None:
+        if self.material not in ("Si", "GaN"):
+            raise ConfigError("material must be 'Si' or 'GaN'")
+        for field_name in (
+            "voltage_rating_v",
+            "r_on_ohm",
+            "gate_charge_c",
+            "output_charge_c",
+            "gate_drive_v",
+            "specific_r_on_ohm_mm2",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be positive")
+
+    @property
+    def figure_of_merit(self) -> float:
+        """R_on x Q_g figure of merit (lower is better), in ohm-coulomb."""
+        return self.r_on_ohm * self.gate_charge_c
+
+    def scaled(self, r_on_target_ohm: float) -> "TransistorTechnology":
+        """Return a device scaled (by area) to a target on-resistance.
+
+        Charges scale inversely with R_on (wider device, more charge),
+        keeping the figure of merit constant, which is the standard
+        first-order device-scaling rule.
+        """
+        if r_on_target_ohm <= 0:
+            raise ConfigError("target R_on must be positive")
+        ratio = self.r_on_ohm / r_on_target_ohm
+        return TransistorTechnology(
+            name=f"{self.name} (scaled)",
+            material=self.material,
+            voltage_rating_v=self.voltage_rating_v,
+            r_on_ohm=r_on_target_ohm,
+            gate_charge_c=self.gate_charge_c * ratio,
+            output_charge_c=self.output_charge_c * ratio,
+            gate_drive_v=self.gate_drive_v,
+            specific_r_on_ohm_mm2=self.specific_r_on_ohm_mm2,
+        )
+
+    def device_area_mm2(self, r_on_target_ohm: float) -> float:
+        """Die area needed to hit a target on-resistance."""
+        if r_on_target_ohm <= 0:
+            raise ConfigError("target R_on must be positive")
+        return self.specific_r_on_ohm_mm2 / r_on_target_ohm
+
+
+#: 100 V-class silicon trench power MOSFET (representative).
+SI_POWER_MOSFET = TransistorTechnology(
+    name="Si trench MOSFET 100V",
+    material="Si",
+    voltage_rating_v=100.0,
+    r_on_ohm=4.0e-3,
+    gate_charge_c=40e-9,
+    output_charge_c=60e-9,
+    gate_drive_v=10.0,
+    specific_r_on_ohm_mm2=60e-3,
+)
+
+#: 100 V-class GaN HEMT (representative of EPC-style eGaN devices).
+GAN_100V = TransistorTechnology(
+    name="GaN HEMT 100V",
+    material="GaN",
+    voltage_rating_v=100.0,
+    r_on_ohm=4.0e-3,
+    gate_charge_c=5e-9,
+    output_charge_c=15e-9,
+    gate_drive_v=5.0,
+    specific_r_on_ohm_mm2=25e-3,
+)
+
+#: 30 V-class GaN HEMT (post-division low-stress switches, e.g. the
+#: regulation stage behind a /3 or /10 SC front).
+GAN_30V = TransistorTechnology(
+    name="GaN HEMT 30V",
+    material="GaN",
+    voltage_rating_v=30.0,
+    r_on_ohm=2.0e-3,
+    gate_charge_c=3e-9,
+    output_charge_c=6e-9,
+    gate_drive_v=5.0,
+    specific_r_on_ohm_mm2=12e-3,
+)
+
+#: 60 V-class GaN HEMT (half-bus stress in 48 V hybrid stages).
+GAN_60V = TransistorTechnology(
+    name="GaN HEMT 60V",
+    material="GaN",
+    voltage_rating_v=60.0,
+    r_on_ohm=2.0e-3,
+    gate_charge_c=4e-9,
+    output_charge_c=10e-9,
+    gate_drive_v=5.0,
+    specific_r_on_ohm_mm2=18e-3,
+)
+
+#: 650 V-class GaN HEMT (first-stage / high-bus-voltage duty).
+GAN_650V = TransistorTechnology(
+    name="GaN HEMT 650V",
+    material="GaN",
+    voltage_rating_v=650.0,
+    r_on_ohm=50e-3,
+    gate_charge_c=6e-9,
+    output_charge_c=30e-9,
+    gate_drive_v=6.0,
+    specific_r_on_ohm_mm2=180e-3,
+)

@@ -1,0 +1,86 @@
+"""Packaging power distribution network (PPDN) substrate.
+
+This package models the physical path from PCB to point-of-load:
+
+* :mod:`~repro.pdn.interconnect` — vertical interconnect technologies
+  (BGA, C4, TSV, micro-bump, Cu-Cu pad) per Table I of the paper,
+* :mod:`~repro.pdn.stackup` — the packaging hierarchy and rail pairs,
+* :mod:`~repro.pdn.planes` — horizontal plane / RDL resistance models,
+* :mod:`~repro.pdn.network` / :mod:`~repro.pdn.mna` — generic resistive
+  netlists and the sparse modified-nodal-analysis DC solver,
+* :mod:`~repro.pdn.grid` — 2-D lateral grids for die/interposer metal,
+* :mod:`~repro.pdn.powermap` — die current-demand maps,
+* :mod:`~repro.pdn.transient` — linear RLC load-step (droop) analysis.
+"""
+
+from .interconnect import (
+    ADVANCED_CU_PAD,
+    BGA,
+    C4_BUMP,
+    MICRO_BUMP,
+    TABLE_I,
+    TSV,
+    InterconnectArray,
+    VerticalInterconnect,
+    table_i_rows,
+)
+from .network import CurrentSource, Netlist, Resistor, VoltageSource
+from .mna import DCSolution, solve_dc
+from .planes import (
+    annular_spreading_resistance,
+    disk_edge_feed_resistance,
+    plane_resistance,
+    sheet_resistance,
+)
+from .powermap import PowerMap
+from .grid import GridPDN, GridSolution
+from .stackup import PackagingLevel, PackagingStack, default_stack
+from .impedance import (
+    ImpedanceProfile,
+    pdn_impedance,
+    size_die_decap_for_target,
+    target_impedance_ohm,
+)
+from .transient import PDNStage, PDNTransient
+from .thermal import StackTemperatures, ThermalStack
+from .ac import ACNetlist, ACSolution, impedance_at, solve_ac
+
+__all__ = [
+    "VerticalInterconnect",
+    "InterconnectArray",
+    "BGA",
+    "C4_BUMP",
+    "TSV",
+    "MICRO_BUMP",
+    "ADVANCED_CU_PAD",
+    "TABLE_I",
+    "table_i_rows",
+    "Netlist",
+    "Resistor",
+    "CurrentSource",
+    "VoltageSource",
+    "solve_dc",
+    "DCSolution",
+    "sheet_resistance",
+    "plane_resistance",
+    "annular_spreading_resistance",
+    "disk_edge_feed_resistance",
+    "PowerMap",
+    "GridPDN",
+    "GridSolution",
+    "PackagingLevel",
+    "PackagingStack",
+    "default_stack",
+    "ImpedanceProfile",
+    "pdn_impedance",
+    "target_impedance_ohm",
+    "size_die_decap_for_target",
+    "PDNStage",
+    "PDNTransient",
+    "ThermalStack",
+    "StackTemperatures",
+    "ACNetlist",
+    "ACSolution",
+    "solve_ac",
+    "impedance_at",
+]

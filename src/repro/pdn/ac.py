@@ -1,0 +1,241 @@
+"""Complex-valued (AC) modified nodal analysis.
+
+Extends the DC netlist with inductors and capacitors and solves the
+phasor-domain system at arbitrary frequencies.  The flagship use is
+:func:`impedance_at`: drive 1 A of AC current into a node and read
+the node voltage — the impedance the die sees — for *arbitrary*
+decap networks, not just the ladder the analytic model in
+:mod:`repro.pdn.impedance` covers.  The two are cross-validated in
+``tests/test_ac.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import ConfigError, SolverError
+from .network import Netlist, NodeId
+
+
+@dataclass(frozen=True)
+class InductorElement:
+    """An ideal inductor between two nodes."""
+
+    name: str
+    node_a: NodeId
+    node_b: NodeId
+    inductance_h: float
+
+    def __post_init__(self) -> None:
+        if self.inductance_h <= 0:
+            raise ConfigError(f"inductor {self.name}: L must be positive")
+        if self.node_a == self.node_b:
+            raise ConfigError(f"inductor {self.name}: shorted terminals")
+
+
+@dataclass(frozen=True)
+class CapacitorElement:
+    """An ideal capacitor between two nodes."""
+
+    name: str
+    node_a: NodeId
+    node_b: NodeId
+    capacitance_f: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0:
+            raise ConfigError(f"capacitor {self.name}: C must be positive")
+        if self.node_a == self.node_b:
+            raise ConfigError(f"capacitor {self.name}: shorted terminals")
+
+
+class ACNetlist(Netlist):
+    """A netlist with reactive elements for phasor analysis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.inductors: list[InductorElement] = []
+        self.capacitors: list[CapacitorElement] = []
+
+    def add_inductor(
+        self, name: str, node_a: NodeId, node_b: NodeId, inductance_h: float
+    ) -> InductorElement:
+        """Add an ideal inductor and return it."""
+        self._register(name)
+        element = InductorElement(name, node_a, node_b, inductance_h)
+        self.inductors.append(element)
+        return element
+
+    def add_capacitor(
+        self, name: str, node_a: NodeId, node_b: NodeId, capacitance_f: float
+    ) -> CapacitorElement:
+        """Add an ideal capacitor and return it."""
+        self._register(name)
+        element = CapacitorElement(name, node_a, node_b, capacitance_f)
+        self.capacitors.append(element)
+        return element
+
+    def nodes(self) -> list[NodeId]:
+        """All distinct nodes including reactive terminals."""
+        seen = {node: None for node in super().nodes()}
+        for l in self.inductors:
+            seen.setdefault(l.node_a)
+            seen.setdefault(l.node_b)
+        for c in self.capacitors:
+            seen.setdefault(c.node_a)
+            seen.setdefault(c.node_b)
+        seen.pop(self.GROUND, None)
+        return list(seen.keys())
+
+    def validate(self) -> None:
+        """AC netlists may legitimately consist of R/L/C only."""
+        if (
+            not self.resistors
+            and not self.voltage_sources
+            and not self.inductors
+            and not self.capacitors
+        ):
+            raise ConfigError("netlist has no elements")
+
+    def extend_ac(self, other: "ACNetlist") -> None:
+        """Copy every element of ``other`` into this netlist."""
+        self.extend(other)
+        for l in other.inductors:
+            self.add_inductor(l.name, l.node_a, l.node_b, l.inductance_h)
+        for c in other.capacitors:
+            self.add_capacitor(c.name, c.node_a, c.node_b, c.capacitance_f)
+
+
+@dataclass(frozen=True)
+class ACSolution:
+    """Phasor solution at one frequency."""
+
+    frequency_hz: float
+    node_voltages: dict[NodeId, complex]
+
+    def voltage(self, node: NodeId) -> complex:
+        """Complex node voltage (ground returns 0)."""
+        if node == "0":
+            return 0.0 + 0.0j
+        return self.node_voltages[node]
+
+    def magnitude(self, node: NodeId) -> float:
+        """|V| at a node."""
+        return abs(self.voltage(node))
+
+
+def solve_ac(netlist: ACNetlist, frequency_hz: float) -> ACSolution:
+    """Solve the phasor-domain operating point at one frequency.
+
+    Current sources are interpreted as AC magnitudes (phase 0);
+    voltage sources likewise.  Inductors/capacitors stamp their
+    admittances 1/(jωL) and jωC.
+    """
+    if frequency_hz <= 0:
+        raise ConfigError("frequency must be positive")
+    netlist.validate()
+    nodes = netlist.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    m = len(netlist.voltage_sources)
+    size = n + m
+    omega = 2.0 * math.pi * frequency_hz
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[complex] = []
+    rhs = np.zeros(size, dtype=complex)
+
+    def stamp_admittance(a: NodeId, b: NodeId, y: complex) -> None:
+        if a != netlist.GROUND:
+            rows.append(index[a]); cols.append(index[a]); vals.append(y)
+        if b != netlist.GROUND:
+            rows.append(index[b]); cols.append(index[b]); vals.append(y)
+        if a != netlist.GROUND and b != netlist.GROUND:
+            rows.append(index[a]); cols.append(index[b]); vals.append(-y)
+            rows.append(index[b]); cols.append(index[a]); vals.append(-y)
+
+    for r in netlist.resistors:
+        stamp_admittance(r.node_a, r.node_b, 1.0 / r.resistance_ohm)
+    for l in netlist.inductors:
+        stamp_admittance(
+            l.node_a, l.node_b, 1.0 / (1j * omega * l.inductance_h)
+        )
+    for c in netlist.capacitors:
+        stamp_admittance(c.node_a, c.node_b, 1j * omega * c.capacitance_f)
+
+    for s in netlist.current_sources:
+        if s.node_from != netlist.GROUND:
+            rhs[index[s.node_from]] -= s.current_a
+        if s.node_to != netlist.GROUND:
+            rhs[index[s.node_to]] += s.current_a
+
+    for k, v in enumerate(netlist.voltage_sources):
+        row = n + k
+        if v.node_plus != netlist.GROUND:
+            rows.append(index[v.node_plus]); cols.append(row); vals.append(1.0)
+            rows.append(row); cols.append(index[v.node_plus]); vals.append(1.0)
+        if v.node_minus != netlist.GROUND:
+            rows.append(index[v.node_minus]); cols.append(row); vals.append(-1.0)
+            rows.append(row); cols.append(index[v.node_minus]); vals.append(-1.0)
+        rhs[row] = v.voltage_v
+
+    matrix = sp.coo_matrix(
+        (np.asarray(vals, dtype=complex), (rows, cols)),
+        shape=(size, size),
+    ).tocsc()
+    import warnings
+
+    with np.errstate(all="ignore"), warnings.catch_warnings():
+        warnings.simplefilter("ignore", spla.MatrixRankWarning)
+        try:
+            solution = spla.spsolve(matrix, rhs)
+        except RuntimeError as exc:
+            raise SolverError(f"AC MNA solve failed: {exc}") from exc
+    if not np.all(np.isfinite(solution)):
+        raise SolverError(
+            "AC solution contains non-finite values (resonant singularity "
+            "or floating subcircuit)"
+        )
+    voltages = {node: complex(solution[index[node]]) for node in nodes}
+    return ACSolution(frequency_hz=frequency_hz, node_voltages=voltages)
+
+
+def impedance_at(
+    netlist: ACNetlist, node: NodeId, frequencies_hz: np.ndarray
+) -> np.ndarray:
+    """|Z(f)| looking into ``node``: inject 1 A AC, read |V|.
+
+    Small-signal analysis: all independent sources in the netlist are
+    zeroed first (voltage sources become shorts, current sources open
+    circuits), then the probe current is injected.  The input netlist
+    is not mutated.
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    if freqs.ndim != 1 or len(freqs) == 0:
+        raise ConfigError("frequencies must be a non-empty 1-D array")
+    if np.any(freqs <= 0):
+        raise ConfigError("frequencies must be positive")
+
+    probe = ACNetlist()
+    for r in netlist.resistors:
+        probe.add_resistor(r.name, r.node_a, r.node_b, r.resistance_ohm)
+    for l in netlist.inductors:
+        probe.add_inductor(l.name, l.node_a, l.node_b, l.inductance_h)
+    for c in netlist.capacitors:
+        probe.add_capacitor(c.name, c.node_a, c.node_b, c.capacitance_f)
+    for v in netlist.voltage_sources:
+        # Zeroed voltage source = ideal short between its terminals.
+        probe.add_voltage_source(v.name, v.node_plus, 0.0, v.node_minus)
+    # Current sources are zeroed by omission (open circuits).
+    probe.add_current_source("__probe__", probe.GROUND, node, 1.0)
+
+    magnitudes = np.empty(len(freqs))
+    for k, frequency in enumerate(freqs):
+        magnitudes[k] = solve_ac(probe, float(frequency)).magnitude(node)
+    return magnitudes

@@ -1,0 +1,284 @@
+"""2-D lateral grid PDN model.
+
+Discretizes one polarity of a metal layer (interposer RDL or the die
+BEOL grid) over the die area into an ``nx x ny`` node mesh.  Adjacent
+nodes are connected by resistors derived from the layer's sheet
+resistance; POL sinks come from a :class:`~repro.pdn.powermap.PowerMap`
+and regulator outputs attach as voltage sources with a series output
+resistance at arbitrary grid positions.
+
+Loss accounting convention: the grid models ONE polarity.  For a
+symmetric power + ground pair the reported lateral loss is doubled via
+``rail_pair_factor`` (default 2.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, SolverError
+from .mna import DCSolution, solve_dc
+from .network import Netlist
+from .powermap import PowerMap
+
+
+@dataclass(frozen=True)
+class GridSolution:
+    """Solved grid operating point.
+
+    Attributes:
+        dc: raw MNA solution.
+        source_currents_a: output current of each attached source, in
+            attachment order.
+        lateral_loss_w: I²R loss in the grid metal for the rail pair.
+        source_loss_w: I²R loss inside the sources' output resistances
+            (not part of interconnect loss; useful for diagnostics).
+        voltage_map: node voltages as an (ny, nx) array.
+    """
+
+    dc: DCSolution
+    source_currents_a: np.ndarray
+    lateral_loss_w: float
+    source_loss_w: float
+    voltage_map: np.ndarray
+
+    @property
+    def worst_droop_v(self) -> float:
+        """Difference between the best and worst node voltages."""
+        return float(self.voltage_map.max() - self.voltage_map.min())
+
+    def edge_current_stats(self) -> dict[str, float]:
+        """Grid-edge current statistics (lateral EM screening).
+
+        Returns max/mean absolute edge current in amperes.  Combined
+        with the metal cross-section per strip, this is the lateral
+        electromigration check that complements the per-element
+        ratings on the vertical arrays.
+        """
+        currents = [
+            abs(current)
+            for name, current in self.dc.resistor_currents.items()
+            if name.startswith("grid.")
+        ]
+        if not currents:
+            return {"max_a": 0.0, "mean_a": 0.0}
+        arr = np.asarray(currents)
+        return {"max_a": float(arr.max()), "mean_a": float(arr.mean())}
+
+
+class GridPDN:
+    """A rectangular one-polarity PDN grid over the die area.
+
+    Args:
+        width_m: die width (x extent).
+        height_m: die height (y extent).
+        sheet_ohm_sq: sheet resistance of the modeled metal stack.
+        nx, ny: node counts in x and y (>= 2 each).
+        rail_pair_factor: multiply lateral loss by this factor to
+            account for the return (ground) network; 2.0 assumes a
+            symmetric ground grid.
+    """
+
+    def __init__(
+        self,
+        width_m: float,
+        height_m: float,
+        sheet_ohm_sq: float,
+        nx: int = 24,
+        ny: int = 24,
+        rail_pair_factor: float = 2.0,
+    ) -> None:
+        if width_m <= 0 or height_m <= 0:
+            raise ConfigError("grid extents must be positive")
+        if sheet_ohm_sq <= 0:
+            raise ConfigError("sheet resistance must be positive")
+        if nx < 2 or ny < 2:
+            raise ConfigError("grid needs at least 2x2 nodes")
+        if rail_pair_factor < 1.0:
+            raise ConfigError("rail pair factor must be >= 1")
+        self.width_m = width_m
+        self.height_m = height_m
+        self.sheet_ohm_sq = sheet_ohm_sq
+        self.nx = nx
+        self.ny = ny
+        self.rail_pair_factor = rail_pair_factor
+        self._sources: list[tuple[str, int, int, float, float]] = []
+        self._sink_map: np.ndarray | None = None
+        self._ring_bus_ohm: float | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    def set_sinks(self, power_map: PowerMap, total_current_a: float) -> None:
+        """Attach POL sinks from a power map (replaces existing sinks)."""
+        self._sink_map = power_map.cell_currents(
+            self.nx, self.ny, total_current_a
+        )
+
+    def set_sink_array(self, cell_currents: np.ndarray) -> None:
+        """Attach POL sinks from an explicit (ny, nx) current array."""
+        arr = np.asarray(cell_currents, dtype=float)
+        if arr.shape != (self.ny, self.nx):
+            raise ConfigError(
+                f"sink array must be shaped ({self.ny}, {self.nx})"
+            )
+        if np.any(arr < 0):
+            raise ConfigError("sink currents must be non-negative")
+        self._sink_map = arr
+
+    def add_source(
+        self,
+        name: str,
+        x_frac: float,
+        y_frac: float,
+        voltage_v: float,
+        output_resistance_ohm: float,
+    ) -> None:
+        """Attach a regulator output at fractional die coordinates.
+
+        Sources snap to the nearest grid node.  ``output_resistance_ohm``
+        must be positive — it regularizes the solve and models the
+        converter's finite output impedance.
+        """
+        if not 0.0 <= x_frac <= 1.0 or not 0.0 <= y_frac <= 1.0:
+            raise ConfigError("source position must be inside the die")
+        if output_resistance_ohm <= 0:
+            raise ConfigError("source output resistance must be positive")
+        ix = min(int(round(x_frac * (self.nx - 1))), self.nx - 1)
+        iy = min(int(round(y_frac * (self.ny - 1))), self.ny - 1)
+        self._sources.append(
+            (name, ix, iy, voltage_v, output_resistance_ohm)
+        )
+
+    def clear_sources(self) -> None:
+        """Remove all attached sources."""
+        self._sources.clear()
+        self._ring_bus_ohm = None
+
+    def connect_sources_with_ring_bus(self, segment_resistance_ohm: float) -> None:
+        """Join consecutive sources with a dedicated ring bus.
+
+        Periphery VR rings share a contiguous low-impedance metal ring
+        (the embedded passive/output ring of Fig. 5(a)), which
+        equalizes their load sharing; under-die VRs have no such bus.
+        Segments connect sources in attachment order (and close the
+        loop), each with the given one-polarity resistance.
+        """
+        if segment_resistance_ohm <= 0:
+            raise ConfigError("ring segment resistance must be positive")
+        if len(self._sources) < 3:
+            raise ConfigError("a ring bus needs at least three sources")
+        self._ring_bus_ohm = segment_resistance_ohm
+
+    @property
+    def source_names(self) -> list[str]:
+        """Names of attached sources in attachment order."""
+        return [s[0] for s in self._sources]
+
+    # -- edge resistances -------------------------------------------------------
+
+    @property
+    def edge_resistance_x_ohm(self) -> float:
+        """Resistance of one x-direction edge (R_sq * dx / dy_strip)."""
+        dx = self.width_m / (self.nx - 1)
+        strip = self.height_m / self.ny
+        return self.sheet_ohm_sq * dx / strip
+
+    @property
+    def edge_resistance_y_ohm(self) -> float:
+        """Resistance of one y-direction edge."""
+        dy = self.height_m / (self.ny - 1)
+        strip = self.width_m / self.nx
+        return self.sheet_ohm_sq * dy / strip
+
+    # -- solving -----------------------------------------------------------------
+
+    def build_netlist(self) -> Netlist:
+        """Assemble the netlist for the current sinks and sources."""
+        if self._sink_map is None:
+            raise ConfigError("no sinks attached; call set_sinks first")
+        if not self._sources:
+            raise ConfigError("no sources attached; call add_source first")
+        netlist = Netlist()
+        rx = self.edge_resistance_x_ohm
+        ry = self.edge_resistance_y_ohm
+
+        def node(ix: int, iy: int) -> tuple[str, int, int]:
+            return ("g", ix, iy)
+
+        for iy in range(self.ny):
+            for ix in range(self.nx):
+                if ix + 1 < self.nx:
+                    netlist.add_resistor(
+                        f"grid.x[{ix},{iy}]", node(ix, iy), node(ix + 1, iy), rx
+                    )
+                if iy + 1 < self.ny:
+                    netlist.add_resistor(
+                        f"grid.y[{ix},{iy}]", node(ix, iy), node(ix, iy + 1), ry
+                    )
+
+        # Sinks: cell (i,j) current attached to its node.
+        for iy in range(self.ny):
+            for ix in range(self.nx):
+                current = float(self._sink_map[iy, ix])
+                if current > 0.0:
+                    netlist.add_load(
+                        f"sink[{ix},{iy}]", node(ix, iy), current
+                    )
+
+        for name, ix, iy, voltage, r_out in self._sources:
+            netlist.add_source_with_impedance(
+                f"src.{name}", node(ix, iy), voltage, r_out
+            )
+
+        if self._ring_bus_ohm is not None:
+            count = len(self._sources)
+            for k in range(count):
+                _, ix_a, iy_a, _, _ = self._sources[k]
+                _, ix_b, iy_b, _, _ = self._sources[(k + 1) % count]
+                if (ix_a, iy_a) == (ix_b, iy_b):
+                    continue
+                netlist.add_resistor(
+                    f"ring[{k}]",
+                    node(ix_a, iy_a),
+                    node(ix_b, iy_b),
+                    self._ring_bus_ohm,
+                )
+        return netlist
+
+    def solve(self, check: bool = True) -> GridSolution:
+        """Solve the grid and return per-source currents and losses."""
+        netlist = self.build_netlist()
+        dc = solve_dc(netlist, check=check)
+
+        currents = np.array(
+            [
+                dc.resistor_currents[f"src.{name}.rout"]
+                for name in self.source_names
+            ]
+        )
+        total_sink = float(self._sink_map.sum())
+        if abs(currents.sum() - total_sink) > 1e-6 * max(total_sink, 1.0):
+            raise SolverError(
+                "source currents do not sum to the load current: "
+                f"{currents.sum():.6f} vs {total_sink:.6f}"
+            )
+
+        lateral = (
+            dc.loss_by_prefix("grid.") + dc.loss_by_prefix("ring[")
+        ) * self.rail_pair_factor
+        source_loss = sum(
+            dc.resistor_losses[f"src.{name}.rout"] for name in self.source_names
+        )
+        voltage_map = np.empty((self.ny, self.nx))
+        for iy in range(self.ny):
+            for ix in range(self.nx):
+                voltage_map[iy, ix] = dc.node_voltages[("g", ix, iy)]
+        return GridSolution(
+            dc=dc,
+            source_currents_a=currents,
+            lateral_loss_w=float(lateral),
+            source_loss_w=float(source_loss),
+            voltage_map=voltage_map,
+        )

@@ -1,0 +1,187 @@
+"""AC impedance analysis of the hierarchical PDN.
+
+The classic companion to DC IR-drop analysis: the impedance the die
+sees looking back into the PDN, Z(f), must stay below the *target
+impedance* ``Z_target = V · ripple_budget / I_transient`` across the
+frequency band of load activity.  Moving regulation onto the
+interposer (A1/A2) removes the board/package inductance from the loop
+and pushes the PDN's inductive rise out in frequency — the AC
+counterpart of the paper's DC savings.
+
+The ladder of :class:`~repro.pdn.transient.PDNStage` elements is
+evaluated analytically with complex phasors: walking from the source
+to the die, each stage contributes a series R + jωL followed by a
+shunt decoupling capacitor (C with ESR).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .transient import PDNStage
+
+
+@dataclass(frozen=True)
+class ImpedanceProfile:
+    """Z(f) of a PDN seen from the die.
+
+    Attributes:
+        frequencies_hz: evaluation frequencies.
+        impedance_ohm: |Z| at each frequency.
+        peak_impedance_ohm: the worst (anti-resonant) |Z|.
+        peak_frequency_hz: frequency of the worst |Z|.
+    """
+
+    frequencies_hz: np.ndarray
+    impedance_ohm: np.ndarray
+
+    @property
+    def peak_impedance_ohm(self) -> float:
+        """Largest impedance magnitude over the profile."""
+        return float(self.impedance_ohm.max())
+
+    @property
+    def peak_frequency_hz(self) -> float:
+        """Frequency at which the impedance peaks."""
+        index = int(np.argmax(self.impedance_ohm))
+        return float(self.frequencies_hz[index])
+
+    def meets_target(self, target_ohm: float) -> bool:
+        """True if |Z| stays at or below the target everywhere."""
+        if target_ohm <= 0:
+            raise ConfigError("target impedance must be positive")
+        return bool(np.all(self.impedance_ohm <= target_ohm * (1 + 1e-12)))
+
+    def violation_band_hz(self, target_ohm: float) -> tuple[float, float] | None:
+        """(first, last) frequency violating the target, or None."""
+        if target_ohm <= 0:
+            raise ConfigError("target impedance must be positive")
+        mask = self.impedance_ohm > target_ohm
+        if not mask.any():
+            return None
+        indices = np.nonzero(mask)[0]
+        return (
+            float(self.frequencies_hz[indices[0]]),
+            float(self.frequencies_hz[indices[-1]]),
+        )
+
+
+def target_impedance_ohm(
+    supply_voltage_v: float,
+    ripple_fraction: float,
+    transient_current_a: float,
+) -> float:
+    """The standard target-impedance rule:
+    ``Z_t = V · ripple / ΔI`` (e.g. 1 V, 5%, 500 A -> 0.1 mΩ)."""
+    if supply_voltage_v <= 0:
+        raise ConfigError("supply voltage must be positive")
+    if not 0.0 < ripple_fraction < 1.0:
+        raise ConfigError("ripple fraction must be in (0, 1)")
+    if transient_current_a <= 0:
+        raise ConfigError("transient current must be positive")
+    return supply_voltage_v * ripple_fraction / transient_current_a
+
+
+def pdn_impedance(
+    stages: list[PDNStage],
+    frequencies_hz: np.ndarray | None = None,
+    source_impedance_ohm: float = 1e-6,
+) -> ImpedanceProfile:
+    """Impedance looking back from the die into the ladder.
+
+    Args:
+        stages: ladder from the regulator (first) to the die (last).
+        frequencies_hz: evaluation grid (default: 1 kHz .. 1 GHz,
+            60 points/decade-ish logarithmic).
+        source_impedance_ohm: the regulator's output impedance at DC
+            (an ideal source would be 0; a small positive value keeps
+            the low-frequency plateau realistic).
+    """
+    if not stages:
+        raise ConfigError("at least one PDN stage required")
+    if source_impedance_ohm < 0:
+        raise ConfigError("source impedance must be non-negative")
+    if frequencies_hz is None:
+        frequencies_hz = np.logspace(3, 9, 361)
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    if freqs.ndim != 1 or len(freqs) == 0:
+        raise ConfigError("frequencies must be a non-empty 1-D array")
+    if np.any(freqs <= 0):
+        raise ConfigError("frequencies must be positive")
+
+    omega = 2.0 * math.pi * freqs
+    z = np.full_like(freqs, source_impedance_ohm, dtype=complex)
+    for stage in stages:
+        series = stage.series_resistance_ohm + 1j * omega * (
+            stage.series_inductance_h
+        )
+        z = z + series
+        z_cap = stage.decap_esr_ohm + 1.0 / (1j * omega * stage.decap_farad)
+        z = z * z_cap / (z + z_cap)
+    return ImpedanceProfile(
+        frequencies_hz=freqs, impedance_ohm=np.abs(z)
+    )
+
+
+@dataclass(frozen=True)
+class DecapRecommendation:
+    """Result of the decap sizing helper."""
+
+    stage_name: str
+    original_farad: float
+    recommended_farad: float
+    meets_target: bool
+
+
+def size_die_decap_for_target(
+    stages: list[PDNStage],
+    target_ohm: float,
+    max_farad: float = 1e-3,
+    frequencies_hz: np.ndarray | None = None,
+) -> DecapRecommendation:
+    """Grow the last (die) stage's decap until Z(f) meets the target.
+
+    A simple geometric search: doubles the die decap until the profile
+    passes or ``max_farad`` is reached.  Returns the recommendation
+    either way (``meets_target`` reports the outcome).
+    """
+    if target_ohm <= 0:
+        raise ConfigError("target impedance must be positive")
+    if not stages:
+        raise ConfigError("at least one PDN stage required")
+    if max_farad <= 0:
+        raise ConfigError("max capacitance must be positive")
+
+    original = stages[-1].decap_farad
+    candidate = original
+    while candidate <= max_farad:
+        trial = list(stages[:-1])
+        last = stages[-1]
+        trial.append(
+            PDNStage(
+                name=last.name,
+                series_resistance_ohm=last.series_resistance_ohm,
+                series_inductance_h=last.series_inductance_h,
+                decap_farad=candidate,
+                decap_esr_ohm=last.decap_esr_ohm,
+            )
+        )
+        profile = pdn_impedance(trial, frequencies_hz)
+        if profile.meets_target(target_ohm):
+            return DecapRecommendation(
+                stage_name=last.name,
+                original_farad=original,
+                recommended_farad=candidate,
+                meets_target=True,
+            )
+        candidate *= 2.0
+    return DecapRecommendation(
+        stage_name=stages[-1].name,
+        original_farad=original,
+        recommended_farad=min(candidate, max_farad),
+        meets_target=False,
+    )

@@ -1,0 +1,234 @@
+"""Sparse modified nodal analysis (MNA) DC solver.
+
+Solves ``[G B; B^T 0] [v; j] = [i; e]`` where ``G`` is the conductance
+matrix over non-ground nodes, ``B`` maps voltage sources to nodes,
+``i`` collects current-source injections and ``e`` the source voltages.
+The system is assembled in COO form and solved with SuperLU via
+``scipy.sparse.linalg.spsolve``.
+
+The solver also verifies the physics of the returned solution:
+Kirchhoff's current law at every node and global power balance
+(source power = load power + I²R dissipation) to tight tolerances,
+raising :class:`~repro.errors.SolverError` on violation rather than
+returning silently wrong answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SolverError
+from .network import Netlist, NodeId
+
+
+@dataclass(frozen=True)
+class DCSolution:
+    """Result of a DC operating-point solve.
+
+    Attributes:
+        node_voltages: voltage of every non-ground node (ground = 0 V).
+        resistor_currents: current through each resistor, measured
+            from ``node_a`` to ``node_b``.
+        resistor_losses: I²R dissipation per resistor.
+        source_currents: current *delivered* by each voltage source
+            (positive = sourcing power into the network).
+    """
+
+    node_voltages: dict[NodeId, float]
+    resistor_currents: dict[str, float]
+    resistor_losses: dict[str, float]
+    source_currents: dict[str, float]
+
+    def voltage(self, node: NodeId) -> float:
+        """Voltage at a node (ground returns 0.0)."""
+        if node == "0":
+            return 0.0
+        return self.node_voltages[node]
+
+    @property
+    def total_resistive_loss_w(self) -> float:
+        """Total I²R dissipation across all resistors."""
+        return float(sum(self.resistor_losses.values()))
+
+    def loss_by_prefix(self, prefix: str) -> float:
+        """Sum of losses over resistors whose name starts with ``prefix``.
+
+        Power-path builders use structured names ("pcb.", "bga.", ...)
+        so per-segment breakdowns are a prefix query.
+        """
+        return float(
+            sum(
+                loss
+                for name, loss in self.resistor_losses.items()
+                if name.startswith(prefix)
+            )
+        )
+
+    def min_voltage(self) -> float:
+        """Smallest node voltage (worst-case droop detection)."""
+        if not self.node_voltages:
+            return 0.0
+        return float(min(self.node_voltages.values()))
+
+
+def solve_dc(netlist: Netlist, check: bool = True) -> DCSolution:
+    """Solve the DC operating point of a netlist.
+
+    Args:
+        netlist: the circuit to solve.
+        check: verify KCL and power balance on the solution
+            (cheap relative to the factorization; disable only in
+            tight inner loops that have been validated already).
+
+    Raises:
+        SolverError: singular/disconnected system or non-finite result.
+    """
+    netlist.validate()
+    nodes = netlist.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    m = len(netlist.voltage_sources)
+    size = n + m
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    rhs = np.zeros(size)
+
+    def stamp(i: int, j: int, value: float) -> None:
+        rows.append(i)
+        cols.append(j)
+        vals.append(value)
+
+    for r in netlist.resistors:
+        g = 1.0 / r.resistance_ohm
+        a = index.get(r.node_a)
+        b = index.get(r.node_b)
+        if r.node_a != netlist.GROUND:
+            stamp(a, a, g)
+        if r.node_b != netlist.GROUND:
+            stamp(b, b, g)
+        if r.node_a != netlist.GROUND and r.node_b != netlist.GROUND:
+            stamp(a, b, -g)
+            stamp(b, a, -g)
+
+    for s in netlist.current_sources:
+        # Current flows out of node_from, into node_to.
+        if s.node_from != netlist.GROUND:
+            rhs[index[s.node_from]] -= s.current_a
+        if s.node_to != netlist.GROUND:
+            rhs[index[s.node_to]] += s.current_a
+
+    for k, v in enumerate(netlist.voltage_sources):
+        row = n + k
+        if v.node_plus != netlist.GROUND:
+            stamp(index[v.node_plus], row, 1.0)
+            stamp(row, index[v.node_plus], 1.0)
+        if v.node_minus != netlist.GROUND:
+            stamp(index[v.node_minus], row, -1.0)
+            stamp(row, index[v.node_minus], -1.0)
+        rhs[row] = v.voltage_v
+
+    matrix = sp.coo_matrix(
+        (vals, (rows, cols)), shape=(size, size)
+    ).tocsc()
+
+    import warnings
+
+    with np.errstate(all="ignore"), warnings.catch_warnings():
+        # Singular systems surface as a warning plus NaNs; we convert
+        # them to SolverError below, so silence the warning itself.
+        warnings.simplefilter("ignore", spla.MatrixRankWarning)
+        try:
+            solution = spla.spsolve(matrix, rhs)
+        except RuntimeError as exc:  # SuperLU signals singularity this way
+            raise SolverError(f"MNA solve failed: {exc}") from exc
+    if not np.all(np.isfinite(solution)):
+        raise SolverError(
+            "MNA solution contains non-finite values; the network is "
+            "likely singular (floating subcircuit with a current source?)"
+        )
+
+    voltages = {node: float(solution[index[node]]) for node in nodes}
+    branch_currents = {
+        v.name: float(-solution[n + k])
+        for k, v in enumerate(netlist.voltage_sources)
+    }
+
+    def node_voltage(node: NodeId) -> float:
+        return 0.0 if node == netlist.GROUND else voltages[node]
+
+    resistor_currents: dict[str, float] = {}
+    resistor_losses: dict[str, float] = {}
+    for r in netlist.resistors:
+        current = (node_voltage(r.node_a) - node_voltage(r.node_b)) / r.resistance_ohm
+        resistor_currents[r.name] = current
+        resistor_losses[r.name] = current**2 * r.resistance_ohm
+
+    result = DCSolution(
+        node_voltages=voltages,
+        resistor_currents=resistor_currents,
+        resistor_losses=resistor_losses,
+        source_currents=branch_currents,
+    )
+    if check:
+        _verify(netlist, result)
+    return result
+
+
+def _verify(netlist: Netlist, result: DCSolution) -> None:
+    """Check KCL at every node and overall power balance."""
+    residual: dict[NodeId, float] = {}
+
+    def accumulate(node: NodeId, current: float) -> None:
+        if node == netlist.GROUND:
+            return
+        residual[node] = residual.get(node, 0.0) + current
+
+    for r in netlist.resistors:
+        current = result.resistor_currents[r.name]
+        accumulate(r.node_a, -current)
+        accumulate(r.node_b, current)
+    for s in netlist.current_sources:
+        accumulate(s.node_from, -s.current_a)
+        accumulate(s.node_to, s.current_a)
+    for v in netlist.voltage_sources:
+        current = result.source_currents[v.name]
+        accumulate(v.node_plus, current)
+        accumulate(v.node_minus, -current)
+
+    scale = max(
+        1.0,
+        max((abs(s.current_a) for s in netlist.current_sources), default=1.0),
+        max((abs(c) for c in result.source_currents.values()), default=1.0),
+    )
+    worst = max((abs(x) for x in residual.values()), default=0.0)
+    if worst > 1e-6 * scale:
+        raise SolverError(
+            f"KCL violated: worst node residual {worst:.3e} A "
+            f"(scale {scale:.3e} A)"
+        )
+
+    source_power = sum(
+        v.voltage_v * result.source_currents[v.name]
+        for v in netlist.voltage_sources
+    )
+    load_power = 0.0
+    for s in netlist.current_sources:
+
+        def nv(node: NodeId) -> float:
+            return 0.0 if node == netlist.GROUND else result.node_voltages[node]
+
+        load_power += s.current_a * (nv(s.node_from) - nv(s.node_to))
+    dissipated = result.total_resistive_loss_w
+    imbalance = abs(source_power - load_power - dissipated)
+    power_scale = max(1.0, abs(source_power), abs(load_power), dissipated)
+    if imbalance > 1e-6 * power_scale:
+        raise SolverError(
+            f"power balance violated: sources {source_power:.6e} W, "
+            f"loads {load_power:.6e} W, dissipation {dissipated:.6e} W"
+        )

@@ -1,0 +1,234 @@
+"""Resistive netlist construction.
+
+A :class:`Netlist` is a flat list of two-terminal elements between
+named nodes.  It deliberately supports only what DC PDN analysis
+needs — resistors, ideal current sources (loads), and ideal voltage
+sources (regulator outputs, optionally with series resistance) — and
+is consumed by :mod:`repro.pdn.mna`.
+
+Node names are arbitrary hashables; ``Netlist.GROUND`` ("0") is the
+reference node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from ..errors import ConfigError
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A resistor between two nodes.
+
+    ``name`` identifies the element in solutions (per-element currents
+    and losses are reported by name).
+    """
+
+    name: str
+    node_a: NodeId
+    node_b: NodeId
+    resistance_ohm: float
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohm <= 0:
+            raise ConfigError(
+                f"resistor {self.name}: resistance must be positive "
+                f"(got {self.resistance_ohm})"
+            )
+        if self.node_a == self.node_b:
+            raise ConfigError(f"resistor {self.name}: shorted terminals")
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """An ideal DC current source driving ``current_a`` from
+    ``node_from`` into ``node_to`` (a POL load sinks from the power
+    node into ground: ``node_from=power_node, node_to=GROUND``)."""
+
+    name: str
+    node_from: NodeId
+    node_to: NodeId
+    current_a: float
+
+    def __post_init__(self) -> None:
+        if self.current_a < 0:
+            raise ConfigError(
+                f"current source {self.name}: negative current; swap nodes"
+            )
+        if self.node_from == self.node_to:
+            raise ConfigError(f"current source {self.name}: shorted terminals")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """An ideal DC voltage source holding ``node_plus`` at
+    ``voltage_v`` above ``node_minus``."""
+
+    name: str
+    node_plus: NodeId
+    node_minus: NodeId
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.node_plus == self.node_minus:
+            raise ConfigError(f"voltage source {self.name}: shorted terminals")
+
+
+@dataclass
+class Netlist:
+    """A mutable collection of circuit elements.
+
+    Builder-style ``add_*`` methods return the created element so call
+    sites can keep references for later lookups.
+    """
+
+    GROUND: NodeId = field(default="0", repr=False)
+
+    def __init__(self) -> None:
+        self.resistors: list[Resistor] = []
+        self.current_sources: list[CurrentSource] = []
+        self.voltage_sources: list[VoltageSource] = []
+        self._names: set[str] = set()
+
+    # -- element builders ----------------------------------------------------
+
+    def _register(self, name: str) -> None:
+        if name in self._names:
+            raise ConfigError(f"duplicate element name: {name!r}")
+        self._names.add(name)
+
+    def add_resistor(
+        self, name: str, node_a: NodeId, node_b: NodeId, resistance_ohm: float
+    ) -> Resistor:
+        """Add a resistor and return it."""
+        self._register(name)
+        element = Resistor(name, node_a, node_b, resistance_ohm)
+        self.resistors.append(element)
+        return element
+
+    def add_current_source(
+        self, name: str, node_from: NodeId, node_to: NodeId, current_a: float
+    ) -> CurrentSource:
+        """Add an ideal current source and return it."""
+        self._register(name)
+        element = CurrentSource(name, node_from, node_to, current_a)
+        self.current_sources.append(element)
+        return element
+
+    def add_voltage_source(
+        self, name: str, node_plus: NodeId, voltage_v: float, node_minus: NodeId | None = None
+    ) -> VoltageSource:
+        """Add an ideal voltage source (to ground unless given)."""
+        self._register(name)
+        element = VoltageSource(
+            name, node_plus, node_minus if node_minus is not None else self.GROUND, voltage_v
+        )
+        self.voltage_sources.append(element)
+        return element
+
+    def add_load(self, name: str, node: NodeId, current_a: float) -> CurrentSource:
+        """Add a POL load: a current sink from ``node`` to ground."""
+        return self.add_current_source(name, node, self.GROUND, current_a)
+
+    def add_source_with_impedance(
+        self,
+        name: str,
+        node: NodeId,
+        voltage_v: float,
+        series_resistance_ohm: float,
+    ) -> tuple[VoltageSource, Resistor]:
+        """Add a practical source: ideal V source + series resistor.
+
+        Creates an internal node ``(name, "emf")``.  Returns both
+        elements; the resistor's current is the source's output current.
+        """
+        internal: NodeId = (name, "emf")
+        source = self.add_voltage_source(f"{name}.v", internal, voltage_v)
+        resistor = self.add_resistor(
+            f"{name}.rout", internal, node, series_resistance_ohm
+        )
+        return source, resistor
+
+    # -- introspection ---------------------------------------------------------
+
+    def nodes(self) -> list[NodeId]:
+        """All distinct nodes, ground excluded, in first-seen order."""
+        seen: dict[NodeId, None] = {}
+        for r in self.resistors:
+            seen.setdefault(r.node_a)
+            seen.setdefault(r.node_b)
+        for s in self.current_sources:
+            seen.setdefault(s.node_from)
+            seen.setdefault(s.node_to)
+        for v in self.voltage_sources:
+            seen.setdefault(v.node_plus)
+            seen.setdefault(v.node_minus)
+        seen.pop(self.GROUND, None)
+        return list(seen.keys())
+
+    @property
+    def element_count(self) -> int:
+        """Total number of elements of all kinds."""
+        return (
+            len(self.resistors)
+            + len(self.current_sources)
+            + len(self.voltage_sources)
+        )
+
+    def total_load_current_a(self) -> float:
+        """Sum of all current-source magnitudes (loads)."""
+        return sum(s.current_a for s in self.current_sources)
+
+    def validate(self) -> None:
+        """Cheap structural validation (raises ConfigError).
+
+        Full electrical validation (connectivity to sources) happens in
+        the solver; this catches empty/obviously broken netlists early.
+        """
+        if not self.resistors and not self.voltage_sources:
+            raise ConfigError("netlist has no resistors or sources")
+        if not self.voltage_sources and self.current_sources:
+            raise ConfigError(
+                "current sources present but no voltage source/ground "
+                "reference to absorb them"
+            )
+
+    def extend(self, other: "Netlist") -> None:
+        """Merge another netlist into this one (names must not clash)."""
+        for r in other.resistors:
+            self.add_resistor(r.name, r.node_a, r.node_b, r.resistance_ohm)
+        for s in other.current_sources:
+            self.add_current_source(s.name, s.node_from, s.node_to, s.current_a)
+        for v in other.voltage_sources:
+            self.add_voltage_source(v.name, v.node_plus, v.voltage_v, v.node_minus)
+
+
+def series_chain(
+    netlist: Netlist,
+    prefix: str,
+    nodes: Iterable[NodeId],
+    resistances_ohm: Iterable[float],
+) -> list[Resistor]:
+    """Wire consecutive ``nodes`` with the given series resistances.
+
+    ``nodes`` must have exactly one more entry than ``resistances_ohm``.
+    Returns the created resistors in order.
+    """
+    node_list = list(nodes)
+    res_list = list(resistances_ohm)
+    if len(node_list) != len(res_list) + 1:
+        raise ConfigError(
+            "series_chain needs len(nodes) == len(resistances) + 1"
+        )
+    created: list[Resistor] = []
+    for i, resistance in enumerate(res_list):
+        created.append(
+            netlist.add_resistor(
+                f"{prefix}[{i}]", node_list[i], node_list[i + 1], resistance
+            )
+        )
+    return created

@@ -1,0 +1,125 @@
+"""Horizontal (lateral) interconnect resistance models.
+
+Horizontal interconnect is the dominant loss component identified by
+the paper: with PCB-level conversion, the full POL current crosses
+tens of millimeters of copper planes.  Three analytic primitives cover
+the geometries that appear in the packaging stack:
+
+* ``plane_resistance`` — a rectangular run of a plane, R = R_sq * L/W.
+* ``annular_spreading_resistance`` — radial flow between two radii of
+  a plane (package ring from the BGA field into the die shadow).
+* ``disk_edge_feed_resistance`` — the *effective* loss resistance of a
+  uniformly loaded disk fed from its rim, R_eff = R_sq / (8*pi).
+  This classic result follows from integrating I(r)^2 dR with current
+  proportional to the enclosed load area, and is the right model for
+  "VRs on the periphery feed a uniformly drawing die".
+
+All functions return one-polarity resistance; callers double for a
+power + ground rail pair (helpers provided).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from ..materials import COPPER, Conductor
+
+
+def sheet_resistance(
+    thickness_m: float,
+    material: Conductor = COPPER,
+    layers_in_parallel: int = 1,
+    temperature_c: float = 25.0,
+) -> float:
+    """Sheet resistance (ohm/square) of one or more parallel layers."""
+    if layers_in_parallel < 1:
+        raise ConfigError("need at least one layer")
+    return material.sheet_resistance(thickness_m, temperature_c) / layers_in_parallel
+
+
+def plane_resistance(
+    sheet_ohm_sq: float, length_m: float, width_m: float
+) -> float:
+    """Resistance of a rectangular plane run: R = R_sq * (L / W)."""
+    if sheet_ohm_sq <= 0:
+        raise ConfigError("sheet resistance must be positive")
+    if length_m < 0:
+        raise ConfigError("length must be non-negative")
+    if width_m <= 0:
+        raise ConfigError("width must be positive")
+    return sheet_ohm_sq * length_m / width_m
+
+
+def annular_spreading_resistance(
+    sheet_ohm_sq: float, inner_radius_m: float, outer_radius_m: float
+) -> float:
+    """Radial resistance of an annulus: R = R_sq * ln(r2/r1) / (2*pi).
+
+    Models current converging from a large footprint (e.g. the BGA
+    field) into a smaller one (the die shadow) through a plane.
+    """
+    if sheet_ohm_sq <= 0:
+        raise ConfigError("sheet resistance must be positive")
+    if inner_radius_m <= 0 or outer_radius_m <= 0:
+        raise ConfigError("radii must be positive")
+    if outer_radius_m < inner_radius_m:
+        raise ConfigError("outer radius must be >= inner radius")
+    return sheet_ohm_sq * math.log(outer_radius_m / inner_radius_m) / (2.0 * math.pi)
+
+
+def disk_edge_feed_resistance(sheet_ohm_sq: float) -> float:
+    """Effective loss resistance of a rim-fed, uniformly loaded disk.
+
+    For a disk of radius ``a`` with uniform areal current sink fed
+    from its rim, the enclosed current at radius r is
+    I(r) = I_tot * r^2 / a^2 and the dissipated power is::
+
+        P = Int_0^a I(r)^2 * R_sq / (2*pi*r) dr = I_tot^2 * R_sq / (8*pi)
+
+    independent of the radius.  The returned value is that effective
+    resistance ``R_sq / (8*pi)``; multiply by I_tot^2 for the loss.
+    """
+    if sheet_ohm_sq <= 0:
+        raise ConfigError("sheet resistance must be positive")
+    return sheet_ohm_sq / (8.0 * math.pi)
+
+
+def distributed_cell_feed_resistance(
+    sheet_ohm_sq: float, cell_count: int
+) -> float:
+    """Effective resistance when N distributed sources each feed their
+    own uniformly loaded cell.
+
+    Splitting a rim-fed disk into N independent, equally loaded cells
+    divides the per-cell current by N and shrinks the geometry, so the
+    total effective resistance falls as 1/N:
+
+        R_eff = R_sq / (8 * pi * N)
+
+    This models under-die (A2/A3 stage-2) output distribution.
+    """
+    if cell_count < 1:
+        raise ConfigError("cell count must be >= 1")
+    return disk_edge_feed_resistance(sheet_ohm_sq) / cell_count
+
+
+def rail_pair(resistance_one_polarity_ohm: float) -> float:
+    """Round-trip resistance for a symmetric power + ground pair."""
+    if resistance_one_polarity_ohm < 0:
+        raise ConfigError("resistance must be non-negative")
+    return 2.0 * resistance_one_polarity_ohm
+
+
+def equivalent_square_side(area_m2: float) -> float:
+    """Side of the square with the given area (layout helper)."""
+    if area_m2 <= 0:
+        raise ConfigError("area must be positive")
+    return math.sqrt(area_m2)
+
+
+def equivalent_radius(area_m2: float) -> float:
+    """Radius of the circle with the given area (for radial models)."""
+    if area_m2 <= 0:
+        raise ConfigError("area must be positive")
+    return math.sqrt(area_m2 / math.pi)

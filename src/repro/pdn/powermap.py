@@ -1,0 +1,178 @@
+"""Die power (current-demand) maps.
+
+The paper's per-VR current-sharing observations (16–27 A across the
+A1 periphery VRs, 10–93 A across the A2 under-die VRs) imply a
+non-uniform die demand profile.  The paper does not publish its map;
+we model demand as a mixture of a uniform floor and a central Gaussian
+hotspot — the standard first-order shape for a compute die whose core
+cluster sits mid-die (DESIGN.md substitution #5).
+
+A :class:`PowerMap` is a density over the unit square, scaled to a
+total current.  ``cell_currents`` integrates it over a grid for the
+PDN solver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+
+DensityFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class PowerMap:
+    """A normalized current-demand density over the unit square.
+
+    Attributes:
+        name: label for reports.
+        density: vectorized callable ``f(x, y)`` over [0,1]² returning
+            non-negative relative density (need not integrate to 1;
+            the map is renormalized when sampled).
+    """
+
+    name: str
+    density: DensityFn
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def uniform() -> "PowerMap":
+        """Uniform demand across the die."""
+        return PowerMap("uniform", lambda x, y: np.ones_like(x))
+
+    @staticmethod
+    def gaussian(
+        center: tuple[float, float] = (0.5, 0.5),
+        sigma: float = 0.15,
+        floor: float = 0.0,
+    ) -> "PowerMap":
+        """A Gaussian hotspot plus a uniform floor.
+
+        Args:
+            center: hotspot center in unit-square coordinates.
+            sigma: hotspot radius (standard deviation, unit-square).
+            floor: relative uniform floor added under the Gaussian
+                (0 = pure hotspot; 1 = floor integrates to the same
+                total as the Gaussian).
+        """
+        if sigma <= 0:
+            raise ConfigError("sigma must be positive")
+        if floor < 0:
+            raise ConfigError("floor must be non-negative")
+        cx, cy = center
+        norm = 1.0 / (2.0 * math.pi * sigma**2)
+
+        def density(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+            r2 = (x - cx) ** 2 + (y - cy) ** 2
+            return floor + norm * np.exp(-r2 / (2.0 * sigma**2))
+
+        return PowerMap(f"gaussian(s={sigma},floor={floor})", density)
+
+    @staticmethod
+    def hotspot_mixture(
+        uniform_fraction: float = 0.30, sigma: float = 0.10
+    ) -> "PowerMap":
+        """The default "compute die" map: ``uniform_fraction`` of the
+        current drawn uniformly, the rest in a central Gaussian.
+
+        The default parameters are calibrated so that the A1/A2 per-VR
+        current spreads land near the paper's reported ranges.
+        """
+        if not 0.0 <= uniform_fraction <= 1.0:
+            raise ConfigError("uniform fraction must be in [0, 1]")
+        if sigma <= 0:
+            raise ConfigError("sigma must be positive")
+        norm = 1.0 / (2.0 * math.pi * sigma**2)
+
+        def density(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+            r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2
+            hotspot = norm * np.exp(-r2 / (2.0 * sigma**2))
+            return uniform_fraction + (1.0 - uniform_fraction) * hotspot
+
+        return PowerMap(
+            f"hotspot_mixture(u={uniform_fraction},s={sigma})", density
+        )
+
+    @staticmethod
+    def multi_hotspot(
+        centers: list[tuple[float, float]],
+        sigma: float = 0.08,
+        uniform_fraction: float = 0.4,
+    ) -> "PowerMap":
+        """Several equal hotspots over a uniform floor (chiplet-style)."""
+        if not centers:
+            raise ConfigError("at least one hotspot center required")
+        if sigma <= 0:
+            raise ConfigError("sigma must be positive")
+        if not 0.0 <= uniform_fraction <= 1.0:
+            raise ConfigError("uniform fraction must be in [0, 1]")
+        norm = 1.0 / (2.0 * math.pi * sigma**2 * len(centers))
+
+        def density(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+            total = np.full_like(x, float(uniform_fraction))
+            for cx, cy in centers:
+                r2 = (x - cx) ** 2 + (y - cy) ** 2
+                total = total + (1.0 - uniform_fraction) * norm * np.exp(
+                    -r2 / (2.0 * sigma**2)
+                )
+            return total
+
+        return PowerMap(f"multi_hotspot(n={len(centers)})", density)
+
+    @staticmethod
+    def from_array(values: np.ndarray) -> "PowerMap":
+        """Build a map from a 2-D array of relative cell densities
+        (nearest-cell sampling; array indexed [row=y][col=x])."""
+        grid = np.asarray(values, dtype=float)
+        if grid.ndim != 2 or grid.size == 0:
+            raise ConfigError("expected a non-empty 2-D array")
+        if np.any(grid < 0):
+            raise ConfigError("densities must be non-negative")
+        if not np.any(grid > 0):
+            raise ConfigError("at least one density must be positive")
+        ny, nx = grid.shape
+
+        def density(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+            ix = np.clip((x * nx).astype(int), 0, nx - 1)
+            iy = np.clip((y * ny).astype(int), 0, ny - 1)
+            return grid[iy, ix]
+
+        return PowerMap(f"from_array({ny}x{nx})", density)
+
+    # -- sampling --------------------------------------------------------------
+
+    def cell_currents(
+        self, nx: int, ny: int, total_current_a: float
+    ) -> np.ndarray:
+        """Integrate the map onto an ``ny x nx`` grid of cells.
+
+        Returns an array of per-cell sink currents summing exactly to
+        ``total_current_a`` (midpoint rule + renormalization).
+        """
+        if nx < 1 or ny < 1:
+            raise ConfigError("grid must be at least 1x1")
+        if total_current_a <= 0:
+            raise ConfigError("total current must be positive")
+        xs = (np.arange(nx) + 0.5) / nx
+        ys = (np.arange(ny) + 0.5) / ny
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        raw = np.asarray(self.density(grid_x, grid_y), dtype=float)
+        if raw.shape != (ny, nx):
+            raise ConfigError("density function returned the wrong shape")
+        if np.any(raw < 0):
+            raise ConfigError("density produced negative values")
+        total = raw.sum()
+        if total <= 0:
+            raise ConfigError("density integrates to zero")
+        return raw * (total_current_a / total)
+
+    def peak_to_mean(self, samples: int = 128) -> float:
+        """Ratio of peak to mean density (hotspot severity metric)."""
+        cells = self.cell_currents(samples, samples, 1.0)
+        return float(cells.max() / cells.mean())

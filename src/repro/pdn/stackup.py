@@ -1,0 +1,174 @@
+"""Packaging stackup: the hierarchy of levels between PCB and die.
+
+A :class:`PackagingStack` names the levels, binds each inter-level
+interface to a Table I vertical technology, and records the lateral
+metal available at each level.  The loss engine walks this structure
+to build per-architecture power paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemSpec
+from ..errors import ConfigError
+from ..materials import COPPER
+from ..units import um
+from .interconnect import (
+    ADVANCED_CU_PAD,
+    BGA,
+    C4_BUMP,
+    MICRO_BUMP,
+    TSV,
+    VerticalInterconnect,
+)
+from .planes import sheet_resistance
+
+
+@dataclass(frozen=True)
+class LateralMetal:
+    """Lateral metal resources of one packaging level.
+
+    Attributes:
+        name: label, e.g. ``"PCB planes"`` or ``"interposer RDL"``.
+        thickness_m: total copper thickness available to one polarity.
+        layers: number of layers that thickness is split across (only
+            informational; the sheet resistance uses the total).
+    """
+
+    name: str
+    thickness_m: float
+    layers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0:
+            raise ConfigError(f"{self.name}: thickness must be positive")
+        if self.layers < 1:
+            raise ConfigError(f"{self.name}: at least one layer required")
+
+    @property
+    def sheet_ohm_sq(self) -> float:
+        """Sheet resistance of the combined stack (one polarity)."""
+        return sheet_resistance(self.thickness_m, COPPER)
+
+
+@dataclass(frozen=True)
+class PackagingLevel:
+    """One level of the packaging hierarchy.
+
+    Attributes:
+        name: level name (``"PCB"``, ``"PKG"``, ``"Interposer"``,
+            ``"Die"``).
+        lateral: lateral metal model for this level.
+        down_interface: vertical technology connecting this level to
+            the one *below* it (None for the PCB).
+    """
+
+    name: str
+    lateral: LateralMetal
+    down_interface: VerticalInterconnect | None = None
+
+
+@dataclass(frozen=True)
+class PackagingStack:
+    """Ordered packaging levels from PCB (index 0) up to the die."""
+
+    levels: tuple[PackagingLevel, ...]
+    spec: SystemSpec = field(default_factory=SystemSpec)
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ConfigError("a stack needs at least PCB and die levels")
+        if self.levels[0].down_interface is not None:
+            raise ConfigError("the bottom level has no downward interface")
+        for level in self.levels[1:]:
+            if level.down_interface is None:
+                raise ConfigError(
+                    f"level {level.name} must declare its downward interface"
+                )
+
+    def level(self, name: str) -> PackagingLevel:
+        """Look up a level by name."""
+        for lvl in self.levels:
+            if lvl.name.lower() == name.lower():
+                return lvl
+        raise ConfigError(f"unknown packaging level: {name!r}")
+
+    def index_of(self, name: str) -> int:
+        """Index of a level by name."""
+        for i, lvl in enumerate(self.levels):
+            if lvl.name.lower() == name.lower():
+                return i
+        raise ConfigError(f"unknown packaging level: {name!r}")
+
+    def interfaces_between(
+        self, lower: str, upper: str
+    ) -> list[VerticalInterconnect]:
+        """Vertical technologies crossed going from ``lower`` up to
+        ``upper`` (exclusive of lower, inclusive of upper)."""
+        lo, hi = self.index_of(lower), self.index_of(upper)
+        if lo > hi:
+            raise ConfigError(f"{lower} is above {upper}")
+        techs: list[VerticalInterconnect] = []
+        for lvl in self.levels[lo + 1 : hi + 1]:
+            assert lvl.down_interface is not None  # enforced in __post_init__
+            techs.append(lvl.down_interface)
+        return techs
+
+    @property
+    def die(self) -> PackagingLevel:
+        """The top (die) level."""
+        return self.levels[-1]
+
+
+def default_stack(
+    spec: SystemSpec | None = None,
+    die_attach: VerticalInterconnect = ADVANCED_CU_PAD,
+) -> PackagingStack:
+    """The paper's 2.5D stack: PCB -> package -> interposer -> die.
+
+    Args:
+        spec: system specification (defaults to the paper's system).
+        die_attach: interposer-to-die technology; the vertical
+            architectures assume advanced Cu-Cu pads while the
+            reference A0 system is also evaluated with solder
+            micro-bumps (pass :data:`~repro.pdn.interconnect.MICRO_BUMP`).
+    """
+    spec = spec or SystemSpec()
+    if die_attach not in (ADVANCED_CU_PAD, MICRO_BUMP):
+        raise ConfigError("die attach must be micro-bumps or Cu-Cu pads")
+    pcb = PackagingLevel(
+        name="PCB",
+        lateral=LateralMetal(
+            name="PCB planes",
+            # Two 2-oz (70 um) plane layers per polarity.
+            thickness_m=2 * spec.pcb.plane_thickness_m,
+            layers=2 * spec.pcb.plane_pairs,
+        ),
+    )
+    pkg = PackagingLevel(
+        name="PKG",
+        lateral=LateralMetal(
+            name="package planes", thickness_m=2 * um(30.0), layers=4
+        ),
+        down_interface=BGA,
+    )
+    interposer = PackagingLevel(
+        name="Interposer",
+        lateral=LateralMetal(
+            name="interposer RDL", thickness_m=um(27.0), layers=2
+        ),
+        down_interface=C4_BUMP,
+    )
+    die = PackagingLevel(
+        name="Die",
+        lateral=LateralMetal(
+            name="die BEOL grid", thickness_m=um(6.0), layers=4
+        ),
+        down_interface=die_attach,
+    )
+    return PackagingStack(levels=(pcb, pkg, interposer, die), spec=spec)
+
+
+#: Convenience accessor used by modules that only need the TSV model.
+THROUGH_INTERPOSER = TSV

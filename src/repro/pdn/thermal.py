@@ -1,0 +1,109 @@
+"""Thermal network and electro-thermal coupling.
+
+Power dissipated in the die, the embedded regulators, and the
+interconnect heats the stack; copper and solder resistivity rise
+~0.4%/°C and ~0.2%/°C, and converter conduction loss follows the
+switches' R_on(T).  This module provides:
+
+* a one-dimensional thermal resistance ladder of the 2.5D stack
+  (die → interposer → package → board → ambient) with heat injected
+  at each level,
+* the temperature coefficients the electro-thermal coupling in
+  :mod:`repro.core.electro_thermal` applies to interconnect and
+  converter losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Fractional resistance increase per °C for interconnect copper/solder
+#: (blended packaging value).
+INTERCONNECT_TEMPCO_PER_C = 3.5e-3
+
+#: Fractional conduction-loss increase per °C for the power switches
+#: (R_on tempco; GaN ~ Si at this first order).
+CONVERTER_TEMPCO_PER_C = 4.0e-3
+
+#: Reference temperature of all calibrated models.
+REFERENCE_TEMPERATURE_C = 25.0
+
+
+@dataclass(frozen=True)
+class ThermalStack:
+    """A 1-D thermal ladder from the die to ambient.
+
+    Attributes:
+        r_die_to_interposer_c_per_w: junction-to-interposer resistance.
+        r_interposer_to_package_c_per_w: interposer-to-package.
+        r_package_to_board_c_per_w: package-to-board (incl. BGA field).
+        r_board_to_ambient_c_per_w: board + heatsink to ambient.
+        ambient_c: ambient temperature.
+    """
+
+    r_die_to_interposer_c_per_w: float = 0.020
+    r_interposer_to_package_c_per_w: float = 0.015
+    r_package_to_board_c_per_w: float = 0.010
+    r_board_to_ambient_c_per_w: float = 0.030
+    ambient_c: float = 35.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "r_die_to_interposer_c_per_w",
+            "r_interposer_to_package_c_per_w",
+            "r_package_to_board_c_per_w",
+            "r_board_to_ambient_c_per_w",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    def temperatures(
+        self,
+        die_power_w: float,
+        interposer_power_w: float = 0.0,
+        package_power_w: float = 0.0,
+        board_power_w: float = 0.0,
+    ) -> "StackTemperatures":
+        """Solve the ladder for the given per-level heat injections.
+
+        Heat flows strictly toward ambient; the temperature at each
+        level is ambient plus the sum over downstream resistances of
+        (all heat passing through them).
+        """
+        for power in (die_power_w, interposer_power_w, package_power_w, board_power_w):
+            if power < 0:
+                raise ConfigError("heat injections must be non-negative")
+        q_board = die_power_w + interposer_power_w + package_power_w + board_power_w
+        q_package = die_power_w + interposer_power_w + package_power_w
+        q_interposer = die_power_w + interposer_power_w
+        q_die = die_power_w
+
+        t_board = self.ambient_c + q_board * self.r_board_to_ambient_c_per_w
+        t_package = t_board + q_package * self.r_package_to_board_c_per_w
+        t_interposer = (
+            t_package + q_interposer * self.r_interposer_to_package_c_per_w
+        )
+        t_die = t_interposer + q_die * self.r_die_to_interposer_c_per_w
+        return StackTemperatures(
+            die_c=t_die,
+            interposer_c=t_interposer,
+            package_c=t_package,
+            board_c=t_board,
+        )
+
+
+@dataclass(frozen=True)
+class StackTemperatures:
+    """Solved level temperatures (°C)."""
+
+    die_c: float
+    interposer_c: float
+    package_c: float
+    board_c: float
+
+    @property
+    def hottest_c(self) -> float:
+        """The maximum level temperature (always the die here)."""
+        return max(self.die_c, self.interposer_c, self.package_c, self.board_c)

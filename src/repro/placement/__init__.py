@@ -1,0 +1,34 @@
+"""VR placement engine.
+
+Turns a converter spec plus a die geometry into a concrete placement
+plan: how many VRs, where they sit (periphery rings on the interposer
+surface, or embedded below the die), and whether the plan satisfies
+the area and per-VR-current constraints.  The count policy mirrors the
+paper (Table II slot counts, demand-driven row extension for sparse
+converters, and the 3LHD exclusion).
+"""
+
+from .geometry import Position, periphery_positions, grid_positions, sunflower_positions
+from .area_budget import AreaBudget, below_die_budget, periphery_budget
+from .planner import (
+    OVERFLOW_AREA_THRESHOLD_MM2,
+    PlacementPlan,
+    PlacementStyle,
+    optimal_stage_count,
+    plan_placement,
+)
+
+__all__ = [
+    "Position",
+    "periphery_positions",
+    "grid_positions",
+    "sunflower_positions",
+    "AreaBudget",
+    "periphery_budget",
+    "below_die_budget",
+    "PlacementStyle",
+    "PlacementPlan",
+    "plan_placement",
+    "optimal_stage_count",
+    "OVERFLOW_AREA_THRESHOLD_MM2",
+]

@@ -1,0 +1,242 @@
+"""Concrete interposer floorplans (the Fig. 4/5 artifacts).
+
+Turns a :class:`~repro.placement.planner.PlacementPlan` into actual
+rectangles on the interposer: VR tiles sized from the converter's
+switch-density footprint, centered on the plan's positions, clipped
+against each other and the region budgets.  Provides overlap checks
+(a plan that passes the area budget must also *place* without
+overlap) and an ASCII rendering that reproduces the paper's Fig. 5
+illustration — periphery ring vs under-die distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .planner import PlacementPlan, PlacementStyle
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One placed VR rectangle in die-fraction coordinates.
+
+    The die occupies [0,1]²; periphery tiles may extend beyond it
+    (they sit on the interposer around the die).
+    """
+
+    index: int
+    x_center: float
+    y_center: float
+    width: float
+    height: float
+    ring: int
+
+    @property
+    def x_min(self) -> float:
+        """Left edge."""
+        return self.x_center - self.width / 2
+
+    @property
+    def x_max(self) -> float:
+        """Right edge."""
+        return self.x_center + self.width / 2
+
+    @property
+    def y_min(self) -> float:
+        """Bottom edge."""
+        return self.y_center - self.height / 2
+
+    @property
+    def y_max(self) -> float:
+        """Top edge."""
+        return self.y_center + self.height / 2
+
+    def overlaps(self, other: "Tile", tolerance: float = 1e-9) -> bool:
+        """Axis-aligned rectangle overlap test."""
+        return not (
+            self.x_max <= other.x_min + tolerance
+            or other.x_max <= self.x_min + tolerance
+            or self.y_max <= other.y_min + tolerance
+            or other.y_max <= self.y_min + tolerance
+        )
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A realized VR floorplan.
+
+    Attributes:
+        plan: the placement plan this floorplan realizes.
+        tiles: one rectangle per VR.
+        die_span: the die occupies [0, die_span]² in floorplan
+            coordinates (1.0; kept for clarity in rendering).
+    """
+
+    plan: PlacementPlan
+    tiles: tuple[Tile, ...]
+    die_span: float = 1.0
+
+    def overlapping_pairs(self) -> list[tuple[int, int]]:
+        """All pairs of tiles that overlap (should be empty)."""
+        pairs: list[tuple[int, int]] = []
+        for i, a in enumerate(self.tiles):
+            for b in self.tiles[i + 1 :]:
+                if a.overlaps(b):
+                    pairs.append((a.index, b.index))
+        return pairs
+
+    @property
+    def is_legal(self) -> bool:
+        """True when no two tiles overlap."""
+        return not self.overlapping_pairs()
+
+    def tiles_inside_die(self) -> int:
+        """Tiles fully within the die shadow."""
+        count = 0
+        for tile in self.tiles:
+            if (
+                tile.x_min >= -1e-9
+                and tile.y_min >= -1e-9
+                and tile.x_max <= self.die_span + 1e-9
+                and tile.y_max <= self.die_span + 1e-9
+            ):
+                count += 1
+        return count
+
+    def render(self, width: int = 58, height: int = 29) -> str:
+        """ASCII rendering: die outline plus numbered VR tiles.
+
+        Periphery tiles (outside the die edge) render on an extended
+        canvas, reproducing the Fig. 5(a)/(b) contrast.
+        """
+        if width < 20 or height < 10:
+            raise ConfigError("canvas too small")
+        # Canvas spans [-margin, 1+margin]^2 around the die.
+        margin = 0.18
+        span = 1.0 + 2 * margin
+
+        def to_col(x: float) -> int:
+            return int((x + margin) / span * (width - 1))
+
+        def to_row(y: float) -> int:
+            return int((y + margin) / span * (height - 1))
+
+        grid = [[" "] * width for _ in range(height)]
+
+        # Die outline.
+        for x_edge in (0.0, 1.0):
+            col = to_col(x_edge)
+            for row in range(to_row(0.0), to_row(1.0) + 1):
+                grid[row][col] = "|"
+        for y_edge in (0.0, 1.0):
+            row = to_row(y_edge)
+            for col in range(to_col(0.0), to_col(1.0) + 1):
+                grid[row][col] = "-"
+
+        for tile in self.tiles:
+            c0, c1 = to_col(tile.x_min), to_col(tile.x_max)
+            r0, r1 = to_row(tile.y_min), to_row(tile.y_max)
+            for row in range(max(r0, 0), min(r1 + 1, height)):
+                for col in range(max(c0, 0), min(c1 + 1, width)):
+                    grid[row][col] = "#"
+
+        lines = ["".join(row) for row in grid]
+        legend = (
+            f"{self.plan.converter.name} x{self.plan.vr_count} "
+            f"({self.plan.style.value}); '#' = VR tile, box = die edge"
+        )
+        return "\n".join(lines + [legend])
+
+
+def build_floorplan(plan: PlacementPlan, die_area_mm2: float) -> Floorplan:
+    """Realize a placement plan as rectangles.
+
+    VR tiles are squares of side ``sqrt(area_mm2)`` scaled to die
+    fractions.  Under-die tiles are re-gridded to a legal pitch
+    (the electrical plan's positions carry routing margin; geometry
+    needs tight packing).  Periphery tiles are pushed just outside the
+    die edge (the interposer surface around the die, per Fig. 5(a));
+    dense rings stagger alternate tiles into a second sub-row so they
+    never overlap along the edge, and deeper rings move farther out.
+    """
+    if die_area_mm2 <= 0:
+        raise ConfigError("die area must be positive")
+    die_side_mm = math.sqrt(die_area_mm2)
+    tile_side = math.sqrt(plan.converter.area_mm2) / die_side_mm
+
+    # Re-grid the under-die tiles on a ceil-sqrt lattice.
+    below_indices = [
+        index
+        for index, position in enumerate(plan.positions)
+        if plan.style is PlacementStyle.BELOW_DIE and position.ring == 0
+    ]
+    below_centers: dict[int, tuple[float, float]] = {}
+    if below_indices:
+        count = len(below_indices)
+        cols = math.ceil(math.sqrt(count))
+        rows = math.ceil(count / cols)
+        pitch = 1.0 / max(cols, rows)
+        if pitch < tile_side - 1e-9:
+            raise ConfigError(
+                f"{plan.converter.name}: {count} tiles of side "
+                f"{tile_side:.3f} (die fractions) cannot be gridded "
+                "inside the die shadow"
+            )
+        for slot, index in enumerate(below_indices):
+            row, col = divmod(slot, cols)
+            in_row = min(cols, count - row * cols)
+            x = (col + 0.5) / in_row if in_row < cols else (col + 0.5) / cols
+            y = (row + 0.5) / rows
+            below_centers[index] = (x, y)
+
+    # Along-edge spacing check for periphery rings: stagger when the
+    # tiles outnumber the edge length.
+    ring_counts: dict[int, int] = {}
+    for position in plan.positions:
+        if plan.style is PlacementStyle.PERIPHERY or position.ring > 0:
+            ring_counts[position.ring] = ring_counts.get(position.ring, 0) + 1
+
+    def needs_stagger(ring: int) -> bool:
+        count = ring_counts.get(ring, 0)
+        return count > 0 and (4.0 / count) < tile_side * 1.05
+
+    tiles: list[Tile] = []
+    for index, position in enumerate(plan.positions):
+        if index in below_centers:
+            x, y = below_centers[index]
+            tiles.append(
+                Tile(index, x, y, tile_side, tile_side, position.ring)
+            )
+            continue
+        x, y = position.x, position.y
+        if plan.style is PlacementStyle.PERIPHERY or position.ring > 0:
+            stagger = index % 2 if needs_stagger(position.ring) else 0
+            offset = tile_side * (0.55 + 1.1 * (position.ring + stagger))
+            distances = {
+                "left": x,
+                "right": 1.0 - x,
+                "bottom": y,
+                "top": 1.0 - y,
+            }
+            nearest = min(distances, key=distances.get)
+            if nearest == "left":
+                x = -offset
+            elif nearest == "right":
+                x = 1.0 + offset
+            elif nearest == "bottom":
+                y = -offset
+            else:
+                y = 1.0 + offset
+        tiles.append(
+            Tile(
+                index=index,
+                x_center=x,
+                y_center=y,
+                width=tile_side,
+                height=tile_side,
+                ring=position.ring,
+            )
+        )
+    return Floorplan(plan=plan, tiles=tuple(tiles))

@@ -1,0 +1,155 @@
+"""Placement geometry helpers.
+
+Positions are expressed in fractional die coordinates (x, y) in
+[0, 1]² so they can be handed directly to the grid PDN solver.
+Periphery VRs physically sit on the interposer just outside the die
+edge; electrically they feed the die edge, so their positions are
+clamped to the die boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Golden angle used by the sunflower layout (radians).
+_GOLDEN_ANGLE = math.pi * (3.0 - math.sqrt(5.0))
+
+
+@dataclass(frozen=True)
+class Position:
+    """A placement site in fractional die coordinates."""
+
+    x: float
+    y: float
+    ring: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.x <= 1.0 or not 0.0 <= self.y <= 1.0:
+            raise ConfigError(f"position ({self.x}, {self.y}) outside die")
+
+
+def periphery_positions(count: int, inset: float = 0.02) -> list[Position]:
+    """``count`` positions evenly spaced along the die boundary.
+
+    The walk starts mid-top-edge and proceeds clockwise; positions are
+    inset slightly so they land on interior grid nodes.
+    """
+    if count < 1:
+        raise ConfigError("count must be >= 1")
+    if not 0.0 <= inset < 0.5:
+        raise ConfigError("inset must be in [0, 0.5)")
+    lo, hi = inset, 1.0 - inset
+    side = hi - lo
+    perimeter = 4.0 * side
+    positions: list[Position] = []
+    for k in range(count):
+        distance = (k + 0.5) / count * perimeter
+        edge, along = divmod(distance, side)
+        if edge == 0:  # top edge, left -> right
+            x, y = lo + along, lo
+        elif edge == 1:  # right edge, top -> bottom
+            x, y = hi, lo + along
+        elif edge == 2:  # bottom edge, right -> left
+            x, y = hi - along, hi
+        else:  # left edge, bottom -> top
+            x, y = lo, hi - along
+        positions.append(Position(x=x, y=y, ring=0))
+    return positions
+
+
+def multi_ring_positions(
+    counts_per_ring: list[int], ring_spacing: float = 0.06
+) -> list[Position]:
+    """Positions for several concentric periphery rings.
+
+    Ring 0 hugs the die edge; each deeper ring is inset by
+    ``ring_spacing`` more.  (Physically, additional rings sit farther
+    *outside* the die on the interposer; electrically they feed the
+    same edge region, so deeper rings are modeled closer toward the
+    die interior only slightly.)
+    """
+    if not counts_per_ring:
+        raise ConfigError("at least one ring required")
+    if ring_spacing <= 0:
+        raise ConfigError("ring spacing must be positive")
+    positions: list[Position] = []
+    for ring, count in enumerate(counts_per_ring):
+        if count <= 0:
+            continue
+        inset = 0.02 + ring * ring_spacing
+        if inset >= 0.5:
+            raise ConfigError("too many rings for the die")
+        ring_pos = periphery_positions(count, inset=inset)
+        positions.extend(
+            Position(x=p.x, y=p.y, ring=ring) for p in ring_pos
+        )
+    return positions
+
+
+def grid_positions(count: int, margin: float = 0.08) -> list[Position]:
+    """``count`` positions in a centered near-square grid.
+
+    Used for under-die placement: rows × cols with the last row
+    centered when partially filled.
+    """
+    if count < 1:
+        raise ConfigError("count must be >= 1")
+    if not 0.0 <= margin < 0.5:
+        raise ConfigError("margin must be in [0, 0.5)")
+    cols = math.ceil(math.sqrt(count))
+    rows = math.ceil(count / cols)
+    span = 1.0 - 2.0 * margin
+    positions: list[Position] = []
+    placed = 0
+    for r in range(rows):
+        in_row = min(cols, count - placed)
+        y = margin + (r + 0.5) / rows * span
+        for c in range(in_row):
+            x = margin + (c + 0.5) / in_row * span
+            positions.append(Position(x=x, y=y, ring=0))
+        placed += in_row
+    return positions
+
+
+def sunflower_positions(count: int, radius: float = 0.42) -> list[Position]:
+    """``count`` positions in a golden-angle sunflower disk.
+
+    An alternative under-die layout with uniform areal density; used
+    by the placement ablation bench.
+    """
+    if count < 1:
+        raise ConfigError("count must be >= 1")
+    if not 0.0 < radius <= 0.5:
+        raise ConfigError("radius must be in (0, 0.5]")
+    positions: list[Position] = []
+    for k in range(count):
+        r = radius * math.sqrt((k + 0.5) / count)
+        theta = k * _GOLDEN_ANGLE
+        positions.append(
+            Position(
+                x=0.5 + r * math.cos(theta),
+                y=0.5 + r * math.sin(theta),
+                ring=0,
+            )
+        )
+    return positions
+
+
+def mixed_positions(
+    below_count: int, periphery_count: int, margin: float = 0.12
+) -> list[Position]:
+    """Under-die grid plus a periphery ring (the DPMIH A2 pattern:
+    slots below the die are exhausted and the remainder overflows to
+    the periphery)."""
+    positions: list[Position] = []
+    if below_count > 0:
+        positions.extend(grid_positions(below_count, margin=margin))
+    if periphery_count > 0:
+        ring = periphery_positions(periphery_count)
+        positions.extend(Position(x=p.x, y=p.y, ring=1) for p in ring)
+    if not positions:
+        raise ConfigError("at least one VR required")
+    return positions

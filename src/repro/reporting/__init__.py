@@ -1,0 +1,31 @@
+"""Reporting: table renderers, figure data series, ASCII plots, and
+the experiment registry that pairs paper claims with measured values."""
+
+from .ascii_plot import bar_chart, scatter_plot, series_table
+from .tables import render_table, table_i_text, table_ii_text
+from .figures import (
+    fig1_series,
+    fig2_series,
+    fig3_series,
+    fig7_series,
+    render_fig7,
+)
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment, run_all
+
+__all__ = [
+    "bar_chart",
+    "scatter_plot",
+    "series_table",
+    "render_table",
+    "table_i_text",
+    "table_ii_text",
+    "fig1_series",
+    "fig2_series",
+    "fig3_series",
+    "fig7_series",
+    "render_fig7",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "run_all",
+]

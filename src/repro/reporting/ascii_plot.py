@@ -1,0 +1,130 @@
+"""Minimal ASCII plotting (no matplotlib in the offline environment).
+
+Three primitives cover the paper's figures: horizontal bar charts
+(Fig. 7), scatter plots (Fig. 1), and aligned series tables (Fig. 2
+and the sweeps).  All return strings so benches/examples can print or
+write them to files.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ConfigError
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """A horizontal bar chart with one row per label."""
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must have the same length")
+    if not labels:
+        raise ConfigError("nothing to plot")
+    if width < 10:
+        raise ConfigError("width must be at least 10")
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak)) if value > 0 else 0
+        bar = "#" * filled
+        lines.append(
+            f"{str(label):<{label_width}} |{bar:<{width}}| "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    markers: Sequence[str] | None = None,
+    width: int = 64,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """An ASCII scatter plot; optional per-point markers and log axes."""
+    if len(xs) != len(ys):
+        raise ConfigError("xs and ys must have the same length")
+    if not xs:
+        raise ConfigError("nothing to plot")
+    if markers is not None and len(markers) != len(xs):
+        raise ConfigError("markers must match the point count")
+
+    def transform(value: float, log: bool) -> float:
+        if log:
+            if value <= 0:
+                raise ConfigError("log axis requires positive values")
+            return math.log10(value)
+        return value
+
+    tx = [transform(x, log_x) for x in xs]
+    ty = [transform(y, log_y) for y in ys]
+    x_lo, x_hi = min(tx), max(tx)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (x, y) in enumerate(zip(tx, ty)):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        marker = markers[i] if markers else "*"
+        grid[row][col] = marker[0]
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"x: [{min(xs):g} .. {max(xs):g}]"
+        + ("  (log)" if log_x else "")
+        + f"   y: [{min(ys):g} .. {max(ys):g}]"
+        + ("  (log)" if log_y else "")
+    )
+    return "\n".join(lines)
+
+
+def series_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3g}",
+) -> str:
+    """An aligned plain-text table."""
+    if not headers:
+        raise ConfigError("headers required")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigError("row width must match headers")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""CSV export of the reproduced figure/table data.
+
+Plot-tool-agnostic escape hatch: every figure series can be written as
+a CSV so downstream users can regenerate the paper's plots in their
+tool of choice (the offline environment has no plotting backend).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+from ..config import SystemSpec
+from ..errors import ConfigError
+from .figures import fig1_series, fig2_series, fig3_series, fig7_series
+
+
+def _write_csv(
+    path: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    if not headers:
+        raise ConfigError("headers required")
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig1_csv(path: str) -> str:
+    """Fig. 1 scatter data: one row per chip/server point."""
+    data = fig1_series()
+    rows: list[list[object]] = []
+    for kind in ("chips", "servers"):
+        for name, power, density, efficiency in data[kind]:
+            rows.append([kind[:-1], name, power, density, efficiency])
+    return _write_csv(
+        path,
+        ["kind", "name", "power_w", "current_density_a_per_mm2",
+         "delivery_efficiency"],
+        rows,
+    )
+
+
+def export_fig2_csv(path: str) -> str:
+    """Fig. 2 trend data: year-aligned demand and feature series."""
+    data = fig2_series()
+    demand = dict(data["current_demand_a"])
+    feature = dict(data["feature_um"])
+    years = sorted(set(demand) | set(feature))
+    rows = [
+        [year, demand.get(year, ""), feature.get(year, "")]
+        for year in years
+    ]
+    return _write_csv(
+        path, ["year", "die_current_a", "packaging_feature_um"], rows
+    )
+
+
+def export_fig3_csv(path: str, spec: SystemSpec | None = None) -> str:
+    """Fig. 3 data: loss vs conversion location."""
+    rows = [
+        [d["location"], d["loss_pct"], d["efficiency"]]
+        for d in fig3_series(spec)
+    ]
+    return _write_csv(path, ["location", "loss_pct", "efficiency"], rows)
+
+
+def export_fig7_csv(path: str, spec: SystemSpec | None = None) -> str:
+    """Fig. 7 data: stacked loss components per design point."""
+    rows: list[list[object]] = []
+    for d in fig7_series(spec):
+        if d["excluded"]:
+            rows.append(
+                [d["architecture"], d["topology"], "", "", "", "", "", "",
+                 "excluded"]
+            )
+            continue
+        rows.append(
+            [
+                d["architecture"],
+                d["topology"],
+                d["BGA"],
+                d["C4"],
+                d["TSV"],
+                d["die-attach"],
+                d["horizontal"],
+                d["VR"],
+                d["total_pct"],
+            ]
+        )
+    return _write_csv(
+        path,
+        [
+            "architecture",
+            "topology",
+            "bga_pct",
+            "c4_pct",
+            "tsv_pct",
+            "die_attach_pct",
+            "horizontal_pct",
+            "vr_pct",
+            "total_pct",
+        ],
+        rows,
+    )
+
+
+def export_all(directory: str, spec: SystemSpec | None = None) -> list[str]:
+    """Write every figure CSV into ``directory``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    return [
+        export_fig1_csv(os.path.join(directory, "fig1_demand.csv")),
+        export_fig2_csv(os.path.join(directory, "fig2_trends.csv")),
+        export_fig3_csv(os.path.join(directory, "fig3_location.csv"), spec),
+        export_fig7_csv(os.path.join(directory, "fig7_losses.csv"), spec),
+    ]

@@ -1,0 +1,185 @@
+"""Figure data series and text renderings.
+
+Each ``figN_series`` function returns plain data (lists/dicts) that
+the benches print and assert on; the ``render_*`` helpers produce the
+ASCII rendering for humans.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from ..core.characterization import CharacterizationRow, characterize_all
+from ..core.exploration import conversion_location_sweep
+from ..datasets.hpc_demand import chips, servers
+from ..datasets.scaling_trends import (
+    current_demand_series,
+    feature_size_series,
+    ppdn_resistance_series,
+)
+from .ascii_plot import bar_chart, scatter_plot, series_table
+
+
+def fig1_series() -> dict[str, list[tuple[str, float, float, float]]]:
+    """Fig. 1 data: (name, power W, current density, efficiency) for
+    chips and servers."""
+    return {
+        "chips": [
+            (p.name, p.power_w, p.current_density_a_per_mm2, p.delivery_efficiency)
+            for p in chips()
+        ],
+        "servers": [
+            (p.name, p.power_w, p.current_density_a_per_mm2, p.delivery_efficiency)
+            for p in servers()
+        ],
+    }
+
+
+def render_fig1() -> str:
+    """ASCII rendering of Fig. 1 (power vs current density, log-power)."""
+    data = fig1_series()
+    xs, ys, markers = [], [], []
+    for name, power, density, _eta in data["chips"]:
+        xs.append(density)
+        ys.append(power)
+        markers.append("c")
+    for name, power, density, _eta in data["servers"]:
+        xs.append(density)
+        ys.append(power)
+        markers.append("S")
+    plot = scatter_plot(
+        xs,
+        ys,
+        markers=markers,
+        log_y=True,
+        title="Fig.1: power vs current density (c = chip, S = server)",
+    )
+    return plot
+
+
+def fig2_series() -> dict[str, list[tuple[int, float]]]:
+    """Fig. 2 data: die-current demand, packaging feature size, and
+    the (relative) PPDN conductance improvement over time."""
+    return {
+        "current_demand_a": current_demand_series(),
+        "feature_um": feature_size_series(),
+        "relative_conductance": ppdn_resistance_series(),
+    }
+
+
+def render_fig2() -> str:
+    """Fig. 2 as an aligned table of the two trends."""
+    demand = dict(current_demand_series())
+    feature = dict(feature_size_series())
+    years = sorted(set(demand) | set(feature))
+    rows = []
+    for year in years:
+        rows.append(
+            [
+                year,
+                f"{demand[year]:.2f}" if year in demand else "-",
+                f"{feature[year]:.0f}" if year in feature else "-",
+            ]
+        )
+    return series_table(
+        ["Year", "Die current (A, 200 mm2)", "Packaging feature (um)"], rows
+    )
+
+
+def fig3_series(spec: SystemSpec | None = None) -> list[dict[str, float]]:
+    """Fig. 3 quantified: loss vs conversion location."""
+    points = conversion_location_sweep(spec=spec)
+    return [
+        {
+            "location": p.label,
+            "loss_pct": p.loss_pct,
+            "efficiency": p.efficiency,
+        }
+        for p in points
+    ]
+
+
+def render_fig3(spec: SystemSpec | None = None) -> str:
+    """Fig. 3 as a bar chart of loss vs conversion location."""
+    data = fig3_series(spec)
+    return bar_chart(
+        [d["location"] for d in data],
+        [d["loss_pct"] for d in data],
+        unit="%",
+        title="Fig.3: PCB-to-POL loss vs conversion location (DSCH)",
+    )
+
+
+def fig7_series(
+    spec: SystemSpec | None = None,
+    rows: list[CharacterizationRow] | None = None,
+) -> list[dict[str, object]]:
+    """Fig. 7 data: per design point, the stacked loss components in
+    percent of the nominal PCB power, or the exclusion reason."""
+    rows = rows if rows is not None else characterize_all(spec=spec)
+    out: list[dict[str, object]] = []
+    for row in rows:
+        entry: dict[str, object] = {
+            "architecture": row.architecture,
+            "topology": row.topology,
+        }
+        if row.breakdown is None:
+            entry["excluded"] = True
+            entry["reason"] = row.excluded_reason
+        else:
+            entry["excluded"] = False
+            entry.update(row.breakdown.fig7_bars())
+            entry["total_pct"] = 100.0 * row.breakdown.paper_loss_fraction
+            entry["efficiency"] = row.breakdown.efficiency
+        out.append(entry)
+    return out
+
+
+def render_fig7(
+    spec: SystemSpec | None = None,
+    rows: list[CharacterizationRow] | None = None,
+) -> str:
+    """Fig. 7 as a bar chart (total loss) plus the component table."""
+    data = fig7_series(spec, rows)
+    included = [d for d in data if not d["excluded"]]
+    labels = [f"{d['architecture']}/{d['topology']}" for d in included]
+    totals = [float(d["total_pct"]) for d in included]
+    chart = bar_chart(
+        labels,
+        totals,
+        unit="%",
+        title="Fig.7: PCB-to-POL power loss (% of 1 kW at PCB)",
+    )
+    headers = [
+        "Arch/Topo",
+        "BGA%",
+        "C4%",
+        "TSV%",
+        "die-attach%",
+        "horizontal%",
+        "VR%",
+        "total%",
+    ]
+    table_rows = []
+    for d in included:
+        table_rows.append(
+            [
+                f"{d['architecture']}/{d['topology']}",
+                f"{d['BGA']:.3f}",
+                f"{d['C4']:.3f}",
+                f"{d['TSV']:.3f}",
+                f"{d['die-attach']:.3f}",
+                f"{d['horizontal']:.2f}",
+                f"{d['VR']:.2f}",
+                f"{d['total_pct']:.2f}",
+            ]
+        )
+    excluded_lines = [
+        f"excluded: {d['architecture']}/{d['topology']} - {d['reason']}"
+        for d in data
+        if d["excluded"]
+    ]
+    parts = [chart, "", series_table(headers, table_rows)]
+    if excluded_lines:
+        parts.append("")
+        parts.extend(excluded_lines)
+    return "\n".join(parts)

@@ -1,0 +1,143 @@
+"""Markdown report generation.
+
+Produces a single self-contained markdown document with every
+reproduced artifact: the claim-level experiment table, the Fig. 7
+breakdown, utilization, sharing, and the floorplan renderings.  Used
+by ``python -m repro report --output FILE`` and by downstream users
+who want a repo-committable record of a run.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from ..converters.catalog import DSCH
+from ..core.architectures import single_stage_a1, single_stage_a2
+from ..core.current_sharing import analyze_current_sharing
+from ..core.utilization import a0_die_area_requirement, vertical_utilization
+from ..placement.floorplan import build_floorplan
+from ..placement.planner import plan_placement
+from .experiments import run_all
+from .figures import fig7_series
+from .tables import table_i_text, table_ii_text
+
+
+def _code_block(text: str) -> str:
+    return f"```\n{text}\n```"
+
+
+def markdown_report(spec: SystemSpec | None = None) -> str:
+    """The full reproduction report as a markdown string."""
+    spec = spec or SystemSpec()
+    sections: list[str] = []
+
+    sections.append(
+        "# Vertical Power Delivery — reproduction report\n\n"
+        f"System: {spec.pol_power_w:.0f} W at {spec.pol_voltage_v:g} V "
+        f"({spec.pol_current_a:.0f} A), {spec.input_voltage_v:g} V input, "
+        f"{spec.current_density_a_per_mm2:g} A/mm², "
+        f"{spec.die_area_mm2:.0f} mm² die."
+    )
+
+    # Claim-level checks.
+    results = run_all(spec)
+    lines = [
+        "## Claim-level checks\n",
+        "| Experiment | Claim | Paper | Measured | Holds |",
+        "|---|---|---|---|---|",
+    ]
+    for r in results:
+        flag = "✓" if r.holds else "✗"
+        lines.append(
+            f"| {r.experiment} | {r.claim} | {r.paper_value} | "
+            f"{r.measured_value} | {flag} |"
+        )
+    failing = sum(1 for r in results if not r.holds)
+    lines.append(
+        f"\n**{len(results) - failing}/{len(results)} claims hold.**"
+    )
+    sections.append("\n".join(lines))
+
+    # Fig. 7 table.
+    rows = fig7_series(spec)
+    lines = [
+        "## Fig. 7 — PCB-to-POL loss (% of nominal PCB power)\n",
+        "| Architecture | Topology | horizontal | VR | vertical | total | efficiency |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        if row["excluded"]:
+            lines.append(
+                f"| {row['architecture']} | {row['topology']} | — | — | — | "
+                "excluded | — |"
+            )
+            continue
+        vertical = (
+            row["BGA"] + row["C4"] + row["TSV"] + row["die-attach"]
+        )
+        lines.append(
+            f"| {row['architecture']} | {row['topology']} | "
+            f"{row['horizontal']:.2f}% | {row['VR']:.2f}% | "
+            f"{vertical:.3f}% | {row['total_pct']:.2f}% | "
+            f"{row['efficiency']:.1%} |"
+        )
+    sections.append("\n".join(lines))
+
+    # Tables I and II.
+    sections.append(
+        "## Table I — vertical interconnect\n\n" + _code_block(table_i_text())
+    )
+    sections.append(
+        "## Table II — converters\n\n" + _code_block(table_ii_text())
+    )
+
+    # Utilization.
+    report = vertical_utilization(single_stage_a2(), spec=spec)
+    lines = [
+        "## Interconnect utilization (vertical delivery)\n",
+        "| Technology | Rail current | Elements/polarity | Utilization |",
+        "|---|---|---|---|",
+    ]
+    for row in report.rows:
+        lines.append(
+            f"| {row.technology} | {row.rail_current_a:.1f} A | "
+            f"{row.elements_per_polarity} | {row.utilization:.2%} |"
+        )
+    a0 = a0_die_area_requirement(spec)
+    lines.append(
+        f"\nA0 needs a {a0.required_die_area_mm2:.0f} mm² die "
+        f"({a0.power_density_limit_a_per_mm2:.2f} A/mm² limit)."
+    )
+    sections.append("\n".join(lines))
+
+    # Current sharing.
+    lines = ["## Per-VR current sharing (DSCH)\n"]
+    for arch in (single_stage_a1(), single_stage_a2()):
+        sharing = analyze_current_sharing(arch, DSCH, spec=spec)
+        lines.append(
+            f"* **{sharing.architecture}**: {sharing.min_current_a:.1f} – "
+            f"{sharing.max_current_a:.1f} A "
+            f"(mean {sharing.mean_current_a:.1f} A, spread "
+            f"{sharing.spread_ratio:.1f}×)"
+        )
+    sections.append("\n".join(lines))
+
+    # Floorplans (Fig. 5).
+    lines = ["## Floorplans (Fig. 5)\n"]
+    for arch in (single_stage_a1(), single_stage_a2()):
+        plan = plan_placement(
+            DSCH, arch.pol_stage_style, spec.pol_current_a, spec.die_area_mm2
+        )
+        floorplan = build_floorplan(plan, spec.die_area_mm2)
+        lines.append(f"### {arch.name}\n")
+        lines.append(_code_block(floorplan.render()))
+    sections.append("\n".join(lines))
+
+    return "\n\n".join(sections) + "\n"
+
+
+def write_markdown_report(path: str, spec: SystemSpec | None = None) -> str:
+    """Write the report to ``path`` and return the path."""
+    content = markdown_report(spec)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    return path

@@ -1,0 +1,85 @@
+"""Table renderers for the paper's Table I and Table II."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..converters.catalog import table_ii_rows
+from ..pdn.interconnect import table_i_rows
+from .ascii_plot import series_table
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Generic aligned table (thin wrapper kept for API symmetry)."""
+    return series_table(headers, rows)
+
+
+def table_i_text() -> str:
+    """Table I: vertical interconnect characteristics (direct data
+    plus the derived per-element resistance and site counts)."""
+    headers = [
+        "Level",
+        "Platform mm2",
+        "Type",
+        "Material",
+        "Dia um",
+        "Area um2",
+        "Height um",
+        "Pitch um",
+        "R/elem mOhm",
+        "Sites",
+    ]
+    rows = []
+    for entry in table_i_rows():
+        rows.append(
+            [
+                entry["level"],
+                f"{entry['platform_area_mm2']:.0f}",
+                entry["type"],
+                entry["material"],
+                f"{entry['diameter_um']:.0f}" if entry["diameter_um"] else "-",
+                f"{entry['cross_area_um2']:.0f}",
+                f"{entry['height_um']:.0f}",
+                f"{entry['pitch_um']:.0f}",
+                f"{entry['element_resistance_ohm'] * 1e3:.3f}",
+                f"{entry['sites_total']}",
+            ]
+        )
+    return series_table(headers, rows)
+
+
+def table_ii_text() -> str:
+    """Table II: converter characteristics (direct data plus the
+    derived per-VR footprint)."""
+    headers = [
+        "",
+        "DPMIH",
+        "DSCH",
+        "3LHD",
+    ]
+    rows_by_name = {row["name"]: row for row in table_ii_rows()}
+    order = ["DPMIH", "DSCH", "3LHD"]
+
+    def line(label: str, fmt) -> list[object]:
+        return [label] + [fmt(rows_by_name[name]) for name in order]
+
+    rows = [
+        line("Conversion scheme", lambda r: r["conversion_scheme"]),
+        line("Max load current", lambda r: f"{r['max_load_a']:.0f} A"),
+        line("Peak efficiency", lambda r: f"{r['peak_efficiency'] * 100:.1f}%"),
+        line("Current at peak eff.", lambda r: f"{r['i_at_peak_a']:.0f} A"),
+        line("Number of switches", lambda r: f"{r['switch_count']}"),
+        line("Switches per mm2", lambda r: f"{r['switches_per_mm2']:.2f}"),
+        line("Number of inductors", lambda r: f"{r['inductor_count']}"),
+        line("Total inductance", lambda r: f"{r['total_inductance_uH']:.2f} uH"),
+        line("Number of capacitors", lambda r: f"{r['capacitor_count']}"),
+        line(
+            "Total capacitance", lambda r: f"{r['total_capacitance_uF']:.1f} uF"
+        ),
+        line("VRs along die periphery", lambda r: f"{r['vrs_along_periphery']}"),
+        line("VRs below the die", lambda r: f"{r['vrs_below_die']}"),
+        line("Area per VR (derived)", lambda r: f"{r['area_mm2']:.1f} mm2"),
+    ]
+    return series_table(headers, rows)

@@ -1,0 +1,162 @@
+"""Unit helpers and physical constants.
+
+All internal computation uses SI base units (meters, ohms, amperes,
+watts, volts, seconds).  The paper and packaging literature, however,
+quote geometry in millimeters/micrometers and impedances in
+milli/micro-ohms; these helpers keep call sites readable and make the
+intended unit explicit at the point of use.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+#: meters per millimeter
+MM = 1e-3
+#: meters per micrometer
+UM = 1e-6
+#: square meters per square millimeter
+MM2 = 1e-6
+#: square meters per square micrometer
+UM2 = 1e-12
+
+
+def mm(value: float) -> float:
+    """Convert millimeters to meters."""
+    return value * MM
+
+
+def um(value: float) -> float:
+    """Convert micrometers to meters."""
+    return value * UM
+
+
+def mm2(value: float) -> float:
+    """Convert square millimeters to square meters."""
+    return value * MM2
+
+
+def um2(value: float) -> float:
+    """Convert square micrometers to square meters."""
+    return value * UM2
+
+
+def to_mm(value_m: float) -> float:
+    """Convert meters to millimeters."""
+    return value_m / MM
+
+
+def to_mm2(value_m2: float) -> float:
+    """Convert square meters to square millimeters."""
+    return value_m2 / MM2
+
+
+# ---------------------------------------------------------------------------
+# Impedance
+# ---------------------------------------------------------------------------
+
+#: ohms per milliohm
+MILLIOHM = 1e-3
+#: ohms per microohm
+MICROOHM = 1e-6
+
+
+def milliohm(value: float) -> float:
+    """Convert milliohms to ohms."""
+    return value * MILLIOHM
+
+
+def microohm(value: float) -> float:
+    """Convert microohms to ohms."""
+    return value * MICROOHM
+
+
+def to_milliohm(value_ohm: float) -> float:
+    """Convert ohms to milliohms."""
+    return value_ohm / MILLIOHM
+
+
+def to_microohm(value_ohm: float) -> float:
+    """Convert ohms to microohms."""
+    return value_ohm / MICROOHM
+
+
+# ---------------------------------------------------------------------------
+# Reactive components / frequency
+# ---------------------------------------------------------------------------
+
+#: henries per microhenry
+UH = 1e-6
+#: henries per nanohenry
+NH = 1e-9
+#: farads per microfarad
+UF = 1e-6
+#: farads per nanofarad
+NF = 1e-9
+#: hertz per megahertz
+MHZ = 1e6
+#: hertz per kilohertz
+KHZ = 1e3
+
+
+def uh(value: float) -> float:
+    """Convert microhenries to henries."""
+    return value * UH
+
+
+def nh(value: float) -> float:
+    """Convert nanohenries to henries."""
+    return value * NH
+
+
+def uf(value: float) -> float:
+    """Convert microfarads to farads."""
+    return value * UF
+
+
+def nf(value: float) -> float:
+    """Convert nanofarads to farads."""
+    return value * NF
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * MHZ
+
+
+# ---------------------------------------------------------------------------
+# Formatting helpers (used by reporting)
+# ---------------------------------------------------------------------------
+
+_SI_PREFIXES = (
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+)
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(1.3e-3, 'Ohm')
+    -> '1.30 mOhm'``.
+
+    Zero and sub-pico magnitudes fall back to plain scientific notation.
+    """
+    if value == 0.0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    return f"{value:.{digits}e} {unit}"
+
+
+def percent(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string, e.g. 0.423 -> '42.3%'."""
+    return f"{fraction * 100.0:.{digits}f}%"

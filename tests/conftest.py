@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemSpec
+from repro.core.loss_analysis import LossAnalyzer
+
+
+@pytest.fixture(scope="session")
+def paper_spec() -> SystemSpec:
+    """The paper's 1 kW / 1 V / 48 V / 2 A/mm² system."""
+    return SystemSpec()
+
+
+@pytest.fixture(scope="session")
+def analyzer(paper_spec: SystemSpec) -> LossAnalyzer:
+    """A loss analyzer with default (calibrated) parameters."""
+    return LossAnalyzer(spec=paper_spec)

@@ -1,0 +1,158 @@
+"""AC (phasor) MNA solver tests, including cross-validation against
+the analytic ladder impedance model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn.ac import ACNetlist, impedance_at, solve_ac
+from repro.pdn.impedance import pdn_impedance
+from repro.pdn.transient import PDNStage
+
+
+class TestElements:
+    def test_inductor_validation(self):
+        net = ACNetlist()
+        with pytest.raises(ConfigError):
+            net.add_inductor("l", "a", "a", 1e-9)
+        with pytest.raises(ConfigError):
+            net.add_inductor("l2", "a", "b", 0.0)
+
+    def test_capacitor_validation(self):
+        net = ACNetlist()
+        with pytest.raises(ConfigError):
+            net.add_capacitor("c", "a", "b", 0.0)
+
+    def test_reactive_nodes_discovered(self):
+        net = ACNetlist()
+        net.add_inductor("l", "a", "b", 1e-9)
+        net.add_capacitor("c", "b", net.GROUND, 1e-6)
+        assert set(net.nodes()) == {"a", "b"}
+
+    def test_extend_ac(self):
+        first = ACNetlist()
+        first.add_resistor("r", "a", "0", 1.0)
+        second = ACNetlist()
+        second.add_inductor("l", "a", "b", 1e-9)
+        first.extend_ac(second)
+        assert len(first.inductors) == 1
+
+
+class TestAnalyticCircuits:
+    def test_rc_divider_cutoff(self):
+        """R-C low-pass: |V_out/V_in| = 1/sqrt(2) at f = 1/(2 pi R C)."""
+        r, c = 1e3, 1e-9
+        f_c = 1.0 / (2 * math.pi * r * c)
+        net = ACNetlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("r", "in", "out", r)
+        net.add_capacitor("c", "out", net.GROUND, c)
+        solution = solve_ac(net, f_c)
+        assert solution.magnitude("out") == pytest.approx(
+            1 / math.sqrt(2), rel=1e-6
+        )
+
+    def test_rl_divider_cutoff(self):
+        """R-L high-pass: |V_L/V_in| = 1/sqrt(2) at f = R/(2 pi L)."""
+        r, l = 10.0, 1e-6
+        f_c = r / (2 * math.pi * l)
+        net = ACNetlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("r", "in", "out", r)
+        net.add_inductor("l", "out", net.GROUND, l)
+        solution = solve_ac(net, f_c)
+        assert solution.magnitude("out") == pytest.approx(
+            1 / math.sqrt(2), rel=1e-6
+        )
+
+    def test_series_lc_resonance_short(self):
+        """A series L-C branch is a near-short at resonance."""
+        l, c = 1e-9, 1e-6
+        f_0 = 1.0 / (2 * math.pi * math.sqrt(l * c))
+        net = ACNetlist()
+        net.add_resistor("damp", "in", net.GROUND, 1e6)
+        net.add_inductor("l", "in", "mid", l)
+        net.add_capacitor("c", "mid", net.GROUND, c)
+        net.add_current_source("i", net.GROUND, "in", 1.0)
+        z_at_res = solve_ac(net, f_0).magnitude("in")
+        z_off_res = solve_ac(net, f_0 * 10).magnitude("in")
+        assert z_at_res < z_off_res / 10
+
+    def test_pure_resistive_matches_dc(self):
+        net = ACNetlist()
+        net.add_voltage_source("v", "in", 10.0)
+        net.add_resistor("r1", "in", "mid", 1.0)
+        net.add_resistor("r2", "mid", net.GROUND, 1.0)
+        solution = solve_ac(net, 1e6)
+        assert solution.magnitude("mid") == pytest.approx(5.0)
+
+    def test_rejects_zero_frequency(self):
+        net = ACNetlist()
+        net.add_resistor("r", "a", "0", 1.0)
+        with pytest.raises(ConfigError):
+            solve_ac(net, 0.0)
+
+
+class TestImpedanceProbe:
+    def build_single_stage(self) -> ACNetlist:
+        """One PDN stage as an explicit netlist: V source -> R, L ->
+        die node with decap (C + ESR)."""
+        net = ACNetlist()
+        net.add_voltage_source("vrm", "src", 1.0)
+        net.add_resistor("r_series", "src", "mid", 0.05e-3)
+        net.add_inductor("l_series", "mid", "die", 1e-9)
+        net.add_capacitor("c_decap", "die", "cap_tap", 1e-6)
+        net.add_resistor("esr", "cap_tap", net.GROUND, 0.3e-3)
+        return net
+
+    def test_cross_validation_against_ladder_analytic(self):
+        """The generic AC solve must match the analytic ladder model
+        across the band."""
+        stage = PDNStage("s", 0.05e-3, 1e-9, 1e-6, 0.3e-3)
+        freqs = np.logspace(4, 9, 40)
+        analytic = pdn_impedance(
+            [stage], frequencies_hz=freqs, source_impedance_ohm=1e-9
+        ).impedance_ohm
+
+        net = self.build_single_stage()
+        numeric = impedance_at(net, "die", freqs)
+        assert np.allclose(numeric, analytic, rtol=1e-3)
+
+    def test_probe_does_not_mutate(self):
+        net = self.build_single_stage()
+        before = net.element_count
+        impedance_at(net, "die", np.array([1e6]))
+        assert net.element_count == before
+
+    def test_impedance_positive(self):
+        net = self.build_single_stage()
+        values = impedance_at(net, "die", np.logspace(4, 8, 10))
+        assert np.all(values > 0)
+
+    def test_rejects_bad_frequencies(self):
+        net = self.build_single_stage()
+        with pytest.raises(ConfigError):
+            impedance_at(net, "die", np.array([]))
+        with pytest.raises(ConfigError):
+            impedance_at(net, "die", np.array([-1.0]))
+
+    def test_bulk_decap_suppresses_the_peak(self):
+        """A branched bulk decap (which the ladder analytic cannot
+        express) must suppress the single-stage anti-resonance peak.
+        Note it may *raise* |Z| slightly off-peak — the well-known
+        anti-resonance interaction — so only the peak is asserted."""
+        freqs = np.logspace(5, 7.5, 60)
+        single = self.build_single_stage()
+        z_single = impedance_at(single, "die", freqs)
+        peak_index = int(np.argmax(z_single))
+
+        branched = self.build_single_stage()
+        branched.add_capacitor("c_bulk", "die", "bulk_tap", 100e-6)
+        branched.add_resistor("esr_bulk", "bulk_tap", branched.GROUND, 1e-3)
+        z_branched = impedance_at(branched, "die", freqs)
+        assert z_branched[peak_index] < z_single[peak_index]
+        assert z_branched.max() < z_single.max()

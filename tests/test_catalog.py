@@ -1,0 +1,171 @@
+"""Converter catalog (Table II) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.catalog import (
+    CATALOG,
+    DPMIH,
+    DSCH,
+    THREE_LEVEL_HYBRID_DICKSON,
+    StageModelMode,
+    converter,
+    table_ii_rows,
+)
+from repro.errors import ConfigError, InfeasibleError
+
+
+class TestTableIIData:
+    """Direct Table II values must match the paper."""
+
+    def test_three_converters(self):
+        assert len(CATALOG) == 3
+
+    def test_names_in_paper_order(self):
+        assert [c.name for c in CATALOG] == ["DPMIH", "DSCH", "3LHD"]
+
+    def test_conversion_schemes(self):
+        assert all(c.conversion_scheme == "48V-to-1V" for c in CATALOG)
+
+    def test_max_loads(self):
+        assert DPMIH.max_load_a == 100.0
+        assert DSCH.max_load_a == 30.0
+        assert THREE_LEVEL_HYBRID_DICKSON.max_load_a == 12.0
+
+    def test_currents_at_peak(self):
+        assert DPMIH.i_at_peak_a == 30.0
+        assert DSCH.i_at_peak_a == 10.0
+        assert THREE_LEVEL_HYBRID_DICKSON.i_at_peak_a == 3.0
+
+    def test_peak_efficiencies(self):
+        assert DPMIH.peak_efficiency == pytest.approx(0.909)
+        assert DSCH.peak_efficiency == pytest.approx(0.915)
+        assert THREE_LEVEL_HYBRID_DICKSON.peak_efficiency == pytest.approx(
+            0.904
+        )
+
+    def test_switch_counts(self):
+        assert DPMIH.switch_count == 8
+        assert DSCH.switch_count == 5
+        assert THREE_LEVEL_HYBRID_DICKSON.switch_count == 11
+
+    def test_switch_densities(self):
+        assert DPMIH.switches_per_mm2 == pytest.approx(0.15)
+        assert DSCH.switches_per_mm2 == pytest.approx(0.69)
+        assert THREE_LEVEL_HYBRID_DICKSON.switches_per_mm2 == pytest.approx(
+            1.22
+        )
+
+    def test_inductors(self):
+        assert DPMIH.inductor_count == 4
+        assert DSCH.inductor_count == 2
+        assert THREE_LEVEL_HYBRID_DICKSON.inductor_count == 3
+
+    def test_total_inductances(self):
+        assert DPMIH.total_inductance_h == pytest.approx(4e-6)
+        assert DSCH.total_inductance_h == pytest.approx(0.88e-6)
+        assert THREE_LEVEL_HYBRID_DICKSON.total_inductance_h == pytest.approx(
+            1.86e-6
+        )
+
+    def test_capacitors(self):
+        assert DPMIH.capacitor_count == 3
+        assert DSCH.capacitor_count == 2
+        assert THREE_LEVEL_HYBRID_DICKSON.capacitor_count == 5
+
+    def test_total_capacitances(self):
+        assert DPMIH.total_capacitance_f == pytest.approx(15e-6)
+        assert DSCH.total_capacitance_f == pytest.approx(6.6e-6)
+        assert THREE_LEVEL_HYBRID_DICKSON.total_capacitance_f == (
+            pytest.approx(5e-6)
+        )
+
+    def test_vr_counts(self):
+        assert (DPMIH.vrs_along_periphery, DPMIH.vrs_below_die) == (8, 7)
+        assert (DSCH.vrs_along_periphery, DSCH.vrs_below_die) == (48, 48)
+        assert (
+            THREE_LEVEL_HYBRID_DICKSON.vrs_along_periphery,
+            THREE_LEVEL_HYBRID_DICKSON.vrs_below_die,
+        ) == (48, 48)
+
+    def test_rows_export_complete(self):
+        rows = table_ii_rows()
+        assert len(rows) == 3
+        assert {r["name"] for r in rows} == {"DPMIH", "DSCH", "3LHD"}
+        assert rows[0]["total_inductance_uH"] == pytest.approx(4.0)
+
+
+class TestDerived:
+    def test_areas(self):
+        assert DPMIH.area_mm2 == pytest.approx(53.33, rel=0.01)
+        assert DSCH.area_mm2 == pytest.approx(7.25, rel=0.01)
+        assert THREE_LEVEL_HYBRID_DICKSON.area_mm2 == pytest.approx(
+            9.02, rel=0.01
+        )
+
+    def test_per_component_values(self):
+        assert DPMIH.inductance_per_inductor_h == pytest.approx(1e-6)
+        assert DSCH.capacitance_per_capacitor_f == pytest.approx(3.3e-6)
+
+    def test_loss_models_calibrated(self):
+        assert DPMIH.loss_model.efficiency(30.0) == pytest.approx(0.909)
+        assert DSCH.loss_model.efficiency(10.0) == pytest.approx(0.915)
+        assert THREE_LEVEL_HYBRID_DICKSON.loss_model.efficiency(
+            3.0
+        ) == pytest.approx(0.904)
+
+
+class TestFeasibility:
+    def test_dsch_feasible_at_21a(self):
+        assert DSCH.is_feasible_load(20.8)
+
+    def test_3lhd_infeasible_at_21a(self):
+        # The paper's stated exclusion: 1000 A / 48 VRs ~ 20.8 A > 12 A.
+        assert not THREE_LEVEL_HYBRID_DICKSON.is_feasible_load(20.8)
+
+    def test_require_feasible_raises(self):
+        with pytest.raises(InfeasibleError):
+            THREE_LEVEL_HYBRID_DICKSON.require_feasible(20.8)
+
+    def test_require_feasible_passes(self):
+        DSCH.require_feasible(20.8)  # should not raise
+
+
+class TestStageModels:
+    def test_as_published_preserves_eta(self):
+        stage = DPMIH.stage_loss_model(48.0, 12.0, StageModelMode.AS_PUBLISHED)
+        assert stage.efficiency(30.0) == pytest.approx(0.909, abs=1e-9)
+
+    def test_as_published_scales_watts(self):
+        stage = DPMIH.stage_loss_model(48.0, 12.0, StageModelMode.AS_PUBLISHED)
+        assert stage.loss_w(30.0) == pytest.approx(
+            12 * DPMIH.loss_model.loss_w(30.0)
+        )
+
+    def test_ratio_scaled_better_at_lower_vin(self):
+        published = DPMIH.stage_loss_model(
+            48.0, 12.0, StageModelMode.AS_PUBLISHED
+        )
+        scaled = DPMIH.stage_loss_model(
+            12.0, 1.0, StageModelMode.RATIO_SCALED
+        )
+        # Ratio-scaled 12->1 beats published 48->1 eta at the same I.
+        assert scaled.efficiency(30.0) > DPMIH.loss_model.efficiency(30.0)
+        assert published.efficiency(30.0) == pytest.approx(
+            DPMIH.loss_model.efficiency(30.0)
+        )
+
+    def test_stage_must_step_down(self):
+        with pytest.raises(ConfigError):
+            DPMIH.stage_loss_model(12.0, 12.0)
+
+
+class TestLookup:
+    def test_converter_by_name(self):
+        assert converter("dsch") is DSCH
+        assert converter("3lhd") is THREE_LEVEL_HYBRID_DICKSON
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            converter("LLC")

@@ -1,0 +1,136 @@
+"""Characterization pipeline tests (the Fig. 7 study shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemSpec
+from repro.core.characterization import (
+    characterize_all,
+    fig7_claims,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return characterize_all()
+
+
+@pytest.fixture(scope="module")
+def claims(rows):
+    return fig7_claims(rows)
+
+
+class TestStudyShape:
+    def test_row_count(self, rows):
+        # A0 once + 4 vertical architectures x 3 topologies.
+        assert len(rows) == 1 + 4 * 3
+
+    def test_a0_always_included(self, rows):
+        a0 = [r for r in rows if r.architecture == "A0"]
+        assert len(a0) == 1 and a0[0].included
+
+    def test_3lhd_excluded_everywhere(self, rows):
+        excluded = [r for r in rows if not r.included]
+        assert excluded
+        assert all(r.topology == "3LHD" for r in excluded)
+        assert len(excluded) == 4
+
+    def test_exclusion_reason_mentions_rating(self, rows):
+        reason = next(r.excluded_reason for r in rows if not r.included)
+        assert "12" in reason
+
+    def test_dpmih_and_dsch_included_everywhere(self, rows):
+        for topology in ("DPMIH", "DSCH"):
+            included = [
+                r
+                for r in rows
+                if r.topology == topology and r.included
+            ]
+            assert len(included) == 4
+
+
+class TestPaperClaims:
+    def test_a0_over_40pct(self, claims):
+        assert claims.a0_loss_pct > 40.0
+
+    def test_vertical_architectures_around_80pct_efficiency(self, claims):
+        assert claims.best_vertical_loss_pct < 20.0
+        assert claims.worst_vertical_loss_pct < 35.0
+
+    def test_vertical_interconnect_negligible(self, claims):
+        assert claims.vertical_loss_negligible
+
+    def test_ppdn_and_converter_split(self, claims):
+        assert claims.all_ppdn_below_10pct
+        assert claims.all_converters_above_10pct
+
+    def test_horizontal_reduction_factors(self, claims):
+        assert claims.horizontal_reduction_a3_12v == pytest.approx(19, rel=0.3)
+        assert claims.horizontal_reduction_a3_6v == pytest.approx(7, rel=0.3)
+
+    def test_reduction_ordering(self, claims):
+        assert (
+            claims.horizontal_reduction_a3_12v
+            > claims.horizontal_reduction_a3_6v
+        )
+
+    def test_excluded_list(self, claims):
+        assert claims.excluded_topologies == ("3LHD",)
+
+
+class TestOrderings:
+    def test_a2_beats_a1_per_topology(self, rows):
+        by_point = {
+            (r.architecture, r.topology): r.breakdown
+            for r in rows
+            if r.included
+        }
+        for topology in ("DPMIH", "DSCH"):
+            a1 = by_point[("A1", topology)]
+            a2 = by_point[("A2", topology)]
+            assert a2.total_loss_w < a1.total_loss_w
+
+    def test_dsch_beats_dpmih_per_architecture(self, rows):
+        by_point = {
+            (r.architecture, r.topology): r.breakdown
+            for r in rows
+            if r.included
+        }
+        for arch in ("A1", "A2", "A3@12V", "A3@6V"):
+            dsch = by_point[(arch, "DSCH")]
+            dpmih = by_point[(arch, "DPMIH")]
+            assert dsch.total_loss_w < dpmih.total_loss_w
+
+    def test_a3_12v_beats_a3_6v(self, rows):
+        by_point = {
+            (r.architecture, r.topology): r.breakdown
+            for r in rows
+            if r.included
+        }
+        assert (
+            by_point[("A3@12V", "DSCH")].total_loss_w
+            < by_point[("A3@6V", "DSCH")].total_loss_w
+        )
+
+    def test_every_vertical_beats_a0(self, rows):
+        a0 = next(r.breakdown for r in rows if r.architecture == "A0")
+        for row in rows:
+            if row.included and row.architecture != "A0":
+                assert row.breakdown.total_loss_w < a0.total_loss_w
+
+
+class TestCustomStudies:
+    def test_smaller_system_keeps_3lhd(self):
+        # At 400 W the 48-slot 3LHD bank (576 A capacity) suffices.
+        rows = characterize_all(spec=SystemSpec().with_power(400.0))
+        excluded = [r for r in rows if not r.included]
+        assert not excluded
+
+    def test_fig7_claims_requires_a0(self):
+        rows = characterize_all()
+        vertical_only = [r for r in rows if r.architecture != "A0"]
+        from repro.errors import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            fig7_claims(vertical_only)

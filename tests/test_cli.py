@@ -1,0 +1,108 @@
+"""CLI tests (python -m repro ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7"])
+        assert args.command == "fig7"
+
+    def test_defaults_are_paper_system(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.power == 1000.0
+        assert args.input_voltage == 48.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_command_registry_complete(self):
+        assert {
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig7",
+            "tables",
+            "sharing",
+            "utilization",
+            "experiments",
+            "optimize",
+            "floorplan",
+            "export",
+            "report",
+        } == set(COMMANDS)
+
+
+class TestCommands:
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        output = capsys.readouterr().out
+        assert "A0" in output and "excluded" in output
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        output = capsys.readouterr().out
+        assert "DPMIH" in output and "BGA" in output
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "Fig.1" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "Die current" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "below-die" in capsys.readouterr().out
+
+    def test_sharing(self, capsys):
+        assert main(["sharing"]) == 0
+        output = capsys.readouterr().out
+        assert "A1" in output and "A2" in output
+
+    def test_utilization(self, capsys):
+        assert main(["utilization"]) == 0
+        output = capsys.readouterr().out
+        assert "1200" in output
+
+    def test_experiments_all_hold(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "all claims hold" in capsys.readouterr().out
+
+    def test_optimize(self, capsys):
+        assert main(["optimize"]) == 0
+        assert "best: A2" in capsys.readouterr().out
+
+    def test_optimize_small_system(self, capsys):
+        assert main(["optimize", "--power", "400"]) == 0
+        output = capsys.readouterr().out
+        assert "3LHD" in output  # feasible at 400 W
+
+    def test_custom_power_flows_through(self, capsys):
+        assert main(["utilization", "--power", "500"]) == 0
+        assert "600" in capsys.readouterr().out  # 600 mm2 A0 die
+
+    def test_floorplan(self, capsys):
+        assert main(["floorplan"]) == 0
+        output = capsys.readouterr().out
+        assert "A1" in output and "#" in output
+
+    def test_report_output_file(self, capsys, tmp_path):
+        path = tmp_path / "out.md"
+        assert main(["report", "--output", str(path)]) == 0
+        assert path.exists()
+        assert "markdown report written" in capsys.readouterr().out
+
+    def test_export(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["export"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("wrote ") == 4
+        assert (tmp_path / "repro_csv" / "fig7_losses.csv").exists()

@@ -1,0 +1,129 @@
+"""Droop control and regulator load-sharing tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.converters.control import (
+    MismatchSharingResult,
+    VoltageRegulator,
+    droop_sharing,
+    sharing_with_mismatch,
+)
+from repro.errors import ConfigError
+
+
+class TestVoltageRegulator:
+    def test_static_droop_line(self):
+        reg = VoltageRegulator(v_ref_v=1.0, droop_ohm=1e-3)
+        assert reg.output_voltage_v(0.0) == pytest.approx(1.0)
+        assert reg.output_voltage_v(20.0) == pytest.approx(0.98)
+
+    def test_load_regulation_fraction(self):
+        reg = VoltageRegulator(v_ref_v=1.0, droop_ohm=1e-3)
+        assert reg.load_regulation_fraction(30.0) == pytest.approx(0.03)
+
+    def test_closed_loop_low_frequency_suppression(self):
+        reg = VoltageRegulator()
+        z_low = abs(reg.closed_loop_impedance_ohm(1e3))
+        z_open = abs(reg.open_loop_impedance_ohm(1e3))
+        # Below crossover the loop gain crushes the impedance.
+        assert z_low < z_open / 100
+
+    def test_closed_loop_approaches_open_above_crossover(self):
+        reg = VoltageRegulator(bandwidth_hz=100e3)
+        f = 10e6
+        z_cl = abs(reg.closed_loop_impedance_ohm(f))
+        z_ol = abs(reg.open_loop_impedance_ohm(f))
+        assert z_cl == pytest.approx(z_ol, rel=0.02)
+
+    def test_higher_bandwidth_less_deviation(self):
+        slow = VoltageRegulator(bandwidth_hz=100e3)
+        fast = VoltageRegulator(bandwidth_hz=2e6)
+        assert fast.worst_case_deviation_v(10.0) <= (
+            slow.worst_case_deviation_v(10.0) + 1e-12
+        )
+
+    def test_deviation_scales_with_step(self):
+        reg = VoltageRegulator()
+        assert reg.worst_case_deviation_v(20.0) == pytest.approx(
+            2 * reg.worst_case_deviation_v(10.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            VoltageRegulator(droop_ohm=0.0)
+        with pytest.raises(ConfigError):
+            VoltageRegulator(bandwidth_hz=0.0)
+        with pytest.raises(ConfigError):
+            VoltageRegulator().output_voltage_v(-1.0)
+
+
+class TestDroopSharing:
+    def test_identical_units_share_equally(self):
+        currents, v_bus = droop_sharing(
+            [1.0, 1.0, 1.0, 1.0], [1e-3] * 4, 80.0
+        )
+        assert np.allclose(currents, 20.0)
+        assert v_bus == pytest.approx(0.98)
+
+    def test_currents_sum_to_load(self):
+        currents, _ = droop_sharing(
+            [1.002, 0.999, 1.001], [1e-3, 2e-3, 1.5e-3], 50.0
+        )
+        assert currents.sum() == pytest.approx(50.0)
+
+    def test_higher_setpoint_carries_more(self):
+        currents, _ = droop_sharing([1.005, 1.0], [1e-3, 1e-3], 40.0)
+        assert currents[0] > currents[1]
+
+    def test_setpoint_mismatch_spread_rule(self):
+        # dI = dVref / r_droop for two units.
+        delta_v = 2e-3
+        r = 1e-3
+        currents, _ = droop_sharing([1.0 + delta_v, 1.0], [r, r], 40.0)
+        assert currents[0] - currents[1] == pytest.approx(delta_v / r)
+
+    def test_stiffer_droop_amplifies_mismatch(self):
+        soft = droop_sharing([1.002, 1.0], [2e-3, 2e-3], 40.0)[0]
+        stiff = droop_sharing([1.002, 1.0], [0.5e-3, 0.5e-3], 40.0)[0]
+        assert (stiff[0] - stiff[1]) > (soft[0] - soft[1])
+
+    def test_reverse_current_possible_at_light_load(self):
+        currents, _ = droop_sharing([1.01, 1.0], [1e-3, 1e-3], 1.0)
+        assert currents.min() < 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            droop_sharing([1.0], [1e-3, 1e-3], 10.0)
+        with pytest.raises(ConfigError):
+            droop_sharing([1.0, 1.0], [0.0, 1e-3], 10.0)
+
+
+class TestMismatchMonteCarlo:
+    def test_deterministic(self):
+        a = sharing_with_mismatch(48, 1000.0)
+        b = sharing_with_mismatch(48, 1000.0)
+        assert a == b
+
+    def test_spread_tracks_sigma_over_droop(self):
+        result = sharing_with_mismatch(
+            8, 160.0, droop_ohm=1e-3, setpoint_sigma_v=2e-3, samples=300
+        )
+        # Expected spread ~ few x sigma/droop = few x 2 A.
+        assert 2.0 < result.mean_spread_a < 12.0
+
+    def test_tighter_trim_tighter_sharing(self):
+        loose = sharing_with_mismatch(8, 160.0, setpoint_sigma_v=5e-3)
+        tight = sharing_with_mismatch(8, 160.0, setpoint_sigma_v=0.5e-3)
+        assert tight.mean_spread_a < loose.mean_spread_a
+
+    def test_result_type(self):
+        assert isinstance(
+            sharing_with_mismatch(4, 80.0), MismatchSharingResult
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sharing_with_mismatch(1, 100.0)

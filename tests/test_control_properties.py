@@ -1,0 +1,72 @@
+"""Property-based tests of droop load sharing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.converters.control import droop_sharing
+
+setpoints = st.lists(
+    st.floats(min_value=0.95, max_value=1.05),
+    min_size=2,
+    max_size=24,
+)
+droop_values = st.floats(min_value=1e-4, max_value=1e-2)
+loads = st.floats(min_value=0.0, max_value=1000.0)
+
+
+@given(refs=setpoints, droop=droop_values, load=loads)
+@settings(max_examples=100, deadline=None)
+def test_currents_always_sum_to_load(refs, droop, load):
+    currents, _ = droop_sharing(refs, [droop] * len(refs), load)
+    assert currents.sum() == pytest.approx(load, abs=1e-6 * max(load, 1.0))
+
+
+@given(refs=setpoints, droop=droop_values, load=loads)
+@settings(max_examples=100, deadline=None)
+def test_bus_voltage_between_extremes(refs, droop, load):
+    currents, v_bus = droop_sharing(refs, [droop] * len(refs), load)
+    # With any positive load the bus sits below the max setpoint.
+    assert v_bus <= max(refs) + 1e-12
+    # The bus can never sit below min(refs) - droop * load.
+    assert v_bus >= min(refs) - droop * load - 1e-12
+
+
+@given(refs=setpoints, droop=droop_values, load=loads)
+@settings(max_examples=100, deadline=None)
+def test_ordering_follows_setpoints(refs, droop, load):
+    """Equal droops: current ordering mirrors setpoint ordering."""
+    currents, _ = droop_sharing(refs, [droop] * len(refs), load)
+    order_refs = np.argsort(refs)
+    order_currents = np.argsort(currents)
+    assert list(order_refs) == list(order_currents)
+
+
+@given(refs=setpoints, droop=droop_values)
+@settings(max_examples=100, deadline=None)
+def test_spread_independent_of_load(refs, droop):
+    """Equal droops: the current *spread* is set by the setpoint
+    mismatch only; the load shifts all currents equally."""
+    light, _ = droop_sharing(refs, [droop] * len(refs), 10.0)
+    heavy, _ = droop_sharing(refs, [droop] * len(refs), 500.0)
+    assert (light.max() - light.min()) == pytest.approx(
+        heavy.max() - heavy.min(), abs=1e-9
+    )
+
+
+@given(
+    load=st.floats(min_value=1.0, max_value=500.0),
+    scale=st.floats(min_value=1.5, max_value=10.0),
+    droop=droop_values,
+)
+@settings(max_examples=60, deadline=None)
+def test_mismatch_scales_with_inverse_droop(load, scale, droop):
+    refs = [1.002, 1.0]
+    soft, _ = droop_sharing(refs, [droop * scale] * 2, load)
+    stiff, _ = droop_sharing(refs, [droop] * 2, load)
+    soft_gap = soft[0] - soft[1]
+    stiff_gap = stiff[0] - stiff[1]
+    assert stiff_gap == pytest.approx(soft_gap * scale, rel=1e-9)

@@ -1,0 +1,141 @@
+"""Per-VR current-sharing analysis tests (the paper's 16-27 A and
+10-93 A observations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.converters.catalog import DPMIH, DSCH
+from repro.core.architectures import (
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+)
+from repro.core.current_sharing import analyze_current_sharing
+from repro.errors import ConfigError
+from repro.pdn.powermap import PowerMap
+
+
+@pytest.fixture(scope="module")
+def a1_sharing():
+    return analyze_current_sharing(single_stage_a1(), DSCH)
+
+
+@pytest.fixture(scope="module")
+def a2_sharing():
+    return analyze_current_sharing(single_stage_a2(), DSCH)
+
+
+class TestPaperClaims:
+    def test_a1_range_matches_paper(self, a1_sharing):
+        # Paper: 16 to 27 A.
+        assert a1_sharing.min_current_a == pytest.approx(16.0, abs=4.0)
+        assert a1_sharing.max_current_a == pytest.approx(27.0, abs=4.0)
+
+    def test_a2_range_matches_paper(self, a2_sharing):
+        # Paper: ~10 to ~93 A.
+        assert a2_sharing.min_current_a == pytest.approx(10.0, abs=3.0)
+        assert a2_sharing.max_current_a == pytest.approx(93.0, abs=15.0)
+
+    def test_a2_much_broader_than_a1(self, a1_sharing, a2_sharing):
+        assert a2_sharing.spread_ratio > 3 * a1_sharing.spread_ratio
+
+    def test_means_equal_uniform_share(self, a1_sharing, a2_sharing):
+        assert a1_sharing.mean_current_a == pytest.approx(1000 / 48, rel=0.01)
+        assert a2_sharing.mean_current_a == pytest.approx(1000 / 48, rel=0.01)
+
+    def test_a2_center_vrs_overloaded_vs_rating(self, a2_sharing):
+        # DSCH is rated 30 A; the hotspot pushes center VRs beyond it —
+        # the design challenge the paper highlights for A2.
+        assert a2_sharing.overloaded_count > 0
+
+    def test_a1_no_overloads(self, a1_sharing):
+        assert a1_sharing.overloaded_count == 0
+
+
+class TestConservation:
+    def test_a1_currents_sum_to_load(self, a1_sharing):
+        assert a1_sharing.currents_a.sum() == pytest.approx(1000.0, rel=1e-6)
+
+    def test_a2_currents_sum_to_load(self, a2_sharing):
+        assert a2_sharing.currents_a.sum() == pytest.approx(1000.0, rel=1e-6)
+
+    def test_all_currents_positive(self, a2_sharing):
+        assert np.all(a2_sharing.currents_a > 0)
+
+    def test_counts_match_plan(self, a1_sharing, a2_sharing):
+        assert len(a1_sharing.currents_a) == a1_sharing.plan.vr_count == 48
+        assert len(a2_sharing.currents_a) == 48
+
+
+class TestMapSensitivity:
+    def test_uniform_map_evens_a2(self):
+        # Residual spread on a uniform map is purely geometric (edge
+        # VRs own larger cells, the last grid row holds 6 not 7) and
+        # stays far below the hotspot-driven spread.
+        uniform = analyze_current_sharing(
+            single_stage_a2(), DSCH, power_map=PowerMap.uniform()
+        )
+        hotspot = analyze_current_sharing(single_stage_a2(), DSCH)
+        assert uniform.spread_ratio < 3.0
+        assert uniform.spread_ratio < 0.5 * hotspot.spread_ratio
+
+    def test_sharper_hotspot_widens_a2(self):
+        mild = analyze_current_sharing(
+            single_stage_a2(),
+            DSCH,
+            power_map=PowerMap.hotspot_mixture(0.7, 0.2),
+        )
+        sharp = analyze_current_sharing(
+            single_stage_a2(),
+            DSCH,
+            power_map=PowerMap.hotspot_mixture(0.3, 0.1),
+        )
+        assert sharp.spread_ratio > mild.spread_ratio
+
+    def test_corner_hotspot_shifts_peak_vr(self):
+        corner = analyze_current_sharing(
+            single_stage_a2(),
+            DSCH,
+            power_map=PowerMap.gaussian(center=(0.2, 0.2), sigma=0.1),
+        )
+        peak_vr = int(np.argmax(corner.currents_a))
+        position = corner.plan.positions[peak_vr]
+        assert position.x < 0.5 and position.y < 0.5
+
+
+class TestDPMIHSharing:
+    def test_a2_dpmih_center_heavy(self):
+        result = analyze_current_sharing(single_stage_a2(), DPMIH)
+        # 7 below-die VRs + 5 periphery overflow: the under-die ones
+        # near the hotspot carry far more.
+        assert result.plan.vr_count == 12
+        assert result.max_current_a > 2 * result.mean_current_a
+
+
+class TestInterface:
+    def test_a0_rejected(self):
+        with pytest.raises(ConfigError):
+            analyze_current_sharing(reference_a0(), DSCH)
+
+    def test_output_resistance_validated(self):
+        with pytest.raises(ConfigError):
+            analyze_current_sharing(
+                single_stage_a1(), DSCH, output_resistance_ohm=0.0
+            )
+
+    def test_lateral_loss_positive(self, a1_sharing):
+        assert a1_sharing.lateral_loss_w > 0
+
+    def test_droop_reported(self, a2_sharing):
+        assert a2_sharing.worst_droop_v > 0
+
+    def test_stronger_droop_resistance_evens_sharing(self):
+        soft = analyze_current_sharing(
+            single_stage_a2(), DSCH, output_resistance_ohm=0.1e-3
+        )
+        stiff = analyze_current_sharing(
+            single_stage_a2(), DSCH, output_resistance_ohm=5e-3
+        )
+        assert stiff.spread_ratio < soft.spread_ratio

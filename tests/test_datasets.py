@@ -1,0 +1,129 @@
+"""Dataset tests (Fig. 1 and Fig. 2 reconstructions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.hpc_demand import (
+    CHIPS,
+    SERVERS,
+    DemandPoint,
+    chips,
+    demand_envelope,
+    servers,
+)
+from repro.datasets.scaling_trends import (
+    PACKAGING_TREND,
+    POWER_TREND,
+    REFERENCE_DIE_AREA_MM2,
+    current_demand_series,
+    feature_size_series,
+    ppdn_resistance_series,
+    trend_summary,
+)
+from repro.errors import DatasetError
+
+
+class TestHPCDemand:
+    def test_chips_nonempty(self):
+        assert len(CHIPS) >= 8
+
+    def test_servers_nonempty(self):
+        assert len(SERVERS) >= 5
+
+    def test_kinds(self):
+        assert all(p.kind == "chip" for p in CHIPS)
+        assert all(p.kind == "server" for p in SERVERS)
+
+    def test_all_have_sources(self):
+        for point in CHIPS + SERVERS:
+            assert point.source
+
+    def test_chips_sorted_by_year(self):
+        years = [p.year for p in chips()]
+        assert years == sorted(years)
+
+    def test_servers_sorted_by_year(self):
+        years = [p.year for p in servers()]
+        assert years == sorted(years)
+
+    def test_envelope_chip_power(self):
+        env = demand_envelope()
+        # Fig. 1: chips rapidly approaching 1 kW.
+        assert 500.0 <= env["max_chip_power_w"] <= 1200.0
+
+    def test_envelope_server_power(self):
+        env = demand_envelope()
+        # Fig. 1: servers approaching 20 kW.
+        assert env["max_server_power_w"] == pytest.approx(20000.0)
+
+    def test_envelope_density(self):
+        env = demand_envelope()
+        assert 0.7 <= env["max_current_density_a_per_mm2"] <= 1.3
+
+    def test_efficiency_range_below_90(self):
+        env = demand_envelope()
+        # Fig. 1's point: today's delivery is 75-85% efficient.
+        assert env["max_delivery_efficiency"] < 0.90
+        assert env["min_delivery_efficiency"] > 0.70
+
+    def test_validation_kind(self):
+        with pytest.raises(DatasetError):
+            DemandPoint("x", 2020, "rack", 100.0, 0.1, 0.8, "s")
+
+    def test_validation_power(self):
+        with pytest.raises(DatasetError):
+            DemandPoint("x", 2020, "chip", -1.0, 0.1, 0.8, "s")
+
+    def test_validation_efficiency(self):
+        with pytest.raises(DatasetError):
+            DemandPoint("x", 2020, "chip", 100.0, 0.1, 1.2, "s")
+
+
+class TestScalingTrends:
+    def test_current_series_monotonic(self):
+        values = [v for _y, v in current_demand_series()]
+        assert values == sorted(values)
+
+    def test_feature_series_monotonic_decreasing(self):
+        values = [v for _y, v in feature_size_series()]
+        assert values == sorted(values, reverse=True)
+
+    def test_growth_orders_of_magnitude(self):
+        summary = trend_summary()
+        assert summary["current_growth_x"] > 100.0
+
+    def test_feature_reduction_about_4x(self):
+        # The paper/Iyer: only ~4x over the same decades.
+        assert trend_summary()["feature_reduction_x"] == pytest.approx(
+            4.0, rel=0.01
+        )
+
+    def test_die_current_formula(self):
+        point = POWER_TREND[-1]
+        expected = (
+            point.power_density_w_per_mm2
+            * REFERENCE_DIE_AREA_MM2
+            / point.core_voltage_v
+        )
+        assert point.die_current_a == pytest.approx(expected)
+
+    def test_ppdn_conductance_normalized(self):
+        series = ppdn_resistance_series()
+        assert series[0][1] == pytest.approx(1.0)
+        assert series[-1][1] == pytest.approx(4.0, rel=0.01)
+
+    def test_eras_cover_five_decades(self):
+        summary = trend_summary()
+        assert summary["last_year"] - summary["first_year"] >= 45
+
+    def test_packaging_eras_labeled(self):
+        assert PACKAGING_TREND[0].technology.startswith("wirebond")
+        assert PACKAGING_TREND[-1].technology == "micro-bump"
+
+    def test_mismatch_between_trends_is_the_papers_point(self):
+        # I^2 grows ~million-fold while R improves ~4x: the gap that
+        # motivates vertical power delivery.
+        summary = trend_summary()
+        gap = summary["current_growth_x"] ** 2 / summary["feature_reduction_x"]
+        assert gap > 1e4

@@ -1,0 +1,110 @@
+"""PowerSwitch / Inductor / Capacitor loss primitive tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.devices import Capacitor, Inductor, PowerSwitch
+from repro.errors import ConfigError
+from repro.materials import GAN_100V, SI_POWER_MOSFET
+
+
+class TestPowerSwitch:
+    def test_sized_for_hits_target_ron(self):
+        switch = PowerSwitch.sized_for(2e-3)
+        assert switch.technology.r_on_ohm == pytest.approx(2e-3)
+
+    def test_conduction_loss(self):
+        switch = PowerSwitch.sized_for(1e-3)
+        assert switch.conduction_loss_w(10.0) == pytest.approx(0.1)
+
+    def test_conduction_loss_duty_weighted(self):
+        switch = PowerSwitch.sized_for(1e-3)
+        assert switch.conduction_loss_w(10.0, duty=0.5) == pytest.approx(0.05)
+
+    def test_conduction_rejects_bad_duty(self):
+        with pytest.raises(ConfigError):
+            PowerSwitch.sized_for(1e-3).conduction_loss_w(1.0, duty=1.5)
+
+    def test_switching_loss_formula(self):
+        switch = PowerSwitch(GAN_100V, transition_time_s=2e-9)
+        loss = switch.switching_loss_w(48.0, 10.0, 1e6)
+        assert loss == pytest.approx(48 * 10 * 2e-9 * 1e6)
+
+    def test_soft_switched_waives_overlap(self):
+        switch = PowerSwitch(GAN_100V, soft_switched=True)
+        assert switch.switching_loss_w(48.0, 10.0, 1e6) == 0.0
+
+    def test_charge_loss_grows_with_frequency(self):
+        switch = PowerSwitch(GAN_100V)
+        assert switch.charge_loss_w(48.0, 2e6) == pytest.approx(
+            2 * switch.charge_loss_w(48.0, 1e6)
+        )
+
+    def test_gan_charge_loss_below_si(self):
+        gan = PowerSwitch(GAN_100V.scaled(2e-3))
+        si = PowerSwitch(SI_POWER_MOSFET.scaled(2e-3))
+        assert gan.charge_loss_w(48.0, 1e6) < si.charge_loss_w(48.0, 1e6)
+
+    def test_total_loss_sums_terms(self):
+        switch = PowerSwitch(GAN_100V)
+        total = switch.total_loss_w(5.0, 48.0, 5.0, 1e6, duty=0.5)
+        parts = (
+            switch.conduction_loss_w(5.0, 0.5)
+            + switch.switching_loss_w(48.0, 5.0, 1e6)
+            + switch.charge_loss_w(48.0, 1e6)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigError):
+            PowerSwitch(GAN_100V).charge_loss_w(48.0, 0.0)
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ConfigError):
+            PowerSwitch(GAN_100V).conduction_loss_w(-1.0)
+
+    def test_rejects_zero_transition_time(self):
+        with pytest.raises(ConfigError):
+            PowerSwitch(GAN_100V, transition_time_s=0.0)
+
+
+class TestInductor:
+    def test_dcr_loss(self):
+        inductor = Inductor(1e-6, dcr_ohm=1e-3, rated_current_a=50.0)
+        assert inductor.conduction_loss_w(10.0) == pytest.approx(0.1)
+
+    def test_rating_check(self):
+        inductor = Inductor(1e-6, dcr_ohm=1e-3, rated_current_a=50.0)
+        assert inductor.is_within_rating(50.0)
+        assert not inductor.is_within_rating(51.0)
+
+    def test_rejects_zero_inductance(self):
+        with pytest.raises(ConfigError):
+            Inductor(0.0, 1e-3, 10.0)
+
+    def test_rejects_negative_dcr(self):
+        with pytest.raises(ConfigError):
+            Inductor(1e-6, -1e-3, 10.0)
+
+    def test_rejects_negative_current_query(self):
+        inductor = Inductor(1e-6, 1e-3, 10.0)
+        with pytest.raises(ConfigError):
+            inductor.conduction_loss_w(-1.0)
+
+
+class TestCapacitor:
+    def test_esr_loss(self):
+        cap = Capacitor(10e-6, esr_ohm=2e-3)
+        assert cap.conduction_loss_w(5.0) == pytest.approx(0.05)
+
+    def test_zero_esr_lossless(self):
+        assert Capacitor(10e-6).conduction_loss_w(5.0) == 0.0
+
+    def test_rejects_zero_capacitance(self):
+        with pytest.raises(ConfigError):
+            Capacitor(0.0)
+
+    def test_rejects_negative_esr(self):
+        with pytest.raises(ConfigError):
+            Capacitor(1e-6, esr_ohm=-1.0)

@@ -1,0 +1,113 @@
+"""Fleet energy accounting tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.catalog import DSCH
+from repro.core.architectures import reference_a0, single_stage_a2
+from repro.core.energy import (
+    HOURS_PER_YEAR,
+    DeploymentModel,
+    annual_energy,
+    annual_savings,
+)
+from repro.core.loss_analysis import LossAnalyzer
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    analyzer = LossAnalyzer()
+    return (
+        analyzer.analyze(reference_a0(), DSCH),
+        analyzer.analyze(single_stage_a2(), DSCH),
+    )
+
+
+class TestAnnualEnergy:
+    def test_scaling_formula(self, breakdowns):
+        a0, _ = breakdowns
+        deployment = DeploymentModel(
+            chip_count=1, utilization=1.0, pue=1.0, energy_cost_per_kwh=0.1
+        )
+        report = annual_energy(a0, deployment)
+        expected = a0.total_loss_w * HOURS_PER_YEAR / 1000.0
+        assert report.delivery_loss_kwh_per_year == pytest.approx(expected)
+
+    def test_pue_multiplies_waste(self, breakdowns):
+        a0, _ = breakdowns
+        lean = annual_energy(a0, DeploymentModel(pue=1.0))
+        fat = annual_energy(a0, DeploymentModel(pue=1.5))
+        assert fat.delivery_loss_kwh_per_year == pytest.approx(
+            1.5 * lean.delivery_loss_kwh_per_year
+        )
+
+    def test_cost_from_energy(self, breakdowns):
+        a0, _ = breakdowns
+        deployment = DeploymentModel(energy_cost_per_kwh=0.12)
+        report = annual_energy(a0, deployment)
+        assert report.delivery_cost_per_year == pytest.approx(
+            0.12 * report.delivery_loss_kwh_per_year
+        )
+
+    def test_overhead_fraction(self, breakdowns):
+        a0, a2 = breakdowns
+        assert annual_energy(a0).overhead_fraction > annual_energy(
+            a2
+        ).overhead_fraction
+
+    def test_fleet_scales_linearly(self, breakdowns):
+        _, a2 = breakdowns
+        one = annual_energy(a2, DeploymentModel(chip_count=1))
+        thousand = annual_energy(a2, DeploymentModel(chip_count=1000))
+        assert thousand.delivery_loss_kwh_per_year == pytest.approx(
+            1000 * one.delivery_loss_kwh_per_year
+        )
+
+
+class TestSavings:
+    def test_a2_saves_over_a0(self, breakdowns):
+        a0, a2 = breakdowns
+        savings = annual_savings(a0, a2)
+        assert savings["energy_kwh_per_year"] > 0
+        assert savings["cost_per_year"] > 0
+
+    def test_magnitude_reasonable(self, breakdowns):
+        """1000 chips x ~359 W saved x 0.7 duty x 1.3 PUE ~ 2.9 GWh/yr."""
+        a0, a2 = breakdowns
+        savings = annual_savings(a0, a2)
+        assert 1e6 < savings["energy_kwh_per_year"] < 1e7
+
+    def test_self_comparison_is_zero(self, breakdowns):
+        a0, _ = breakdowns
+        savings = annual_savings(a0, a0)
+        assert savings["energy_kwh_per_year"] == pytest.approx(0.0)
+
+    def test_mismatched_specs_rejected(self, breakdowns):
+        from repro import SystemSpec
+
+        a0, _ = breakdowns
+        other = LossAnalyzer(SystemSpec().with_power(500.0)).analyze(
+            single_stage_a2(), DSCH
+        )
+        with pytest.raises(ConfigError):
+            annual_savings(a0, other)
+
+
+class TestDeploymentValidation:
+    def test_rejects_zero_chips(self):
+        with pytest.raises(ConfigError):
+            DeploymentModel(chip_count=0)
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ConfigError):
+            DeploymentModel(utilization=0.0)
+
+    def test_rejects_pue_below_one(self):
+        with pytest.raises(ConfigError):
+            DeploymentModel(pue=0.9)
+
+    def test_rejects_free_energy(self):
+        with pytest.raises(ConfigError):
+            DeploymentModel(energy_cost_per_kwh=0.0)

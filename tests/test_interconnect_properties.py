@@ -1,0 +1,78 @@
+"""Property-based tests of the vertical interconnect arrays."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError
+from repro.pdn.interconnect import TABLE_I
+
+technologies = st.sampled_from(list(TABLE_I))
+counts = st.integers(min_value=1, max_value=100000)
+currents = st.floats(min_value=0.01, max_value=2000.0)
+
+
+@given(tech=technologies, count=counts)
+@settings(max_examples=80, deadline=None)
+def test_parallel_resistance_scales_inversely(tech, count):
+    array = tech.array(count)
+    assert array.resistance_one_polarity_ohm == pytest.approx(
+        tech.element_resistance_ohm / count
+    )
+    assert array.resistance_rail_pair_ohm == pytest.approx(
+        2 * array.resistance_one_polarity_ohm
+    )
+
+
+@given(tech=technologies, count=counts, current=currents)
+@settings(max_examples=80, deadline=None)
+def test_loss_nonnegative_and_quadratic(tech, count, current):
+    array = tech.array(count)
+    loss_1 = array.loss_w(current)
+    loss_2 = array.loss_w(2 * current)
+    assert loss_1 >= 0
+    assert loss_2 == pytest.approx(4 * loss_1, rel=1e-9)
+
+
+@given(tech=technologies, current=currents)
+@settings(max_examples=80, deadline=None)
+def test_array_for_current_respects_rating(tech, current):
+    try:
+        array = tech.array_for_current(current)
+    except InfeasibleError:
+        # Larger than the platform can carry: verify that's true.
+        assert current > tech.max_current_a(1.0)
+        return
+    assert array.is_within_rating(current)
+    # Minimality: one element fewer would violate the rating.
+    if array.count_per_polarity > 1:
+        smaller = tech.array(array.count_per_polarity - 1)
+        assert not smaller.is_within_rating(current)
+
+
+@given(tech=technologies, current=currents)
+@settings(max_examples=80, deadline=None)
+def test_utilization_in_unit_range_when_feasible(tech, current):
+    try:
+        array = tech.array_for_current(current)
+    except InfeasibleError:
+        return
+    assert 0.0 < array.utilization <= 1.0 + 1e-9
+
+
+@given(tech=technologies, cap=st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_max_current_monotone_in_cap(tech, cap):
+    assume(cap < 0.95)
+    assert tech.max_current_a(cap) <= tech.max_current_a(
+        min(cap + 0.05, 1.0)
+    ) + 1e-12
+
+
+@given(tech=technologies)
+@settings(max_examples=10, deadline=None)
+def test_power_sites_never_exceed_geometric(tech):
+    assert tech.power_sites <= tech.sites_total
+    assert tech.power_sites_per_polarity <= tech.power_sites // 2

@@ -1,0 +1,114 @@
+"""Die IR-drop analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.catalog import DPMIH, DSCH
+from repro.core.architectures import (
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+)
+from repro.core.ir_drop import analyze_ir_drop, compare_architectures
+from repro.errors import ConfigError
+from repro.pdn.powermap import PowerMap
+
+
+@pytest.fixture(scope="module")
+def a1_report():
+    return analyze_ir_drop(single_stage_a1(), DSCH)
+
+
+@pytest.fixture(scope="module")
+def a2_report():
+    return analyze_ir_drop(single_stage_a2(), DSCH)
+
+
+class TestBasics:
+    def test_min_below_mean(self, a1_report):
+        assert a1_report.min_voltage_v < a1_report.mean_voltage_v
+
+    def test_droop_positive(self, a1_report):
+        assert a1_report.worst_droop_v >= 0.0
+
+    def test_voltage_map_shape(self, a1_report):
+        assert a1_report.voltage_map.shape == (28, 28)
+
+    def test_droop_fraction(self, a1_report):
+        assert a1_report.droop_fraction == pytest.approx(
+            a1_report.worst_droop_v / 1.0
+        )
+
+    def test_worst_node_in_die(self, a1_report):
+        x, y = a1_report.worst_node
+        assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+
+class TestArchitectureComparison:
+    def test_a2_beats_a1_on_worst_droop(self, a1_report, a2_report):
+        """Distributed under-die VRs sit next to the hotspot; the
+        periphery ring must push the hotspot current across half the
+        die.  A2 therefore wins on worst-case droop."""
+        assert a2_report.worst_droop_v < a1_report.worst_droop_v
+
+    def test_a1_worst_node_near_center(self, a1_report):
+        # Periphery feeding: the die center droops the most.
+        x, y = a1_report.worst_node
+        assert abs(x - 0.5) < 0.25 and abs(y - 0.5) < 0.25
+
+    def test_compare_helper_order(self):
+        reports = compare_architectures(
+            [single_stage_a1(), single_stage_a2()], DSCH
+        )
+        assert [r.architecture for r in reports] == ["A1", "A2"]
+
+    def test_dpmih_a2_works_too(self):
+        report = analyze_ir_drop(single_stage_a2(), DPMIH)
+        assert report.worst_droop_v >= 0.0
+
+
+class TestBudget:
+    def test_a2_meets_5pct_budget(self, a2_report):
+        assert a2_report.within_budget
+
+    def test_tight_budget_fails(self):
+        report = analyze_ir_drop(
+            single_stage_a1(), DSCH, droop_budget_fraction=0.005
+        )
+        assert not report.within_budget
+
+    def test_budget_value(self, a1_report):
+        assert a1_report.droop_budget_v == pytest.approx(0.05)
+
+
+class TestMapSensitivity:
+    def test_uniform_map_less_droop(self):
+        hotspot = analyze_ir_drop(single_stage_a1(), DSCH)
+        uniform = analyze_ir_drop(
+            single_stage_a1(), DSCH, power_map=PowerMap.uniform()
+        )
+        assert uniform.worst_droop_v < hotspot.worst_droop_v
+
+    def test_finer_grid_consistent(self):
+        coarse = analyze_ir_drop(single_stage_a1(), DSCH, grid_nodes=20)
+        fine = analyze_ir_drop(single_stage_a1(), DSCH, grid_nodes=36)
+        assert fine.worst_droop_v == pytest.approx(
+            coarse.worst_droop_v, rel=0.3
+        )
+
+
+class TestValidation:
+    def test_a0_rejected(self):
+        with pytest.raises(ConfigError):
+            analyze_ir_drop(reference_a0(), DSCH)
+
+    def test_budget_range(self):
+        with pytest.raises(ConfigError):
+            analyze_ir_drop(
+                single_stage_a1(), DSCH, droop_budget_fraction=0.6
+            )
+
+    def test_empty_comparison_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_architectures([], DSCH)

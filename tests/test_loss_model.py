@@ -1,0 +1,216 @@
+"""Quadratic converter loss-model tests.
+
+The fits must *interpolate* the published data points exactly — that
+is the calibration contract of the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.loss_model import (
+    QuadraticLossModel,
+    published_efficiency_check,
+)
+from repro.errors import CalibrationError, ConfigError, InfeasibleError
+
+
+def dpmih_like() -> QuadraticLossModel:
+    return QuadraticLossModel.fit(
+        v_out_v=1.0, i_peak_a=30.0, eta_peak=0.909, i_max_a=100.0, eta_max=0.865
+    )
+
+
+class TestFit:
+    def test_peak_point_interpolated(self):
+        model = dpmih_like()
+        assert model.efficiency(30.0) == pytest.approx(0.909, abs=1e-12)
+
+    def test_full_load_point_interpolated(self):
+        model = dpmih_like()
+        assert model.efficiency(100.0) == pytest.approx(0.865, abs=1e-12)
+
+    def test_peak_current_matches(self):
+        model = dpmih_like()
+        assert model.i_peak_a == pytest.approx(30.0, rel=1e-9)
+
+    def test_peak_is_maximum(self):
+        model = dpmih_like()
+        eta_peak = model.efficiency(30.0)
+        for current in (5.0, 15.0, 45.0, 70.0, 100.0):
+            assert model.efficiency(current) <= eta_peak + 1e-12
+
+    def test_coefficients_positive(self):
+        model = dpmih_like()
+        assert model.a_w > 0
+        assert model.b_v >= 0
+        assert model.c_ohm > 0
+
+    def test_a_equals_c_ipeak_squared(self):
+        model = dpmih_like()
+        assert model.a_w == pytest.approx(model.c_ohm * 30.0**2)
+
+    def test_dsch_fit_values(self):
+        model = QuadraticLossModel.fit(1.0, 10.0, 0.915, 30.0, 0.88)
+        assert model.efficiency(10.0) == pytest.approx(0.915)
+        assert model.efficiency(30.0) == pytest.approx(0.88)
+
+    def test_3lhd_fit_values(self):
+        model = QuadraticLossModel.fit(1.0, 3.0, 0.904, 12.0, 0.85)
+        assert model.efficiency(3.0) == pytest.approx(0.904)
+        assert model.efficiency(12.0) == pytest.approx(0.85)
+
+    def test_published_efficiency_check_helper(self):
+        assert published_efficiency_check(dpmih_like(), 30.0, 0.909)
+
+    def test_rejects_eta_max_above_peak(self):
+        with pytest.raises(CalibrationError):
+            QuadraticLossModel.fit(1.0, 30.0, 0.90, 100.0, 0.95)
+
+    def test_rejects_ipeak_above_imax(self):
+        with pytest.raises(CalibrationError):
+            QuadraticLossModel.fit(1.0, 120.0, 0.90, 100.0, 0.85)
+
+    def test_rejects_inconsistent_pair(self):
+        # A peak near full load plus a steep droop implies b < 0: no
+        # physical quadratic curve passes through both points.
+        with pytest.raises(CalibrationError):
+            QuadraticLossModel.fit(1.0, 90.0, 0.95, 100.0, 0.85)
+
+
+class TestEvaluation:
+    def test_loss_at_zero(self):
+        model = dpmih_like()
+        assert model.loss_w(0.0) == pytest.approx(model.a_w)
+
+    def test_efficiency_at_zero_is_zero(self):
+        assert dpmih_like().efficiency(0.0) == 0.0
+
+    def test_loss_monotonic(self):
+        model = dpmih_like()
+        losses = [model.loss_w(i) for i in (0.0, 10.0, 50.0, 100.0)]
+        assert losses == sorted(losses)
+
+    def test_over_max_raises(self):
+        with pytest.raises(InfeasibleError):
+            dpmih_like().loss_w(101.0)
+
+    def test_over_max_with_extrapolation(self):
+        model = dpmih_like()
+        assert model.loss_w(150.0, allow_extrapolation=True) > model.loss_w(
+            100.0
+        )
+
+    def test_loss_for_power(self):
+        model = dpmih_like()
+        assert model.loss_for_power_w(30.0) == pytest.approx(
+            model.loss_w(30.0)
+        )
+
+    def test_is_feasible(self):
+        model = dpmih_like()
+        assert model.is_feasible(100.0)
+        assert not model.is_feasible(101.0)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ConfigError):
+            dpmih_like().loss_w(-1.0)
+
+
+class TestReusedAtOutputVoltage:
+    """The paper's 'as-published' stage-model semantics."""
+
+    def test_efficiency_vs_current_preserved(self):
+        base = dpmih_like()
+        stage = base.reused_at_output_voltage(12.0)
+        for current in (5.0, 30.0, 80.0):
+            assert stage.efficiency(current) == pytest.approx(
+                base.efficiency(current), rel=1e-12
+            )
+
+    def test_loss_scales_with_voltage(self):
+        base = dpmih_like()
+        stage = base.reused_at_output_voltage(12.0)
+        assert stage.loss_w(30.0) == pytest.approx(12 * base.loss_w(30.0))
+
+    def test_output_voltage_updated(self):
+        assert dpmih_like().reused_at_output_voltage(6.0).v_out_v == 6.0
+
+    def test_i_max_preserved(self):
+        assert dpmih_like().reused_at_output_voltage(6.0).i_max_a == 100.0
+
+    def test_rejects_zero_voltage(self):
+        with pytest.raises(ConfigError):
+            dpmih_like().reused_at_output_voltage(0.0)
+
+
+class TestScaledToRatio:
+    """The physics-based 'ratio-scaled' ablation mode."""
+
+    def test_lower_vin_cuts_fixed_loss(self):
+        base = dpmih_like()
+        scaled = base.scaled_to_ratio(48.0, 12.0, v_out_new_v=12.0)
+        assert scaled.a_w == pytest.approx(base.a_w * (12 / 48) ** 1.5)
+
+    def test_conduction_unchanged(self):
+        base = dpmih_like()
+        scaled = base.scaled_to_ratio(48.0, 12.0)
+        assert scaled.c_ohm == base.c_ohm
+
+    def test_linear_term_sqrt(self):
+        base = dpmih_like()
+        scaled = base.scaled_to_ratio(48.0, 12.0)
+        assert scaled.b_v == pytest.approx(base.b_v * 0.5)
+
+    def test_scaling_improves_efficiency_at_lower_ratio(self):
+        base = dpmih_like()
+        scaled = base.scaled_to_ratio(48.0, 12.0, v_out_new_v=1.0)
+        assert scaled.efficiency(30.0) > base.efficiency(30.0)
+
+    def test_rejects_zero_vin(self):
+        with pytest.raises(ConfigError):
+            dpmih_like().scaled_to_ratio(0.0, 12.0)
+
+
+class TestParalleled:
+    def test_imax_scales(self):
+        assert dpmih_like().paralleled(4).i_max_a == pytest.approx(400.0)
+
+    def test_equal_split_loss_matches(self):
+        base = dpmih_like()
+        four = base.paralleled(4)
+        assert four.loss_w(120.0) == pytest.approx(4 * base.loss_w(30.0))
+
+    def test_peak_current_scales(self):
+        base = dpmih_like()
+        assert base.paralleled(4).i_peak_a == pytest.approx(4 * base.i_peak_a)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            dpmih_like().paralleled(0)
+
+
+class TestValidation:
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(CalibrationError):
+            QuadraticLossModel(
+                v_out_v=1.0, a_w=-1.0, b_v=0.0, c_ohm=0.0, i_max_a=10.0
+            )
+
+    def test_rejects_zero_vout(self):
+        with pytest.raises(ConfigError):
+            QuadraticLossModel(
+                v_out_v=0.0, a_w=1.0, b_v=0.0, c_ohm=1e-3, i_max_a=10.0
+            )
+
+    def test_rejects_zero_imax(self):
+        with pytest.raises(ConfigError):
+            QuadraticLossModel(
+                v_out_v=1.0, a_w=1.0, b_v=0.0, c_ohm=1e-3, i_max_a=0.0
+            )
+
+    def test_zero_c_peak_current_is_imax(self):
+        model = QuadraticLossModel(
+            v_out_v=1.0, a_w=0.0, b_v=0.01, c_ohm=0.0, i_max_a=10.0
+        )
+        assert model.i_peak_a == 10.0

@@ -1,0 +1,100 @@
+"""Property-based tests of the quadratic loss model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.converters.loss_model import QuadraticLossModel
+from repro.errors import CalibrationError
+
+fit_params = st.tuples(
+    st.floats(min_value=0.5, max_value=48.0),   # v_out
+    st.floats(min_value=1.0, max_value=50.0),   # i_peak
+    st.floats(min_value=0.80, max_value=0.97),  # eta_peak
+    st.floats(min_value=1.2, max_value=10.0),   # i_max / i_peak ratio
+    st.floats(min_value=0.01, max_value=0.10),  # eta droop at full load
+)
+
+
+def try_fit(params) -> QuadraticLossModel | None:
+    v_out, i_peak, eta_peak, ratio, droop = params
+    try:
+        return QuadraticLossModel.fit(
+            v_out_v=v_out,
+            i_peak_a=i_peak,
+            eta_peak=eta_peak,
+            i_max_a=i_peak * ratio,
+            eta_max=eta_peak - droop,
+        )
+    except CalibrationError:
+        return None
+
+
+@given(fit_params)
+@settings(max_examples=120, deadline=None)
+def test_fit_interpolates_both_points(params):
+    model = try_fit(params)
+    assume(model is not None)
+    v_out, i_peak, eta_peak, ratio, droop = params
+    assert model.efficiency(i_peak) == pytest.approx(eta_peak, abs=1e-9)
+    assert model.efficiency(i_peak * ratio) == pytest.approx(
+        eta_peak - droop, abs=1e-9
+    )
+
+
+@given(fit_params)
+@settings(max_examples=120, deadline=None)
+def test_peak_is_global_maximum(params):
+    model = try_fit(params)
+    assume(model is not None)
+    _, i_peak, _, ratio, _ = params
+    eta_star = model.efficiency(i_peak)
+    for fraction in (0.1, 0.3, 0.6, 0.9, 1.2, 1.6):
+        current = min(i_peak * fraction * ratio, model.i_max_a)
+        if current > 0:
+            assert model.efficiency(current) <= eta_star + 1e-9
+
+
+@given(fit_params)
+@settings(max_examples=120, deadline=None)
+def test_loss_is_convex_and_increasing(params):
+    model = try_fit(params)
+    assume(model is not None)
+    currents = [model.i_max_a * f for f in (0.1, 0.3, 0.5, 0.7, 0.9)]
+    losses = [model.loss_w(i) for i in currents]
+    assert losses == sorted(losses)
+    # Convexity: midpoint loss below chord.
+    for a, b in zip(currents, currents[2:]):
+        mid = (a + b) / 2
+        chord = (model.loss_w(a) + model.loss_w(b)) / 2
+        assert model.loss_w(mid) <= chord + 1e-12
+
+
+@given(fit_params, st.floats(min_value=1.5, max_value=20.0))
+@settings(max_examples=80, deadline=None)
+def test_voltage_reuse_preserves_eta_curve(params, v_new):
+    model = try_fit(params)
+    assume(model is not None)
+    stage = model.reused_at_output_voltage(v_new)
+    for fraction in (0.2, 0.5, 1.0):
+        current = model.i_max_a * fraction
+        assert stage.efficiency(current) == pytest.approx(
+            model.efficiency(current), rel=1e-9
+        )
+
+
+@given(fit_params, st.integers(min_value=1, max_value=32))
+@settings(max_examples=80, deadline=None)
+def test_paralleled_preserves_per_unit_operating_point(params, count):
+    model = try_fit(params)
+    assume(model is not None)
+    bank = model.paralleled(count)
+    current = model.i_max_a * 0.8
+    assert bank.loss_w(count * current) == pytest.approx(
+        count * model.loss_w(current), rel=1e-9
+    )
+    assert bank.efficiency(count * current) == pytest.approx(
+        model.efficiency(current), rel=1e-9
+    )

@@ -1,0 +1,68 @@
+"""Markdown report generation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemSpec
+from repro.reporting.markdown import markdown_report, write_markdown_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return markdown_report()
+
+
+class TestContent:
+    def test_has_title(self, report_text):
+        assert report_text.startswith("# Vertical Power Delivery")
+
+    def test_system_summary(self, report_text):
+        assert "1000 W" in report_text
+        assert "500 mm" in report_text
+
+    def test_claim_table_present(self, report_text):
+        assert "## Claim-level checks" in report_text
+        assert "| E-FIG7 |" in report_text
+
+    def test_all_claims_hold_in_default_run(self, report_text):
+        assert "✗" not in report_text
+
+    def test_fig7_table(self, report_text):
+        assert "## Fig. 7" in report_text
+        assert "| A0 |" in report_text
+        assert "excluded" in report_text  # 3LHD rows
+
+    def test_tables_section(self, report_text):
+        assert "## Table I" in report_text
+        assert "## Table II" in report_text
+        assert "advanced Cu pad" in report_text
+
+    def test_utilization_section(self, report_text):
+        assert "## Interconnect utilization" in report_text
+        assert "1200 mm" in report_text
+
+    def test_sharing_section(self, report_text):
+        assert "## Per-VR current sharing" in report_text
+        assert "**A1**" in report_text and "**A2**" in report_text
+
+    def test_floorplans_rendered(self, report_text):
+        assert "## Floorplans" in report_text
+        assert "DSCH x48" in report_text
+
+    def test_markdown_code_fences_balanced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+
+
+class TestFile:
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "report.md"
+        returned = write_markdown_report(str(path))
+        assert returned == str(path)
+        content = path.read_text(encoding="utf-8")
+        assert content.startswith("# Vertical Power Delivery")
+
+    def test_custom_spec(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_markdown_report(str(path), SystemSpec().with_power(500.0))
+        assert "500 W" in path.read_text(encoding="utf-8")

@@ -1,0 +1,136 @@
+"""Conductor and semiconductor material model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.materials import (
+    ALUMINUM,
+    COPPER,
+    GAN_100V,
+    SI_POWER_MOSFET,
+    SOLDER_SAC305,
+    Conductor,
+    TransistorTechnology,
+    resistivity_at,
+)
+
+
+class TestConductors:
+    def test_copper_resistivity(self):
+        assert COPPER.resistivity() == pytest.approx(1.68e-8)
+
+    def test_solder_is_much_worse_than_copper(self):
+        assert SOLDER_SAC305.resistivity() > 5 * COPPER.resistivity()
+
+    def test_aluminum_between_copper_and_solder(self):
+        assert (
+            COPPER.resistivity()
+            < ALUMINUM.resistivity()
+            < SOLDER_SAC305.resistivity()
+        )
+
+    def test_temperature_raises_resistivity(self):
+        assert COPPER.resistivity(100.0) > COPPER.resistivity(25.0)
+
+    def test_temperature_coefficient_linear(self):
+        r25 = COPPER.resistivity(25.0)
+        r125 = COPPER.resistivity(125.0)
+        assert r125 / r25 == pytest.approx(1.0 + 100 * 3.9e-3)
+
+    def test_resistivity_at_wrapper(self):
+        assert resistivity_at(COPPER, 25.0) == COPPER.resistivity(25.0)
+
+    def test_wire_resistance_formula(self):
+        # rho * l / A for a 1 m, 1 mm2 copper wire.
+        resistance = COPPER.wire_resistance(1.0, 1e-6)
+        assert resistance == pytest.approx(1.68e-2)
+
+    def test_wire_resistance_zero_length(self):
+        assert COPPER.wire_resistance(0.0, 1e-6) == 0.0
+
+    def test_wire_resistance_rejects_zero_area(self):
+        with pytest.raises(ConfigError):
+            COPPER.wire_resistance(1.0, 0.0)
+
+    def test_sheet_resistance(self):
+        # 35 um copper -> ~0.48 mOhm/sq
+        assert COPPER.sheet_resistance(35e-6) == pytest.approx(4.8e-4, rel=0.01)
+
+    def test_sheet_resistance_rejects_zero_thickness(self):
+        with pytest.raises(ConfigError):
+            COPPER.sheet_resistance(0.0)
+
+    def test_rejects_nonpositive_resistivity(self):
+        with pytest.raises(ConfigError):
+            Conductor("bogus", 0.0, 0.0)
+
+    def test_extreme_cold_out_of_model_range(self):
+        with pytest.raises(ConfigError):
+            COPPER.resistivity(-300.0)
+
+
+class TestTransistorTechnologies:
+    def test_gan_fom_better_than_si(self):
+        assert GAN_100V.figure_of_merit < SI_POWER_MOSFET.figure_of_merit
+
+    def test_fom_units(self):
+        assert SI_POWER_MOSFET.figure_of_merit == pytest.approx(
+            SI_POWER_MOSFET.r_on_ohm * SI_POWER_MOSFET.gate_charge_c
+        )
+
+    def test_scaling_preserves_fom(self):
+        scaled = GAN_100V.scaled(1e-3)
+        assert scaled.figure_of_merit == pytest.approx(
+            GAN_100V.figure_of_merit
+        )
+
+    def test_scaling_sets_target_ron(self):
+        scaled = GAN_100V.scaled(2e-3)
+        assert scaled.r_on_ohm == pytest.approx(2e-3)
+
+    def test_scaling_raises_charge_for_lower_ron(self):
+        scaled = GAN_100V.scaled(GAN_100V.r_on_ohm / 4)
+        assert scaled.gate_charge_c == pytest.approx(
+            4 * GAN_100V.gate_charge_c
+        )
+
+    def test_device_area_scales_inverse_with_ron(self):
+        area_hi = GAN_100V.device_area_mm2(10e-3)
+        area_lo = GAN_100V.device_area_mm2(1e-3)
+        assert area_lo == pytest.approx(10 * area_hi)
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            GAN_100V.scaled(0.0)
+
+    def test_area_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            GAN_100V.device_area_mm2(0.0)
+
+    def test_material_validation(self):
+        with pytest.raises(ConfigError):
+            TransistorTechnology(
+                name="x",
+                material="SiC",
+                voltage_rating_v=100,
+                r_on_ohm=1e-3,
+                gate_charge_c=1e-9,
+                output_charge_c=1e-9,
+                gate_drive_v=5,
+                specific_r_on_ohm_mm2=1e-3,
+            )
+
+    def test_positive_field_validation(self):
+        with pytest.raises(ConfigError):
+            TransistorTechnology(
+                name="x",
+                material="Si",
+                voltage_rating_v=100,
+                r_on_ohm=-1e-3,
+                gate_charge_c=1e-9,
+                output_charge_c=1e-9,
+                gate_drive_v=5,
+                specific_r_on_ohm_mm2=1e-3,
+            )

@@ -1,0 +1,173 @@
+"""MNA DC solver tests against hand-solvable circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SolverError
+from repro.pdn.mna import solve_dc
+from repro.pdn.network import Netlist
+
+
+class TestVoltageDivider:
+    def test_divider_voltage(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 10.0)
+        net.add_resistor("r1", "in", "mid", 1.0)
+        net.add_resistor("r2", "mid", net.GROUND, 1.0)
+        result = solve_dc(net)
+        assert result.voltage("mid") == pytest.approx(5.0)
+
+    def test_divider_current(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 10.0)
+        net.add_resistor("r1", "in", "mid", 3.0)
+        net.add_resistor("r2", "mid", net.GROUND, 2.0)
+        result = solve_dc(net)
+        assert result.resistor_currents["r1"] == pytest.approx(2.0)
+
+    def test_source_current_equals_branch_current(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 10.0)
+        net.add_resistor("r1", "in", net.GROUND, 5.0)
+        result = solve_dc(net)
+        assert result.source_currents["v"] == pytest.approx(2.0)
+
+    def test_loss_i2r(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 10.0)
+        net.add_resistor("r1", "in", net.GROUND, 5.0)
+        result = solve_dc(net)
+        assert result.resistor_losses["r1"] == pytest.approx(20.0)
+
+
+class TestCurrentSourceCircuits:
+    def test_load_through_resistor(self):
+        # 1 V source, 1 mOhm feed, 100 A load -> 0.9 V at the load.
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("feed", "in", "pol", 1e-3)
+        net.add_load("cpu", "pol", 100.0)
+        result = solve_dc(net)
+        assert result.voltage("pol") == pytest.approx(0.9)
+
+    def test_current_source_direction(self):
+        # Source pushing current INTO a node raises its voltage.
+        net = Netlist()
+        net.add_voltage_source("v", "a", 0.0)
+        net.add_resistor("r", "a", "b", 1.0)
+        net.add_current_source("i", net.GROUND, "b", 2.0)
+        result = solve_dc(net)
+        assert result.voltage("b") == pytest.approx(2.0)
+
+    def test_two_loads_superpose(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("feed", "in", "pol", 1e-3)
+        net.add_load("l1", "pol", 40.0)
+        net.add_load("l2", "pol", 60.0)
+        result = solve_dc(net)
+        assert result.voltage("pol") == pytest.approx(0.9)
+
+
+class TestWheatstoneBridge:
+    def test_balanced_bridge_carries_no_bridge_current(self):
+        net = Netlist()
+        net.add_voltage_source("v", "top", 10.0)
+        net.add_resistor("ra", "top", "left", 100.0)
+        net.add_resistor("rb", "top", "right", 100.0)
+        net.add_resistor("rc", "left", net.GROUND, 100.0)
+        net.add_resistor("rd", "right", net.GROUND, 100.0)
+        net.add_resistor("bridge", "left", "right", 50.0)
+        result = solve_dc(net)
+        assert result.resistor_currents["bridge"] == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_unbalanced_bridge(self):
+        net = Netlist()
+        net.add_voltage_source("v", "top", 10.0)
+        net.add_resistor("ra", "top", "left", 100.0)
+        net.add_resistor("rb", "top", "right", 200.0)
+        net.add_resistor("rc", "left", net.GROUND, 100.0)
+        net.add_resistor("rd", "right", net.GROUND, 100.0)
+        net.add_resistor("bridge", "left", "right", 50.0)
+        result = solve_dc(net)
+        assert abs(result.resistor_currents["bridge"]) > 1e-3
+
+
+class TestMultipleSources:
+    def test_two_equal_sources_share_symmetric_load(self):
+        net = Netlist()
+        net.add_source_with_impedance("s1", "bus", 1.0, 1e-3)
+        net.add_source_with_impedance("s2", "bus", 1.0, 1e-3)
+        net.add_load("load", "bus", 100.0)
+        result = solve_dc(net)
+        assert result.resistor_currents["s1.rout"] == pytest.approx(50.0)
+        assert result.resistor_currents["s2.rout"] == pytest.approx(50.0)
+
+    def test_asymmetric_impedance_shifts_share(self):
+        net = Netlist()
+        net.add_source_with_impedance("s1", "bus", 1.0, 1e-3)
+        net.add_source_with_impedance("s2", "bus", 1.0, 3e-3)
+        net.add_load("load", "bus", 100.0)
+        result = solve_dc(net)
+        assert result.resistor_currents["s1.rout"] == pytest.approx(75.0)
+        assert result.resistor_currents["s2.rout"] == pytest.approx(25.0)
+
+    def test_floating_voltage_source_between_nodes(self):
+        # A source between two non-ground nodes (level shifter).
+        net = Netlist()
+        net.add_voltage_source("v1", "a", 5.0)
+        net.add_voltage_source("v2", "b", 2.0, node_minus="a")
+        net.add_resistor("r", "b", net.GROUND, 1.0)
+        result = solve_dc(net)
+        assert result.voltage("b") == pytest.approx(7.0)
+
+
+class TestSolutionQueries:
+    def test_loss_by_prefix(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("pcb.r1", "in", "m", 1e-3)
+        net.add_resistor("pkg.r1", "m", net.GROUND, 1e-3)
+        result = solve_dc(net)
+        total = result.total_resistive_loss_w
+        assert result.loss_by_prefix("pcb.") + result.loss_by_prefix(
+            "pkg."
+        ) == pytest.approx(total)
+
+    def test_ground_voltage_is_zero(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("r", "in", net.GROUND, 1.0)
+        result = solve_dc(net)
+        assert result.voltage("0") == 0.0
+
+    def test_min_voltage(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("r1", "in", "mid", 1.0)
+        net.add_resistor("r2", "mid", net.GROUND, 1.0)
+        result = solve_dc(net)
+        assert result.min_voltage() == pytest.approx(0.5)
+
+
+class TestFailureModes:
+    def test_floating_current_source_network_fails(self):
+        # A current source into a node connected only through itself.
+        net = Netlist()
+        net.add_voltage_source("v", "a", 1.0)
+        net.add_resistor("r", "a", net.GROUND, 1.0)
+        net.add_current_source("i", "float1", "float2", 1.0)
+        net.add_resistor("rf", "float1", "float2", 1.0)
+        with pytest.raises(SolverError):
+            solve_dc(net)
+
+    def test_power_balance_check_passes_on_valid_network(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 48.0)
+        net.add_resistor("r", "in", "out", 0.1)
+        net.add_load("l", "out", 10.0)
+        result = solve_dc(net, check=True)
+        assert result.voltage("out") == pytest.approx(47.0)

@@ -1,0 +1,146 @@
+"""Property-based tests of the MNA solver (hypothesis).
+
+Random ladder/grid-ish networks must satisfy physics invariants:
+KCL at every node (checked internally), conservation of load current
+into sources, superposition, and monotonicity of dissipation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdn.mna import solve_dc
+from repro.pdn.network import Netlist
+
+resistances = st.floats(
+    min_value=1e-4, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+currents = st.floats(
+    min_value=0.01, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+
+
+def build_ladder(
+    rungs: list[float], rails: list[float], loads: list[float]
+) -> Netlist:
+    """A ladder: source -> rail resistors with rung loads to ground."""
+    net = Netlist()
+    net.add_voltage_source("v", "n0", 1.0)
+    for i, rail in enumerate(rails):
+        net.add_resistor(f"rail[{i}]", f"n{i}", f"n{i+1}", rail)
+    for i, (rung, load) in enumerate(zip(rungs, loads)):
+        node = f"n{min(i + 1, len(rails))}"
+        net.add_resistor(f"rung[{i}]", node, f"m{i}", rung)
+        net.add_load(f"load[{i}]", f"m{i}", load)
+    return net
+
+
+@given(
+    rails=st.lists(resistances, min_size=1, max_size=6),
+    rungs=st.lists(resistances, min_size=1, max_size=6),
+    loads=st.lists(currents, min_size=1, max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_source_supplies_total_load(rails, rungs, loads):
+    """The single voltage source must deliver exactly the load sum."""
+    n = min(len(rungs), len(loads))
+    net = build_ladder(rungs[:n], rails, loads[:n])
+    result = solve_dc(net)
+    assert result.source_currents["v"] == pytest.approx(
+        sum(loads[:n]), rel=1e-6
+    )
+
+
+@given(
+    rails=st.lists(resistances, min_size=1, max_size=5),
+    load=currents,
+)
+@settings(max_examples=60, deadline=None)
+def test_superposition_of_loads(rails, load):
+    """Doubling every load doubles every resistor current (linearity)."""
+    net1 = build_ladder([1.0], rails, [load])
+    net2 = build_ladder([1.0], rails, [2 * load])
+    r1 = solve_dc(net1)
+    r2 = solve_dc(net2)
+    # abs tolerance scales with the load: branches carrying ~zero
+    # current only see factorization noise.
+    tolerance = 1e-6 * max(load, 1.0)
+    for name, current in r1.resistor_currents.items():
+        assert r2.resistor_currents[name] == pytest.approx(
+            2 * current, rel=1e-6, abs=tolerance
+        )
+
+
+@given(
+    rails=st.lists(resistances, min_size=1, max_size=5),
+    load=currents,
+)
+@settings(max_examples=60, deadline=None)
+def test_all_node_voltages_below_source(rails, load):
+    """With one source and only sinks, no node can exceed the source."""
+    net = build_ladder([1.0], rails, [load])
+    result = solve_dc(net)
+    for voltage in result.node_voltages.values():
+        assert voltage <= 1.0 + 1e-9
+
+
+@given(
+    rails=st.lists(resistances, min_size=2, max_size=5),
+    load=currents,
+)
+@settings(max_examples=60, deadline=None)
+def test_voltage_monotonically_drops_along_ladder(rails, load):
+    """A single end load makes the rail voltage strictly decreasing."""
+    net = Netlist()
+    net.add_voltage_source("v", "n0", 1.0)
+    for i, rail in enumerate(rails):
+        net.add_resistor(f"rail[{i}]", f"n{i}", f"n{i+1}", rail)
+    net.add_load("load", f"n{len(rails)}", load)
+    result = solve_dc(net)
+    voltages = [result.voltage(f"n{i}") for i in range(len(rails) + 1)]
+    for earlier, later in zip(voltages, voltages[1:]):
+        assert later < earlier
+
+
+@given(
+    load=currents,
+    r_feed=resistances,
+)
+@settings(max_examples=60, deadline=None)
+def test_dissipation_matches_voltage_drop(load, r_feed):
+    """P = I^2 R = I * dV on the single feed resistor."""
+    net = Netlist()
+    net.add_voltage_source("v", "in", 1.0)
+    net.add_resistor("feed", "in", "out", r_feed)
+    net.add_load("l", "out", load)
+    result = solve_dc(net)
+    drop = 1.0 - result.voltage("out")
+    assert result.resistor_losses["feed"] == pytest.approx(
+        load * drop, rel=1e-9
+    )
+
+
+@given(
+    scale=st.floats(min_value=0.1, max_value=10.0),
+    load=currents,
+)
+@settings(max_examples=60, deadline=None)
+def test_resistance_scaling_scales_losses(scale, load):
+    """Scaling all resistances by k scales all losses by k."""
+    base = Netlist()
+    base.add_voltage_source("v", "in", 1.0)
+    base.add_resistor("r1", "in", "m", 1e-3)
+    base.add_resistor("r2", "m", "out", 2e-3)
+    base.add_load("l", "out", load)
+
+    scaled = Netlist()
+    scaled.add_voltage_source("v", "in", 1.0)
+    scaled.add_resistor("r1", "in", "m", 1e-3 * scale)
+    scaled.add_resistor("r2", "m", "out", 2e-3 * scale)
+    scaled.add_load("l", "out", load)
+
+    loss_base = solve_dc(base).total_resistive_loss_w
+    loss_scaled = solve_dc(scaled).total_resistive_loss_w
+    assert loss_scaled == pytest.approx(scale * loss_base, rel=1e-6)

@@ -1,0 +1,134 @@
+"""Design optimizer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemSpec
+from repro.converters.catalog import StageModelMode
+from repro.core.optimizer import (
+    DesignConstraints,
+    optimize_design,
+)
+from repro.errors import ConfigError, InfeasibleError
+
+
+@pytest.fixture(scope="module")
+def default_result():
+    return optimize_design()
+
+
+class TestSearchSpace:
+    def test_candidate_count(self, default_result):
+        # A0 (1) + {A1, A2, A3@6V, A3@12V} x 3 topologies.
+        assert len(default_result.candidates) == 1 + 4 * 3
+
+    def test_3lhd_rejected(self, default_result):
+        rejected = {
+            (c.architecture, c.topology) for c in default_result.rejected
+        }
+        assert all(topo == "3LHD" for _a, topo in rejected)
+
+    def test_rejections_carry_reasons(self, default_result):
+        for candidate in default_result.rejected:
+            assert candidate.rejected_reason
+
+    def test_without_a0(self):
+        result = optimize_design(
+            constraints=DesignConstraints(allow_pcb_conversion=False)
+        )
+        assert all(c.architecture != "A0" for c in result.candidates)
+
+
+class TestRanking:
+    def test_best_is_a2_dsch(self, default_result):
+        best = default_result.best
+        assert best.architecture == "A2"
+        assert best.topology == "DSCH"
+
+    def test_feasible_sorted_by_efficiency(self, default_result):
+        efficiencies = [c.efficiency for c in default_result.feasible]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_a0_is_the_worst_feasible(self, default_result):
+        assert default_result.feasible[-1].architecture == "A0"
+
+
+class TestConstraints:
+    def test_efficiency_floor_prunes(self):
+        result = optimize_design(
+            constraints=DesignConstraints(min_efficiency=0.84)
+        )
+        assert all(c.efficiency >= 0.84 for c in result.feasible)
+        assert any(
+            "below the" in (c.rejected_reason or "")
+            for c in result.rejected
+        )
+
+    def test_vr_count_cap(self):
+        # A cap of 20 VRs kills the 48-slot DSCH banks but leaves
+        # DPMIH (12-13 VRs) alive.
+        result = optimize_design(
+            constraints=DesignConstraints(max_vr_count=20)
+        )
+        assert all(
+            sum(s.vr_count for s in c.breakdown.stages) <= 20
+            for c in result.feasible
+            if c.architecture != "A0"
+        )
+        assert result.best.topology in ("DPMIH", "PCB stage")
+
+    def test_area_cap(self):
+        # DPMIH's 12 x 53 mm2 exceeds a 400 mm2 cap; DSCH fits.
+        result = optimize_design(
+            constraints=DesignConstraints(max_converter_area_mm2=400.0)
+        )
+        names = {
+            (c.architecture, c.topology) for c in result.feasible
+        }
+        assert ("A1", "DSCH") in names
+        assert ("A1", "DPMIH") not in names
+
+    def test_impossible_constraints_raise_on_best(self):
+        result = optimize_design(
+            constraints=DesignConstraints(
+                min_efficiency=0.99, allow_pcb_conversion=False
+            )
+        )
+        with pytest.raises(InfeasibleError):
+            _ = result.best
+
+    def test_custom_rails(self):
+        result = optimize_design(
+            constraints=DesignConstraints(intermediate_rails_v=(8.0,))
+        )
+        names = {c.architecture for c in result.candidates}
+        assert "A3@8V*" in names
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DesignConstraints(min_efficiency=1.5)
+        with pytest.raises(ConfigError):
+            DesignConstraints(max_vr_count=0)
+        with pytest.raises(ConfigError):
+            DesignConstraints(intermediate_rails_v=())
+
+
+class TestModesAndSpecs:
+    def test_ratio_scaled_promotes_dual_stage(self):
+        published = optimize_design()
+        scaled = optimize_design(stage_mode=StageModelMode.RATIO_SCALED)
+        rank_published = [
+            c.architecture for c in published.feasible
+        ].index("A3@12V")
+        rank_scaled = [c.architecture for c in scaled.feasible].index(
+            "A3@12V"
+        )
+        assert rank_scaled < rank_published
+
+    def test_small_system_keeps_3lhd(self):
+        result = optimize_design(spec=SystemSpec().with_power(400.0))
+        names = {
+            (c.architecture, c.topology) for c in result.feasible
+        }
+        assert ("A2", "3LHD") in names

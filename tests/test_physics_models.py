@@ -1,0 +1,119 @@
+"""Bottom-up physics converter models: cross-validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.topologies.physics import (
+    Dickson3LPhysics,
+    DPMIHPhysics,
+    DSCHPhysics,
+    PhysicsDesign,
+    cross_validate,
+)
+from repro.errors import ConfigError
+from repro.materials import GAN_100V, SI_POWER_MOSFET
+
+
+class TestCrossValidation:
+    """Plausible device sizes must land near the published points —
+    the sanity check that the calibrated curves are physical."""
+
+    def test_dsch_within_one_point(self):
+        result = cross_validate(DSCHPhysics(), 0.915, 10.0)
+        assert result["gap"] < 0.02
+
+    def test_dpmih_within_one_point(self):
+        result = cross_validate(DPMIHPhysics(), 0.909, 30.0)
+        assert result["gap"] < 0.02
+
+    def test_3lhd_within_one_point(self):
+        result = cross_validate(Dickson3LPhysics(), 0.904, 3.0)
+        assert result["gap"] < 0.02
+
+    def test_cross_validate_validates_eta(self):
+        with pytest.raises(ConfigError):
+            cross_validate(DSCHPhysics(), 1.5, 10.0)
+
+
+class TestDSCHPhysics:
+    def test_duty_is_tripled(self):
+        assert DSCHPhysics().buck_duty == pytest.approx(3.0 / 48.0)
+
+    def test_loss_increases_with_load(self):
+        model = DSCHPhysics()
+        assert model.loss_w(25.0) > model.loss_w(5.0)
+
+    def test_loss_increases_with_frequency(self):
+        slow = DSCHPhysics(design=PhysicsDesign(frequency_hz=0.5e6))
+        fast = DSCHPhysics(design=PhysicsDesign(frequency_hz=4e6))
+        assert fast.loss_w(10.0) > slow.loss_w(10.0)
+
+    def test_switch_sizing_has_interior_optimum(self):
+        # Bigger devices cut conduction but add output-charge loss:
+        # at low frequency the big switch wins; at high frequency the
+        # ranking inverts (the sizing trade-off behind R_on*Q_oss).
+        def loss(r_on: float, frequency: float) -> float:
+            design = PhysicsDesign(
+                switch_r_on_ohm=r_on, frequency_hz=frequency
+            )
+            return DSCHPhysics(design=design).loss_w(30.0)
+
+        assert loss(1e-3, 0.2e6) < loss(6e-3, 0.2e6)
+        assert loss(1e-3, 4e6) > loss(6e-3, 4e6)
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ConfigError):
+            DSCHPhysics().loss_w(-1.0)
+
+
+class TestDPMIHPhysics:
+    def test_soft_switching_no_overlap_loss(self):
+        model = DPMIHPhysics()
+        assert model.switch.soft_switched
+
+    def test_efficiency_peaks_mid_load(self):
+        model = DPMIHPhysics()
+        eta_low = model.efficiency(3.0)
+        eta_mid = model.efficiency(30.0)
+        assert eta_mid > eta_low
+
+    def test_full_load_feasible(self):
+        assert DPMIHPhysics().efficiency(100.0) > 0.80
+
+
+class TestDicksonPhysics:
+    def test_regulation_duty_20pct(self):
+        assert Dickson3LPhysics().regulation_duty == pytest.approx(0.208, rel=0.01)
+
+    def test_low_stress_after_front(self):
+        model = Dickson3LPhysics()
+        assert model.v_in_v / 10.0 == pytest.approx(4.8)
+
+    def test_si_devices_worse(self):
+        gan = Dickson3LPhysics()
+        si = Dickson3LPhysics(
+            design=PhysicsDesign(
+                technology=SI_POWER_MOSFET,
+                switch_r_on_ohm=8.0e-3,
+                frequency_hz=2.0e6,
+            )
+        )
+        assert si.efficiency(3.0) < gan.efficiency(3.0)
+
+
+class TestDesignValidation:
+    def test_rejects_zero_ron(self):
+        with pytest.raises(ConfigError):
+            PhysicsDesign(switch_r_on_ohm=0.0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigError):
+            PhysicsDesign(frequency_hz=0.0)
+
+    def test_rejects_negative_dcr(self):
+        with pytest.raises(ConfigError):
+            PhysicsDesign(inductor_dcr_ohm=-1.0)
+
+    def test_default_technology_exists(self):
+        assert PhysicsDesign().technology is GAN_100V

@@ -1,0 +1,101 @@
+"""Property-based tests of the placement planner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.converters.catalog import CATALOG, DPMIH, DSCH
+from repro.errors import InfeasibleError
+from repro.placement.geometry import grid_positions, periphery_positions
+from repro.placement.planner import PlacementStyle, plan_placement
+
+currents = st.floats(min_value=10.0, max_value=1500.0)
+specs = st.sampled_from(list(CATALOG))
+styles = st.sampled_from(list(PlacementStyle))
+
+
+@given(spec=specs, style=styles, current=currents)
+@settings(max_examples=100, deadline=None)
+def test_plans_always_respect_ratings(spec, style, current):
+    """Any plan the planner returns keeps per-VR current feasible."""
+    try:
+        plan = plan_placement(spec, style, current, 500.0)
+    except InfeasibleError:
+        return
+    assert plan.per_vr_current_a <= spec.max_load_a * (1 + 1e-9)
+    assert plan.vr_count >= 1
+    assert len(plan.positions) == plan.vr_count
+
+
+@given(spec=specs, style=styles, current=currents)
+@settings(max_examples=100, deadline=None)
+def test_area_accounting_consistent(spec, style, current):
+    try:
+        plan = plan_placement(spec, style, current, 500.0)
+    except InfeasibleError:
+        return
+    assert plan.area_used_mm2 == pytest.approx(
+        plan.vr_count * spec.area_mm2
+    )
+
+
+@given(current=st.floats(min_value=10.0, max_value=1400.0))
+@settings(max_examples=60, deadline=None)
+def test_dsch_counts_monotone_in_current(current):
+    """More demand can never yield fewer VRs."""
+    lighter = plan_placement(
+        DSCH, PlacementStyle.PERIPHERY, current, 500.0
+    ).vr_count
+    try:
+        heavier = plan_placement(
+            DSCH, PlacementStyle.PERIPHERY, current + 100.0, 500.0
+        ).vr_count
+    except InfeasibleError:
+        return
+    assert heavier >= lighter
+
+
+@given(current=currents)
+@settings(max_examples=60, deadline=None)
+def test_dpmih_below_die_slots_never_exceeded(current):
+    try:
+        plan = plan_placement(DPMIH, PlacementStyle.BELOW_DIE, current, 500.0)
+    except InfeasibleError:
+        return
+    assert plan.below_die_count <= DPMIH.vrs_below_die
+
+
+@given(count=st.integers(min_value=1, max_value=200))
+@settings(max_examples=60, deadline=None)
+def test_periphery_positions_on_boundary_ring(count):
+    inset = 0.02
+    for p in periphery_positions(count, inset=inset):
+        distance_to_ring = min(
+            abs(p.x - inset),
+            abs(p.x - (1 - inset)),
+            abs(p.y - inset),
+            abs(p.y - (1 - inset)),
+        )
+        assert distance_to_ring < 1e-9
+
+
+@given(count=st.integers(min_value=1, max_value=200))
+@settings(max_examples=60, deadline=None)
+def test_grid_positions_count_and_bounds(count):
+    positions = grid_positions(count)
+    assert len(positions) == count
+    for p in positions:
+        assert 0.0 <= p.x <= 1.0
+        assert 0.0 <= p.y <= 1.0
+
+
+@given(
+    count=st.integers(min_value=2, max_value=120),
+)
+@settings(max_examples=60, deadline=None)
+def test_grid_positions_distinct(count):
+    positions = grid_positions(count)
+    unique = {(round(p.x, 9), round(p.y, 9)) for p in positions}
+    assert len(unique) == count

@@ -1,0 +1,142 @@
+"""Horizontal plane / spreading resistance model tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.materials import COPPER
+from repro.pdn.planes import (
+    annular_spreading_resistance,
+    disk_edge_feed_resistance,
+    distributed_cell_feed_resistance,
+    equivalent_radius,
+    equivalent_square_side,
+    plane_resistance,
+    rail_pair,
+    sheet_resistance,
+)
+
+
+class TestSheetResistance:
+    def test_basic_formula(self):
+        # rho / t for 70 um copper.
+        assert sheet_resistance(70e-6) == pytest.approx(1.68e-8 / 70e-6)
+
+    def test_parallel_layers(self):
+        single = sheet_resistance(35e-6)
+        double = sheet_resistance(35e-6, layers_in_parallel=2)
+        assert double == pytest.approx(single / 2)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ConfigError):
+            sheet_resistance(35e-6, layers_in_parallel=0)
+
+    def test_material_dependence(self):
+        assert sheet_resistance(10e-6, COPPER) == pytest.approx(1.68e-3)
+
+
+class TestPlaneResistance:
+    def test_one_square(self):
+        assert plane_resistance(1e-3, 0.03, 0.03) == pytest.approx(1e-3)
+
+    def test_aspect_ratio(self):
+        assert plane_resistance(1e-3, 0.06, 0.03) == pytest.approx(2e-3)
+
+    def test_zero_length(self):
+        assert plane_resistance(1e-3, 0.0, 0.03) == 0.0
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            plane_resistance(1e-3, 0.03, 0.0)
+
+    def test_rejects_zero_sheet(self):
+        with pytest.raises(ConfigError):
+            plane_resistance(0.0, 0.03, 0.03)
+
+
+class TestAnnularSpreading:
+    def test_formula(self):
+        r = annular_spreading_resistance(1e-3, 0.01, 0.02)
+        assert r == pytest.approx(1e-3 * math.log(2) / (2 * math.pi))
+
+    def test_equal_radii_zero(self):
+        assert annular_spreading_resistance(1e-3, 0.01, 0.01) == 0.0
+
+    def test_monotonic_in_outer_radius(self):
+        r1 = annular_spreading_resistance(1e-3, 0.01, 0.02)
+        r2 = annular_spreading_resistance(1e-3, 0.01, 0.04)
+        assert r2 > r1
+
+    def test_rejects_inverted_radii(self):
+        with pytest.raises(ConfigError):
+            annular_spreading_resistance(1e-3, 0.02, 0.01)
+
+    def test_rejects_zero_radius(self):
+        with pytest.raises(ConfigError):
+            annular_spreading_resistance(1e-3, 0.0, 0.01)
+
+
+class TestDiskEdgeFeed:
+    def test_classic_result(self):
+        # R_eff = R_sq / (8 pi)
+        assert disk_edge_feed_resistance(1.0) == pytest.approx(
+            1.0 / (8 * math.pi)
+        )
+
+    def test_linear_in_sheet(self):
+        assert disk_edge_feed_resistance(2e-3) == pytest.approx(
+            2 * disk_edge_feed_resistance(1e-3)
+        )
+
+    def test_rdl_scale(self):
+        # 27 um Cu RDL -> ~0.62 mOhm/sq -> ~25 uOhm effective.
+        sheet = sheet_resistance(27e-6)
+        assert disk_edge_feed_resistance(sheet) == pytest.approx(
+            24.8e-6, rel=0.02
+        )
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            disk_edge_feed_resistance(0.0)
+
+
+class TestDistributedCellFeed:
+    def test_one_cell_equals_disk(self):
+        assert distributed_cell_feed_resistance(1e-3, 1) == pytest.approx(
+            disk_edge_feed_resistance(1e-3)
+        )
+
+    def test_scales_inverse_with_cells(self):
+        r1 = distributed_cell_feed_resistance(1e-3, 1)
+        r48 = distributed_cell_feed_resistance(1e-3, 48)
+        assert r48 == pytest.approx(r1 / 48)
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ConfigError):
+            distributed_cell_feed_resistance(1e-3, 0)
+
+
+class TestHelpers:
+    def test_rail_pair(self):
+        assert rail_pair(3e-6) == pytest.approx(6e-6)
+
+    def test_rail_pair_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            rail_pair(-1.0)
+
+    def test_equivalent_square_side(self):
+        assert equivalent_square_side(500e-6) == pytest.approx(
+            math.sqrt(500e-6)
+        )
+
+    def test_equivalent_radius(self):
+        area = 500e-6
+        radius = equivalent_radius(area)
+        assert math.pi * radius**2 == pytest.approx(area)
+
+    def test_equivalent_radius_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            equivalent_radius(0.0)

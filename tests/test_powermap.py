@@ -1,0 +1,134 @@
+"""PowerMap tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn.powermap import PowerMap
+
+
+class TestUniformMap:
+    def test_cells_sum_to_total(self):
+        cells = PowerMap.uniform().cell_currents(8, 8, 1000.0)
+        assert cells.sum() == pytest.approx(1000.0)
+
+    def test_cells_equal(self):
+        cells = PowerMap.uniform().cell_currents(8, 8, 640.0)
+        assert np.allclose(cells, 10.0)
+
+    def test_peak_to_mean_is_one(self):
+        assert PowerMap.uniform().peak_to_mean() == pytest.approx(1.0)
+
+    def test_shape(self):
+        cells = PowerMap.uniform().cell_currents(4, 6, 1.0)
+        assert cells.shape == (6, 4)
+
+
+class TestGaussianMap:
+    def test_cells_sum_to_total(self):
+        pmap = PowerMap.gaussian(sigma=0.2)
+        cells = pmap.cell_currents(16, 16, 500.0)
+        assert cells.sum() == pytest.approx(500.0)
+
+    def test_center_is_peak(self):
+        pmap = PowerMap.gaussian(sigma=0.15)
+        cells = pmap.cell_currents(17, 17, 1.0)
+        peak_index = np.unravel_index(np.argmax(cells), cells.shape)
+        assert peak_index == (8, 8)
+
+    def test_off_center(self):
+        pmap = PowerMap.gaussian(center=(0.25, 0.75), sigma=0.1)
+        cells = pmap.cell_currents(16, 16, 1.0)
+        iy, ix = np.unravel_index(np.argmax(cells), cells.shape)
+        assert ix < 8 and iy > 8
+
+    def test_smaller_sigma_sharper(self):
+        broad = PowerMap.gaussian(sigma=0.3).peak_to_mean()
+        sharp = PowerMap.gaussian(sigma=0.1).peak_to_mean()
+        assert sharp > broad
+
+    def test_floor_softens(self):
+        no_floor = PowerMap.gaussian(sigma=0.1).peak_to_mean()
+        floored = PowerMap.gaussian(sigma=0.1, floor=1.0).peak_to_mean()
+        assert floored < no_floor
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ConfigError):
+            PowerMap.gaussian(sigma=0.0)
+
+    def test_rejects_negative_floor(self):
+        with pytest.raises(ConfigError):
+            PowerMap.gaussian(floor=-0.1)
+
+
+class TestHotspotMixture:
+    def test_default_calibration_severity(self):
+        # The calibrated default must be a strong center hotspot
+        # (peak-to-mean well above 4) to reproduce the paper's
+        # 10-93 A under-die sharing spread.
+        ratio = PowerMap.hotspot_mixture().peak_to_mean()
+        assert 4.0 < ratio < 12.0
+
+    def test_uniform_fraction_one_is_flat(self):
+        ratio = PowerMap.hotspot_mixture(uniform_fraction=1.0).peak_to_mean()
+        assert ratio == pytest.approx(1.0)
+
+    def test_sum_preserved(self):
+        cells = PowerMap.hotspot_mixture().cell_currents(24, 24, 1000.0)
+        assert cells.sum() == pytest.approx(1000.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            PowerMap.hotspot_mixture(uniform_fraction=1.5)
+
+
+class TestMultiHotspot:
+    def test_peaks_at_centers(self):
+        pmap = PowerMap.multi_hotspot(
+            [(0.25, 0.25), (0.75, 0.75)], sigma=0.06, uniform_fraction=0.2
+        )
+        cells = pmap.cell_currents(32, 32, 1.0)
+        # The two hotspot quadrants must hold far more current than
+        # the two empty quadrants, and roughly equal shares.
+        q_hot1 = cells[:16, :16].sum()
+        q_hot2 = cells[16:, 16:].sum()
+        q_cold = cells[:16, 16:].sum() + cells[16:, :16].sum()
+        assert q_hot1 == pytest.approx(q_hot2, rel=0.05)
+        assert q_hot1 > 2 * q_cold
+
+    def test_rejects_empty_centers(self):
+        with pytest.raises(ConfigError):
+            PowerMap.multi_hotspot([])
+
+
+class TestFromArray:
+    def test_reproduces_blocks(self):
+        grid = np.array([[1.0, 0.0], [0.0, 1.0]])
+        pmap = PowerMap.from_array(grid)
+        cells = pmap.cell_currents(2, 2, 100.0)
+        assert cells[0, 0] == pytest.approx(50.0)
+        assert cells[0, 1] == pytest.approx(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            PowerMap.from_array(np.array([[1.0, -1.0]]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ConfigError):
+            PowerMap.from_array(np.zeros((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigError):
+            PowerMap.from_array(np.ones(4))
+
+
+class TestValidation:
+    def test_rejects_zero_total(self):
+        with pytest.raises(ConfigError):
+            PowerMap.uniform().cell_currents(4, 4, 0.0)
+
+    def test_rejects_zero_grid(self):
+        with pytest.raises(ConfigError):
+            PowerMap.uniform().cell_currents(0, 4, 1.0)

@@ -1,0 +1,128 @@
+"""Regression bands: pin the calibrated headline numbers.
+
+These tests exist to make silent calibration drift loud.  If a model
+change moves any of the reproduced quantities outside its band, the
+change must either be fixed or EXPERIMENTS.md must be re-recorded
+alongside updating these bands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DPMIH,
+    DSCH,
+    LossAnalyzer,
+    analyze_current_sharing,
+    a0_die_area_requirement,
+    dual_stage_a3,
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+    vertical_utilization,
+)
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return LossAnalyzer()
+
+
+class TestFig7Bands:
+    """Loss percentages recorded in EXPERIMENTS.md (± 2 points abs)."""
+
+    EXPECTED = {
+        ("A0", None): 47.9,
+        ("A1", DPMIH): 20.8,
+        ("A1", DSCH): 17.7,
+        ("A2", DPMIH): 16.0,
+        ("A2", DSCH): 12.0,
+    }
+
+    @pytest.mark.parametrize(
+        "arch_name,topology,expected",
+        [(k[0], k[1], v) for k, v in EXPECTED.items()],
+    )
+    def test_loss_band(self, analyzer, arch_name, topology, expected):
+        factories = {
+            "A0": reference_a0,
+            "A1": single_stage_a1,
+            "A2": single_stage_a2,
+        }
+        breakdown = analyzer.analyze(
+            factories[arch_name](), topology or DSCH
+        )
+        assert 100 * breakdown.paper_loss_fraction == pytest.approx(
+            expected, abs=2.0
+        )
+
+    def test_a3_bands(self, analyzer):
+        assert 100 * analyzer.analyze(
+            dual_stage_a3(12.0), DSCH
+        ).paper_loss_fraction == pytest.approx(24.4, abs=2.5)
+        assert 100 * analyzer.analyze(
+            dual_stage_a3(6.0), DSCH
+        ).paper_loss_fraction == pytest.approx(27.8, abs=2.5)
+
+
+class TestHorizontalReductionBands:
+    def test_a3_12v_band(self, analyzer):
+        a0 = analyzer.analyze(reference_a0(), DSCH)
+        a3 = analyzer.analyze(dual_stage_a3(12.0), DSCH)
+        assert a0.horizontal_loss_w / a3.horizontal_loss_w == pytest.approx(
+            18.6, abs=2.5
+        )
+
+    def test_a3_6v_band(self, analyzer):
+        a0 = analyzer.analyze(reference_a0(), DSCH)
+        a3 = analyzer.analyze(dual_stage_a3(6.0), DSCH)
+        assert a0.horizontal_loss_w / a3.horizontal_loss_w == pytest.approx(
+            6.7, abs=1.2
+        )
+
+
+class TestUtilizationBands:
+    def test_recorded_percentages(self):
+        report = vertical_utilization(single_stage_a2())
+        assert report.row("BGA").utilization == pytest.approx(0.0128, abs=0.003)
+        assert report.row("C4 bump").utilization == pytest.approx(
+            0.0217, abs=0.004
+        )
+        assert report.row("TSV").utilization == pytest.approx(0.103, abs=0.02)
+        assert report.row("advanced Cu pad").utilization == pytest.approx(
+            0.188, abs=0.01
+        )
+
+    def test_a0_die_band(self):
+        report = a0_die_area_requirement()
+        assert report.required_die_area_mm2 == pytest.approx(1200.0, abs=10.0)
+
+
+class TestSharingBands:
+    def test_a1_band(self):
+        result = analyze_current_sharing(single_stage_a1(), DSCH)
+        assert result.min_current_a == pytest.approx(16.4, abs=2.0)
+        assert result.max_current_a == pytest.approx(25.3, abs=2.5)
+
+    def test_a2_band(self):
+        result = analyze_current_sharing(single_stage_a2(), DSCH)
+        assert result.min_current_a == pytest.approx(9.3, abs=2.0)
+        assert result.max_current_a == pytest.approx(91.7, abs=8.0)
+
+
+class TestConverterCurveAnchors:
+    """The fits must keep interpolating the published points exactly."""
+
+    def test_dpmih_anchor(self):
+        assert DPMIH.loss_model.efficiency(30.0) == pytest.approx(
+            0.909, abs=1e-9
+        )
+        assert DPMIH.loss_model.efficiency(100.0) == pytest.approx(
+            0.865, abs=1e-9
+        )
+
+    def test_dsch_anchor(self):
+        assert DSCH.loss_model.efficiency(10.0) == pytest.approx(
+            0.915, abs=1e-9
+        )

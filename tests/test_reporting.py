@@ -1,0 +1,174 @@
+"""Reporting layer tests: ASCII plots, tables, figures, experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.ascii_plot import bar_chart, scatter_plot, series_table
+from repro.reporting.experiments import (
+    EXPERIMENTS,
+    run_all,
+    run_experiment,
+)
+from repro.reporting.figures import (
+    fig1_series,
+    fig2_series,
+    fig3_series,
+    fig7_series,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig7,
+)
+from repro.reporting.tables import table_i_text, table_ii_text
+
+
+class TestAsciiPlot:
+    def test_bar_chart_contains_labels(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], unit="%")
+        assert "a " in chart and "bb" in chart
+
+    def test_bar_chart_peak_full_width(self):
+        chart = bar_chart(["x", "y"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert "#" * 10 in lines[1]
+
+    def test_bar_chart_title(self):
+        chart = bar_chart(["x"], [1.0], title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_scatter_dimensions(self):
+        plot = scatter_plot([1, 2, 3], [1, 4, 9], width=20, height=5)
+        rows = [l for l in plot.splitlines() if l.startswith("|")]
+        assert len(rows) == 5
+
+    def test_scatter_log_axis(self):
+        plot = scatter_plot([1, 10, 100], [1, 2, 3], log_x=True)
+        assert "(log)" in plot
+
+    def test_scatter_rejects_nonpositive_log(self):
+        with pytest.raises(ConfigError):
+            scatter_plot([0.0, 1.0], [1.0, 2.0], log_x=True)
+
+    def test_scatter_markers(self):
+        plot = scatter_plot([1, 2], [1, 2], markers=["c", "S"])
+        assert "c" in plot and "S" in plot
+
+    def test_series_table_alignment(self):
+        table = series_table(["col", "x"], [["a", 1.0], ["bb", 2.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_series_table_row_width_validated(self):
+        with pytest.raises(ConfigError):
+            series_table(["a", "b"], [["only-one"]])
+
+
+class TestTables:
+    def test_table_i_lists_all_technologies(self):
+        text = table_i_text()
+        for name in ("BGA", "C4 bump", "TSV", "u-bump", "advanced Cu pad"):
+            assert name in text
+
+    def test_table_i_has_paper_pitches(self):
+        text = table_i_text()
+        for pitch in ("800", "200", "10", "60", "20"):
+            assert pitch in text
+
+    def test_table_ii_lists_converters(self):
+        text = table_ii_text()
+        for name in ("DPMIH", "DSCH", "3LHD"):
+            assert name in text
+
+    def test_table_ii_key_rows(self):
+        text = table_ii_text()
+        assert "Max load current" in text
+        assert "VRs along die periphery" in text
+        assert "91.5%" in text  # DSCH peak efficiency
+
+
+class TestFigures:
+    def test_fig1_series_structure(self):
+        data = fig1_series()
+        assert set(data) == {"chips", "servers"}
+        assert all(len(entry) == 4 for entry in data["chips"])
+
+    def test_fig2_series_structure(self):
+        data = fig2_series()
+        assert set(data) == {
+            "current_demand_a",
+            "feature_um",
+            "relative_conductance",
+        }
+
+    def test_fig3_series_ordering(self):
+        data = fig3_series()
+        losses = [d["loss_pct"] for d in data]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_fig7_series_counts(self):
+        data = fig7_series()
+        assert len(data) == 13
+        assert sum(1 for d in data if d["excluded"]) == 4
+
+    def test_fig7_series_components(self):
+        data = fig7_series()
+        included = [d for d in data if not d["excluded"]]
+        for d in included:
+            assert "VR" in d and "horizontal" in d and "total_pct" in d
+
+    def test_render_fig1(self):
+        text = render_fig1()
+        assert "Fig.1" in text
+
+    def test_render_fig2(self):
+        text = render_fig2()
+        assert "Die current" in text
+
+    def test_render_fig3(self):
+        text = render_fig3()
+        assert "PCB" in text and "below-die" in text
+
+    def test_render_fig7_includes_exclusions(self):
+        text = render_fig7()
+        assert "excluded: " in text
+        assert "A0" in text
+
+
+class TestExperiments:
+    def test_registry_names(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig2",
+            "fig7",
+            "utilization",
+            "sharing",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            run_experiment("fig9")
+
+    def test_fig2_experiment_holds(self):
+        results = run_experiment("fig2")
+        assert all(r.holds for r in results)
+
+    def test_utilization_experiment_holds(self):
+        results = run_experiment("utilization")
+        assert all(r.holds for r in results)
+
+    def test_all_claims_hold(self):
+        # The headline assertion of the whole reproduction.
+        results = run_all()
+        failing = [r for r in results if not r.holds]
+        assert not failing, failing
+
+    def test_results_have_paper_and_measured(self):
+        for r in run_experiment("fig1"):
+            assert r.paper_value and r.measured_value

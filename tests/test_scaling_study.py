@@ -1,0 +1,81 @@
+"""Density scaling study tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.architectures import reference_a0, single_stage_a2
+from repro.core.scaling_study import (
+    a0_density_limit,
+    density_ceiling_a_per_mm2,
+    density_scaling_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return density_scaling_study()
+
+
+class TestCeilings:
+    def test_a0_limit_near_paper(self):
+        assert a0_density_limit() == pytest.approx(0.83, abs=0.05)
+
+    def test_micro_bump_ceiling_matches_a0_limit(self):
+        ceiling = density_ceiling_a_per_mm2(reference_a0())
+        assert ceiling == pytest.approx(a0_density_limit(), rel=0.01)
+
+    def test_cu_pad_ceiling_far_above_paper_system(self):
+        # 8.5 mA at 20 um pitch -> ~10.6 A/mm2 (both polarities).
+        ceiling = density_ceiling_a_per_mm2(single_stage_a2())
+        assert ceiling > 5.0
+
+
+class TestStudyShape:
+    def test_point_count(self, study):
+        assert len(study) == 5
+
+    def test_a0_supported_only_below_limit(self, study):
+        for point in study:
+            expected = point.density_a_per_mm2 <= a0_density_limit() + 1e-9
+            assert point.a0_supported == expected
+
+    def test_paper_system_splits_the_field(self, study):
+        at_2 = next(p for p in study if p.density_a_per_mm2 == 2.0)
+        assert not at_2.a0_supported
+        assert at_2.vertical_supported
+
+    def test_vertical_holds_through_4(self, study):
+        at_4 = next(p for p in study if p.density_a_per_mm2 == 4.0)
+        assert at_4.vertical_supported
+        assert at_4.vertical_loss_pct is not None
+
+    def test_die_area_shrinks_with_density(self, study):
+        areas = [p.die_area_mm2 for p in study]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_loss_rises_as_die_shrinks(self, study):
+        """Same current through a smaller die: the lateral paths
+        shorten (good) but the converter count and feed stay fixed,
+        so loss should not improve dramatically; assert it stays
+        within a sane band and is reported."""
+        losses = [
+            p.vertical_loss_pct
+            for p in study
+            if p.vertical_loss_pct is not None
+        ]
+        assert losses
+        assert all(5.0 < loss < 35.0 for loss in losses)
+
+
+class TestCustomSweeps:
+    def test_low_density_all_supported(self):
+        study = density_scaling_study(densities=(0.25, 0.5))
+        assert all(p.a0_supported for p in study)
+        assert all(p.vertical_supported for p in study)
+
+    def test_extreme_density_rejected_with_note(self):
+        study = density_scaling_study(densities=(50.0,))
+        point = study[0]
+        assert not point.vertical_supported
+        assert "ceiling" in point.note

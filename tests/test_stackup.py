@@ -1,0 +1,111 @@
+"""Packaging stackup tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemSpec
+from repro.errors import ConfigError
+from repro.pdn.interconnect import ADVANCED_CU_PAD, BGA, C4_BUMP, MICRO_BUMP
+from repro.pdn.stackup import (
+    LateralMetal,
+    PackagingLevel,
+    PackagingStack,
+    default_stack,
+)
+
+
+class TestDefaultStack:
+    def test_four_levels(self):
+        stack = default_stack()
+        assert [lvl.name for lvl in stack.levels] == [
+            "PCB",
+            "PKG",
+            "Interposer",
+            "Die",
+        ]
+
+    def test_interfaces(self):
+        stack = default_stack()
+        assert stack.level("PKG").down_interface is BGA
+        assert stack.level("Interposer").down_interface is C4_BUMP
+        assert stack.level("Die").down_interface is ADVANCED_CU_PAD
+
+    def test_micro_bump_variant(self):
+        stack = default_stack(die_attach=MICRO_BUMP)
+        assert stack.level("Die").down_interface is MICRO_BUMP
+
+    def test_rejects_arbitrary_die_attach(self):
+        with pytest.raises(ConfigError):
+            default_stack(die_attach=BGA)
+
+    def test_die_property(self):
+        assert default_stack().die.name == "Die"
+
+    def test_rdl_sheet_resistance(self):
+        # 27 um copper -> ~0.62 mOhm/sq.
+        sheet = default_stack().level("Interposer").lateral.sheet_ohm_sq
+        assert sheet == pytest.approx(0.622e-3, rel=0.01)
+
+    def test_pcb_sheet_uses_spec_geometry(self):
+        spec = SystemSpec()
+        stack = default_stack(spec)
+        sheet = stack.level("PCB").lateral.sheet_ohm_sq
+        assert sheet == pytest.approx(1.68e-8 / 140e-6, rel=0.01)
+
+
+class TestLookups:
+    def test_level_case_insensitive(self):
+        assert default_stack().level("pcb").name == "PCB"
+
+    def test_unknown_level(self):
+        with pytest.raises(ConfigError):
+            default_stack().level("socket")
+
+    def test_index_of(self):
+        stack = default_stack()
+        assert stack.index_of("PCB") == 0
+        assert stack.index_of("Die") == 3
+
+    def test_interfaces_between(self):
+        stack = default_stack()
+        techs = stack.interfaces_between("PCB", "Die")
+        assert techs == [BGA, C4_BUMP, ADVANCED_CU_PAD]
+
+    def test_interfaces_between_partial(self):
+        stack = default_stack()
+        assert stack.interfaces_between("PKG", "Interposer") == [C4_BUMP]
+
+    def test_interfaces_between_same_level(self):
+        assert default_stack().interfaces_between("PKG", "PKG") == []
+
+    def test_interfaces_between_inverted(self):
+        with pytest.raises(ConfigError):
+            default_stack().interfaces_between("Die", "PCB")
+
+
+class TestValidation:
+    def test_lateral_metal_rejects_zero_thickness(self):
+        with pytest.raises(ConfigError):
+            LateralMetal("m", 0.0)
+
+    def test_stack_requires_two_levels(self):
+        pcb = PackagingLevel("PCB", LateralMetal("planes", 70e-6))
+        with pytest.raises(ConfigError):
+            PackagingStack(levels=(pcb,))
+
+    def test_bottom_level_no_interface(self):
+        bad = PackagingLevel(
+            "PCB", LateralMetal("planes", 70e-6), down_interface=BGA
+        )
+        die = PackagingLevel(
+            "Die", LateralMetal("beol", 6e-6), down_interface=MICRO_BUMP
+        )
+        with pytest.raises(ConfigError):
+            PackagingStack(levels=(bad, die))
+
+    def test_upper_levels_need_interfaces(self):
+        pcb = PackagingLevel("PCB", LateralMetal("planes", 70e-6))
+        die = PackagingLevel("Die", LateralMetal("beol", 6e-6))
+        with pytest.raises(ConfigError):
+            PackagingStack(levels=(pcb, die))

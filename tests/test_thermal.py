@@ -1,0 +1,122 @@
+"""Thermal ladder and electro-thermal coupling tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.catalog import DSCH
+from repro.core.architectures import reference_a0, single_stage_a2
+from repro.core.electro_thermal import electro_thermal_loss
+from repro.errors import ConfigError
+from repro.pdn.thermal import StackTemperatures, ThermalStack
+
+
+class TestThermalStack:
+    def test_no_power_is_ambient(self):
+        stack = ThermalStack(ambient_c=35.0)
+        temps = stack.temperatures(0.0)
+        assert temps.die_c == pytest.approx(35.0)
+        assert temps.board_c == pytest.approx(35.0)
+
+    def test_die_is_hottest(self):
+        temps = ThermalStack().temperatures(1000.0)
+        assert temps.die_c == temps.hottest_c
+        assert temps.die_c > temps.interposer_c > temps.package_c > (
+            temps.board_c
+        )
+
+    def test_linear_superposition(self):
+        stack = ThermalStack()
+        t1 = stack.temperatures(500.0)
+        t2 = stack.temperatures(1000.0)
+        ambient = stack.ambient_c
+        assert t2.die_c - ambient == pytest.approx(
+            2 * (t1.die_c - ambient)
+        )
+
+    def test_total_resistance(self):
+        stack = ThermalStack(
+            r_die_to_interposer_c_per_w=0.02,
+            r_interposer_to_package_c_per_w=0.015,
+            r_package_to_board_c_per_w=0.01,
+            r_board_to_ambient_c_per_w=0.03,
+            ambient_c=0.0,
+        )
+        temps = stack.temperatures(1000.0)
+        assert temps.die_c == pytest.approx(1000.0 * 0.075)
+
+    def test_interposer_heat_skips_die_resistance(self):
+        stack = ThermalStack(ambient_c=0.0)
+        die_only = stack.temperatures(100.0)
+        vr_only = stack.temperatures(0.0, interposer_power_w=100.0)
+        assert vr_only.die_c < die_only.die_c
+        assert vr_only.interposer_c == pytest.approx(
+            die_only.interposer_c
+        )
+
+    def test_rejects_negative_heat(self):
+        with pytest.raises(ConfigError):
+            ThermalStack().temperatures(-1.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ConfigError):
+            ThermalStack(r_die_to_interposer_c_per_w=0.0)
+
+
+class TestElectroThermal:
+    @pytest.fixture(scope="class")
+    def a2_result(self):
+        return electro_thermal_loss(single_stage_a2(), DSCH)
+
+    def test_converges(self, a2_result):
+        assert a2_result.iterations < 50
+
+    def test_heating_increases_loss(self, a2_result):
+        assert a2_result.loss_increase_w > 0
+        assert a2_result.total_loss_w > a2_result.breakdown_25c.total_loss_w
+
+    def test_increase_is_modest(self, a2_result):
+        # A few percent relative - a derating, not a runaway.
+        assert a2_result.loss_increase_w < (
+            0.25 * a2_result.breakdown_25c.total_loss_w
+        )
+
+    def test_die_temperature_realistic(self, a2_result):
+        # 1 kW through a 75 C/kW stack from 35 C ambient.
+        assert 80.0 < a2_result.temperatures.die_c < 150.0
+
+    def test_efficiency_below_cold_value(self, a2_result):
+        assert a2_result.efficiency < a2_result.breakdown_25c.efficiency
+
+    def test_a0_converter_heat_stays_on_board(self):
+        a0 = electro_thermal_loss(reference_a0(), DSCH)
+        a2 = electro_thermal_loss(single_stage_a2(), DSCH)
+        # A0 dumps its conversion loss on the board; the interposer
+        # runs cooler than in A2 where ~112 W of VR loss is embedded.
+        assert (
+            a0.temperatures.interposer_c - a0.temperatures.package_c
+            < a2.temperatures.interposer_c - a2.temperatures.package_c
+        )
+
+    def test_hot_ambient_hurts(self):
+        cool = electro_thermal_loss(
+            single_stage_a2(), DSCH, stack=ThermalStack(ambient_c=25.0)
+        )
+        hot = electro_thermal_loss(
+            single_stage_a2(), DSCH, stack=ThermalStack(ambient_c=55.0)
+        )
+        assert hot.total_loss_w > cool.total_loss_w
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            electro_thermal_loss(single_stage_a2(), DSCH, max_iterations=0)
+        with pytest.raises(ConfigError):
+            electro_thermal_loss(single_stage_a2(), DSCH, tolerance_w=0.0)
+
+
+class TestStackTemperaturesDataclass:
+    def test_hottest(self):
+        temps = StackTemperatures(
+            die_c=90.0, interposer_c=80.0, package_c=70.0, board_c=60.0
+        )
+        assert temps.hottest_c == 90.0

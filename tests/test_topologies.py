@@ -1,0 +1,244 @@
+"""Converter topology tests: buck, SC, and the three hybrids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.devices import Capacitor, Inductor, PowerSwitch
+from repro.converters.topologies.buck import SynchronousBuck
+from repro.converters.topologies.dickson3l import ThreeLevelHybridDickson
+from repro.converters.topologies.dpmih import DPMIHConverter
+from repro.converters.topologies.dsch import DSCHConverter
+from repro.converters.topologies.sc import SeriesParallelSC
+from repro.converters.topologies.transformer_stage import (
+    FixedEfficiencyConverter,
+    pcb_reference_converter,
+)
+from repro.errors import ConfigError, InfeasibleError
+from repro.materials import GAN_100V
+
+
+def make_buck(v_in=12.0, v_out=1.0, frequency=1e6, n_phases=1) -> SynchronousBuck:
+    return SynchronousBuck(
+        v_in_v=v_in,
+        v_out_v=v_out,
+        frequency_hz=frequency,
+        inductor=Inductor(220e-9, dcr_ohm=0.3e-3, rated_current_a=60.0),
+        output_capacitor=Capacitor(100e-6, esr_ohm=0.2e-3),
+        high_side=PowerSwitch.sized_for(2e-3),
+        low_side=PowerSwitch.sized_for(1e-3),
+        n_phases=n_phases,
+        max_load_a=60.0,
+    )
+
+
+class TestBuck:
+    def test_duty_is_ratio(self):
+        assert make_buck().duty == pytest.approx(1.0 / 12.0)
+
+    def test_48v_duty_is_2pct(self):
+        # The paper's ultra-low on-time argument: 48V-to-1V -> ~2%.
+        buck = make_buck(v_in=48.0, frequency=0.5e6)
+        assert buck.duty == pytest.approx(0.0208, rel=0.01)
+
+    def test_on_time_limits_frequency(self):
+        # At 48V-to-1V and 20 ns minimum on-time, f_max ~ 1.04 MHz.
+        buck = make_buck(v_in=48.0, frequency=0.5e6)
+        assert buck.max_frequency_hz == pytest.approx(1.04e6, rel=0.01)
+
+    def test_too_fast_for_on_time_rejected(self):
+        with pytest.raises(InfeasibleError):
+            make_buck(v_in=48.0, frequency=2e6)
+
+    def test_efficiency_reasonable_at_medium_load(self):
+        buck = make_buck()
+        assert 0.85 < buck.efficiency(20.0) < 0.99
+
+    def test_loss_grows_with_load(self):
+        buck = make_buck()
+        assert buck.loss_w(40.0) > buck.loss_w(10.0)
+
+    def test_multiphase_reduces_output_ripple(self):
+        single = make_buck(n_phases=1)
+        quad = make_buck(n_phases=4)
+        assert quad.output_ripple_v(40.0) < single.output_ripple_v(40.0)
+
+    def test_inductor_ripple_formula(self):
+        buck = make_buck()
+        expected = (12.0 - 1.0) * (1 / 12.0) / (220e-9 * 1e6)
+        assert buck.inductor_ripple_a() == pytest.approx(expected)
+
+    def test_overload_rejected(self):
+        with pytest.raises(InfeasibleError):
+            make_buck().loss_w(100.0)
+
+    def test_input_power_consistency(self):
+        buck = make_buck()
+        p_in = buck.input_power_w(20.0)
+        assert p_in == pytest.approx(20.0 * 1.0 + buck.loss_w(20.0))
+
+    def test_rejects_step_up(self):
+        with pytest.raises(ConfigError):
+            make_buck(v_in=1.0, v_out=2.0)
+
+
+class TestSeriesParallelSC:
+    def make(self, ratio=4, frequency=1e6, c_fly=10e-6) -> SeriesParallelSC:
+        return SeriesParallelSC(
+            v_in_v=48.0,
+            ratio=ratio,
+            fly_capacitance_f=c_fly,
+            frequency_hz=frequency,
+            switch=PowerSwitch.sized_for(5e-3, soft_switched=True),
+        )
+
+    def test_ideal_ratio(self):
+        assert self.make(ratio=4).v_out_v == pytest.approx(12.0)
+
+    def test_ssl_formula(self):
+        sc = self.make(ratio=4, frequency=1e6, c_fly=10e-6)
+        assert sc.r_ssl_ohm == pytest.approx(3 / (16 * 10e-6 * 1e6))
+
+    def test_ssl_halves_with_double_frequency(self):
+        slow = self.make(frequency=1e6)
+        fast = self.make(frequency=2e6)
+        assert fast.r_ssl_ohm == pytest.approx(slow.r_ssl_ohm / 2)
+
+    def test_fsl_independent_of_frequency(self):
+        slow = self.make(frequency=1e6)
+        fast = self.make(frequency=4e6)
+        assert fast.r_fsl_ohm == pytest.approx(slow.r_fsl_ohm)
+
+    def test_rout_exceeds_both_asymptotes(self):
+        sc = self.make()
+        assert sc.r_out_ohm >= sc.r_ssl_ohm
+        assert sc.r_out_ohm >= sc.r_fsl_ohm
+
+    def test_output_droops_with_load(self):
+        sc = self.make()
+        assert sc.output_voltage_v(10.0) < sc.output_voltage_v(1.0)
+
+    def test_efficiency_bounded_by_droop(self):
+        sc = self.make()
+        v_loaded = sc.output_voltage_v(10.0)
+        assert sc.efficiency(10.0) <= v_loaded / sc.v_out_v + 1e-9
+
+    def test_switch_count(self):
+        assert self.make(ratio=4).switch_count == 10
+
+    def test_collapse_detected(self):
+        tiny = SeriesParallelSC(
+            v_in_v=48.0,
+            ratio=4,
+            fly_capacitance_f=1e-9,
+            frequency_hz=1e5,
+            switch=PowerSwitch.sized_for(5e-3),
+        )
+        with pytest.raises(InfeasibleError):
+            tiny.loss_w(20.0)
+
+    def test_rejects_ratio_one(self):
+        with pytest.raises(ConfigError):
+            SeriesParallelSC(48.0, 1, 1e-6, 1e6, PowerSwitch.sized_for(5e-3))
+
+
+class TestDSCH:
+    def test_published_peak(self):
+        converter = DSCHConverter()
+        assert converter.efficiency(10.0) == pytest.approx(0.915, abs=1e-9)
+
+    def test_max_load(self):
+        assert DSCHConverter().max_load_a == 30.0
+
+    def test_sc_front_divides_by_three(self):
+        assert DSCHConverter().intermediate_voltage_v == pytest.approx(16.0)
+
+    def test_buck_duty_improved_vs_direct(self):
+        converter = DSCHConverter()
+        direct_duty = 1.0 / 48.0
+        assert converter.buck_duty == pytest.approx(3 / 48)
+        assert converter.buck_duty > direct_duty
+
+    def test_area_from_density(self):
+        assert DSCHConverter().area_mm2 == pytest.approx(5 / 0.69, rel=1e-6)
+
+    def test_phase_imbalance_sums_to_total(self):
+        heavy, light = DSCHConverter().phase_current_imbalance(20.0)
+        assert heavy + light == pytest.approx(20.0)
+        assert heavy > light
+
+    def test_overload_rejected(self):
+        with pytest.raises(InfeasibleError):
+            DSCHConverter().loss_w(31.0)
+
+
+class TestDPMIH:
+    def test_published_peak(self):
+        assert DPMIHConverter().efficiency(30.0) == pytest.approx(
+            0.909, abs=1e-9
+        )
+
+    def test_full_load_efficiency(self):
+        assert DPMIHConverter().efficiency(100.0) == pytest.approx(
+            0.865, abs=1e-9
+        )
+
+    def test_max_load_100a(self):
+        assert DPMIHConverter().max_load_a == 100.0
+
+    def test_soft_switching_flag(self):
+        assert DPMIHConverter().is_soft_switched
+
+    def test_area_is_large(self):
+        # 8 switches at 0.15 /mm2 -> 53.3 mm2, the area-heavy option.
+        assert DPMIHConverter().area_mm2 == pytest.approx(53.33, rel=0.01)
+
+
+class TestThreeLevelHybridDickson:
+    def test_published_peak(self):
+        assert ThreeLevelHybridDickson().efficiency(3.0) == pytest.approx(
+            0.904, abs=1e-9
+        )
+
+    def test_max_load_12a(self):
+        assert ThreeLevelHybridDickson().max_load_a == 12.0
+
+    def test_dickson_divides_by_ten(self):
+        assert ThreeLevelHybridDickson().intermediate_voltage_v == (
+            pytest.approx(4.8)
+        )
+
+    def test_on_time_relaxed_to_20pct(self):
+        # The paper: on-time improves from 2% to ~20%.
+        assert ThreeLevelHybridDickson().effective_on_time_fraction == (
+            pytest.approx(0.208, rel=0.01)
+        )
+
+    def test_self_balancing(self):
+        assert ThreeLevelHybridDickson().capacitors_self_balance
+
+    def test_cannot_deliver_20a(self):
+        # The exact reason the paper excludes 3LHD from Fig. 7.
+        with pytest.raises(InfeasibleError):
+            ThreeLevelHybridDickson().loss_w(20.8)
+
+
+class TestFixedEfficiency:
+    def test_pcb_reference_is_90pct(self):
+        converter = pcb_reference_converter()
+        assert converter.efficiency(100.0) == pytest.approx(0.90)
+
+    def test_loss_from_efficiency(self):
+        converter = FixedEfficiencyConverter(48.0, 1.0, 0.9)
+        p_out = 1.0 * 100.0
+        assert converter.loss_w(100.0) == pytest.approx(p_out / 0.9 - p_out)
+
+    def test_zero_load_efficiency_zero(self):
+        assert pcb_reference_converter().efficiency(0.0) == 0.0
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            FixedEfficiencyConverter(48.0, 1.0, 1.0)
+
+    def test_conversion_ratio(self):
+        assert pcb_reference_converter().conversion_ratio == pytest.approx(48.0)

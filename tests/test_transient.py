@@ -1,0 +1,149 @@
+"""PDN transient (droop) analysis tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn.transient import (
+    PDNStage,
+    PDNTransient,
+    default_board_regulated_pdn,
+    default_interposer_regulated_pdn,
+)
+
+
+def simple_pdn(esr: float = 0.0) -> PDNTransient:
+    return PDNTransient(
+        1.0,
+        [
+            PDNStage("board", 1e-3, 10e-9, 1e-3, esr),
+            PDNStage("die", 0.1e-3, 50e-12, 5e-6, esr),
+        ],
+    )
+
+
+class TestDCState:
+    def test_no_load_settles_at_supply(self):
+        pdn = simple_pdn()
+        state = pdn.dc_state(0.0)
+        # Capacitor voltages are the last n states.
+        assert state[2] == pytest.approx(1.0, abs=1e-9)
+        assert state[3] == pytest.approx(1.0, abs=1e-9)
+
+    def test_loaded_dc_drop_matches_ir(self):
+        pdn = simple_pdn()
+        state = pdn.dc_state(10.0)
+        # Total series resistance 1.1 mOhm at 10 A -> 11 mV drop.
+        assert state[3] == pytest.approx(1.0 - 10 * 1.1e-3, rel=1e-6)
+
+    def test_dc_inductor_currents_carry_load(self):
+        pdn = simple_pdn()
+        state = pdn.dc_state(25.0)
+        assert state[0] == pytest.approx(25.0, rel=1e-9)
+        assert state[1] == pytest.approx(25.0, rel=1e-9)
+
+
+class TestStepResponse:
+    def test_droop_positive_on_load_step(self):
+        result = simple_pdn().simulate_step(0.0, 20.0, duration_s=5e-6)
+        assert result.droop_v > 0
+
+    def test_no_step_no_droop(self):
+        result = simple_pdn().simulate_step(10.0, 10.0, duration_s=2e-6)
+        assert result.droop_v == pytest.approx(0.0, abs=1e-6)
+
+    def test_bigger_step_bigger_droop(self):
+        pdn = simple_pdn()
+        small = pdn.simulate_step(0.0, 10.0, duration_s=5e-6)
+        large = pdn.simulate_step(0.0, 30.0, duration_s=5e-6)
+        assert large.droop_v > small.droop_v
+
+    def test_final_value_matches_dc(self):
+        # The board stage rings with tau = 2L/R = 20 us; simulate long
+        # enough for the oscillation to die out.
+        pdn = simple_pdn()
+        result = pdn.simulate_step(
+            0.0, 20.0, duration_s=300e-6, dt_s=20e-9
+        )
+        v_final_expected = 1.0 - 20 * 1.1e-3
+        assert result.pol_voltage_v[-1] == pytest.approx(
+            v_final_expected, rel=1e-3
+        )
+
+    def test_droop_exceeds_dc_drop(self):
+        # The transient minimum undershoots the final DC value.
+        pdn = simple_pdn()
+        result = pdn.simulate_step(0.0, 20.0, duration_s=40e-6)
+        dc_drop = 20 * 1.1e-3
+        assert result.droop_v >= dc_drop * 0.99
+
+    def test_settle_time_reported(self):
+        result = simple_pdn().simulate_step(0.0, 20.0, duration_s=40e-6)
+        assert 0.0 <= result.settle_time_s <= 40e-6
+
+    def test_trajectory_shapes(self):
+        result = simple_pdn().simulate_step(0.0, 5.0, duration_s=2e-6, dt_s=2e-9)
+        assert len(result.time_s) == len(result.pol_voltage_v)
+        assert result.stage_voltages_v.shape[0] == 2
+
+    def test_decap_softens_droop(self):
+        small_cap = PDNTransient(
+            1.0,
+            [
+                PDNStage("board", 1e-3, 10e-9, 1e-3),
+                PDNStage("die", 0.1e-3, 50e-12, 1e-6),
+            ],
+        )
+        big_cap = PDNTransient(
+            1.0,
+            [
+                PDNStage("board", 1e-3, 10e-9, 1e-3),
+                PDNStage("die", 0.1e-3, 50e-12, 20e-6),
+            ],
+        )
+        droop_small = small_cap.simulate_step(0.0, 20.0, 10e-6).droop_v
+        droop_big = big_cap.simulate_step(0.0, 20.0, 10e-6).droop_v
+        assert droop_big < droop_small
+
+
+class TestArchitectureComparison:
+    def test_interposer_regulation_beats_board_regulation(self):
+        """Moving regulation closer to the POL (A1/A2-style) cuts the
+        load-step droop — the dynamic counterpart of the paper's DC
+        argument."""
+        board = default_board_regulated_pdn()
+        interposer = default_interposer_regulated_pdn()
+        step = (5.0, 50.0)
+        droop_board = board.simulate_step(*step, duration_s=30e-6).droop_v
+        droop_interposer = interposer.simulate_step(
+            *step, duration_s=30e-6
+        ).droop_v
+        assert droop_interposer < droop_board
+
+
+class TestValidation:
+    def test_rejects_empty_stages(self):
+        with pytest.raises(ConfigError):
+            PDNTransient(1.0, [])
+
+    def test_rejects_zero_supply(self):
+        with pytest.raises(ConfigError):
+            PDNTransient(0.0, [PDNStage("x", 1e-3, 1e-9, 1e-6)])
+
+    def test_stage_rejects_zero_r(self):
+        with pytest.raises(ConfigError):
+            PDNStage("x", 0.0, 1e-9, 1e-6)
+
+    def test_stage_rejects_negative_esr(self):
+        with pytest.raises(ConfigError):
+            PDNStage("x", 1e-3, 1e-9, 1e-6, -1e-3)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ConfigError):
+            simple_pdn().simulate_step(-1.0, 5.0)
+
+    def test_rejects_short_duration(self):
+        with pytest.raises(ConfigError):
+            simple_pdn().simulate_step(0.0, 5.0, duration_s=1e-9, dt_s=1e-9)

@@ -1,0 +1,68 @@
+"""Property-based tests of the PDN load-step transient."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdn.transient import PDNStage, PDNTransient
+
+steps = st.floats(min_value=1.0, max_value=100.0)
+resistances = st.floats(min_value=1e-5, max_value=1e-3)
+inductances = st.floats(min_value=1e-12, max_value=1e-8)
+capacitances = st.floats(min_value=1e-7, max_value=1e-3)
+
+
+def build_pdn(r1, l1, c1) -> PDNTransient:
+    return PDNTransient(
+        1.0,
+        [
+            PDNStage("board", r1, l1, c1, 0.1e-3),
+            PDNStage("die", r1 / 2, l1 / 10, c1 / 100, 0.05e-3),
+        ],
+    )
+
+
+@given(step=steps, r=resistances, l=inductances, c=capacitances)
+@settings(max_examples=25, deadline=None)
+def test_droop_nonnegative(step, r, l, c):
+    pdn = build_pdn(r, l, c)
+    result = pdn.simulate_step(0.0, step, duration_s=5e-6, dt_s=5e-9)
+    assert result.droop_v >= 0.0
+
+
+@given(step=steps, r=resistances, l=inductances, c=capacitances)
+@settings(max_examples=25, deadline=None)
+def test_droop_linear_in_step(step, r, l, c):
+    """Linear network: doubling the step doubles the droop."""
+    pdn = build_pdn(r, l, c)
+    small = pdn.simulate_step(0.0, step, duration_s=5e-6, dt_s=5e-9)
+    large = pdn.simulate_step(0.0, 2 * step, duration_s=5e-6, dt_s=5e-9)
+    assert large.droop_v == pytest.approx(
+        2 * small.droop_v, rel=1e-6, abs=1e-12
+    )
+
+
+@given(step=steps, r=resistances, l=inductances, c=capacitances)
+@settings(max_examples=25, deadline=None)
+def test_step_offset_invariance(step, r, l, c):
+    """Only the step *delta* matters for the droop, not the baseline."""
+    pdn = build_pdn(r, l, c)
+    from_zero = pdn.simulate_step(0.0, step, duration_s=5e-6, dt_s=5e-9)
+    offset = pdn.simulate_step(
+        step / 2, 1.5 * step, duration_s=5e-6, dt_s=5e-9
+    )
+    assert offset.droop_v == pytest.approx(
+        from_zero.droop_v, rel=1e-6, abs=1e-12
+    )
+
+
+@given(step=steps, r=resistances, l=inductances, c=capacitances)
+@settings(max_examples=25, deadline=None)
+def test_dc_state_consistent_with_resistive_drop(step, r, l, c):
+    pdn = build_pdn(r, l, c)
+    state = pdn.dc_state(step)
+    total_r = r + r / 2
+    # Final capacitor voltage = supply - I * total series resistance.
+    assert state[-1] == pytest.approx(1.0 - step * total_r, rel=1e-6)

@@ -1,0 +1,95 @@
+"""Unit-helper tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestLengthConversions:
+    def test_mm_to_meters(self):
+        assert units.mm(1.0) == pytest.approx(1e-3)
+
+    def test_um_to_meters(self):
+        assert units.um(1.0) == pytest.approx(1e-6)
+
+    def test_mm2_to_square_meters(self):
+        assert units.mm2(1.0) == pytest.approx(1e-6)
+
+    def test_um2_to_square_meters(self):
+        assert units.um2(1.0) == pytest.approx(1e-12)
+
+    def test_roundtrip_mm(self):
+        assert units.to_mm(units.mm(37.5)) == pytest.approx(37.5)
+
+    def test_roundtrip_mm2(self):
+        assert units.to_mm2(units.mm2(500.0)) == pytest.approx(500.0)
+
+    def test_die_area_arithmetic(self):
+        # 500 mm2 die has a ~22.36 mm side.
+        side = math.sqrt(units.mm2(500.0))
+        assert units.to_mm(side) == pytest.approx(22.3607, rel=1e-4)
+
+
+class TestImpedanceConversions:
+    def test_milliohm(self):
+        assert units.milliohm(3.0) == pytest.approx(3e-3)
+
+    def test_microohm(self):
+        assert units.microohm(50.0) == pytest.approx(50e-6)
+
+    def test_roundtrip_milliohm(self):
+        assert units.to_milliohm(units.milliohm(2.5)) == pytest.approx(2.5)
+
+    def test_roundtrip_microohm(self):
+        assert units.to_microohm(units.microohm(7.0)) == pytest.approx(7.0)
+
+
+class TestReactiveAndFrequency:
+    def test_uh(self):
+        assert units.uh(4.0) == pytest.approx(4e-6)
+
+    def test_nh(self):
+        assert units.nh(10.0) == pytest.approx(1e-8)
+
+    def test_uf(self):
+        assert units.uf(15.0) == pytest.approx(15e-6)
+
+    def test_nf(self):
+        assert units.nf(100.0) == pytest.approx(1e-7)
+
+    def test_mhz(self):
+        assert units.mhz(2.0) == pytest.approx(2e6)
+
+
+class TestFormatting:
+    def test_format_si_milli(self):
+        assert units.format_si(1.3e-3, "Ohm") == "1.3 mOhm"
+
+    def test_format_si_kilo(self):
+        assert units.format_si(2500.0, "W") == "2.5 kW"
+
+    def test_format_si_unity(self):
+        assert units.format_si(3.0, "A") == "3 A"
+
+    def test_format_si_zero(self):
+        assert units.format_si(0.0, "V") == "0 V"
+
+    def test_format_si_micro(self):
+        assert "uOhm" in units.format_si(5e-5, "Ohm")
+
+    def test_format_si_negative(self):
+        assert units.format_si(-2e-3, "A").startswith("-2")
+
+    def test_format_si_tiny_falls_back_to_scientific(self):
+        text = units.format_si(1e-15, "F")
+        assert "e-15" in text
+
+    def test_percent(self):
+        assert units.percent(0.423) == "42.3%"
+
+    def test_percent_digits(self):
+        assert units.percent(0.07654, digits=2) == "7.65%"

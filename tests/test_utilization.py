@@ -1,0 +1,133 @@
+"""Interconnect utilization and A0 density-limit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemSpec
+from repro.core.architectures import (
+    reference_a0,
+    single_stage_a1,
+    single_stage_a2,
+)
+from repro.core.utilization import (
+    a0_die_area_requirement,
+    cu_pad_utilization_at_pol,
+    vertical_utilization,
+)
+from repro.errors import ConfigError
+from repro.pdn.interconnect import ADVANCED_CU_PAD, MICRO_BUMP
+
+
+class TestVerticalUtilizationClaims:
+    """Section IV: ~1% BGA, ~2% C4, ~10% TSV, <20% pads."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return vertical_utilization(single_stage_a2())
+
+    def test_bga_about_1pct(self, report):
+        assert report.row("BGA").utilization == pytest.approx(0.013, abs=0.006)
+
+    def test_c4_about_2pct(self, report):
+        assert report.row("C4 bump").utilization == pytest.approx(
+            0.022, abs=0.008
+        )
+
+    def test_tsv_about_10pct(self, report):
+        assert report.row("TSV").utilization == pytest.approx(0.10, abs=0.03)
+
+    def test_pads_below_20pct(self, report):
+        assert report.row("advanced Cu pad").utilization < 0.20
+
+    def test_all_within_caps(self, report):
+        assert report.all_within_caps
+
+    def test_a1_report_same_feed_utilizations(self):
+        a1 = vertical_utilization(single_stage_a1())
+        a2 = vertical_utilization(single_stage_a2())
+        assert a1.row("BGA").utilization == a2.row("BGA").utilization
+
+    def test_unknown_row_raises(self, report):
+        with pytest.raises(ConfigError):
+            report.row("wirebond")
+
+    def test_explicit_input_current(self):
+        report = vertical_utilization(
+            single_stage_a2(), input_current_a=48.0
+        )
+        assert report.row("BGA").rail_current_a == 48.0
+
+    def test_cu_pad_helper_matches_report(self, report):
+        assert cu_pad_utilization_at_pol() == pytest.approx(
+            report.row("advanced Cu pad").utilization
+        )
+
+
+class TestA0Utilization:
+    def test_a0_report_uses_pol_current(self):
+        report = vertical_utilization(reference_a0())
+        assert report.row("BGA").rail_current_a == pytest.approx(1000.0)
+
+    def test_a0_die_attach_over_capacity(self):
+        # 1 kA through the 500 mm2 micro-bump field exceeds ratings:
+        # utilization above 100% flags the infeasibility.
+        report = vertical_utilization(reference_a0())
+        assert report.row("u-bump").utilization > 1.0
+
+    def test_a0_has_no_tsv_row(self):
+        report = vertical_utilization(reference_a0())
+        with pytest.raises(ConfigError):
+            report.row("TSV")
+
+
+class TestA0DensityLimit:
+    """The 1200 mm2 / 0.8 A/mm2 reference-architecture claim."""
+
+    def test_required_die_area(self):
+        report = a0_die_area_requirement()
+        assert report.required_die_area_mm2 == pytest.approx(1200.0, rel=0.01)
+
+    def test_power_density_limit(self):
+        report = a0_die_area_requirement()
+        assert report.power_density_limit_a_per_mm2 == pytest.approx(
+            0.83, abs=0.05
+        )
+
+    def test_not_feasible_at_spec_die(self):
+        assert not a0_die_area_requirement().feasible_at_spec_die
+
+    def test_binding_is_die_attach(self):
+        assert a0_die_area_requirement().binding_technology == "u-bump"
+
+    def test_bga_cap_covers_1ka(self):
+        report = a0_die_area_requirement()
+        assert report.bga_capacity_a >= 1000.0
+
+    def test_c4_cap_covers_1ka(self):
+        report = a0_die_area_requirement()
+        assert report.c4_capacity_a >= 1000.0
+
+    def test_cu_pads_would_lift_the_limit(self):
+        # With advanced Cu-Cu pads as die attach, the required area
+        # collapses - advanced bonding is what enables 2 A/mm2.
+        report = a0_die_area_requirement(die_attach=ADVANCED_CU_PAD)
+        assert report.required_die_area_mm2 < 200.0
+        assert report.feasible_at_spec_die
+
+    def test_scales_with_power(self):
+        half = a0_die_area_requirement(SystemSpec().with_power(500.0))
+        assert half.required_die_area_mm2 == pytest.approx(600.0, rel=0.01)
+
+    def test_density_limit_independent_of_power(self):
+        # Both current and area scale linearly: the density cap is a
+        # technology constant (rating / (2 * pitch^2)).
+        full = a0_die_area_requirement()
+        half = a0_die_area_requirement(SystemSpec().with_power(500.0))
+        assert half.power_density_limit_a_per_mm2 == pytest.approx(
+            full.power_density_limit_a_per_mm2, rel=0.01
+        )
+
+    def test_micro_bump_default(self):
+        report = a0_die_area_requirement(die_attach=MICRO_BUMP)
+        assert report.binding_technology == "u-bump"

@@ -1,0 +1,131 @@
+"""Switching waveform simulation tests (Fig. 6 behaviours)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.converters.waveforms import (
+    BuckWaveformSimulator,
+    ChargePumpWaveformSimulator,
+    WaveformResult,
+)
+from repro.errors import ConfigError
+
+
+class TestBuckWaveforms:
+    def make(self, v_in=12.0, v_out=1.0, f=1e6) -> BuckWaveformSimulator:
+        return BuckWaveformSimulator(
+            v_in_v=v_in,
+            v_out_target_v=v_out,
+            inductance_h=470e-9,
+            capacitance_f=47e-6,
+            frequency_hz=f,
+            load_ohm=0.1,
+        )
+
+    def test_duty(self):
+        assert self.make().duty == pytest.approx(1 / 12)
+
+    def test_48v_duty_two_percent(self):
+        sim = BuckWaveformSimulator(48.0, 1.0, 1e-6, 100e-6, 0.3e6, 0.05)
+        assert sim.duty == pytest.approx(0.0208, rel=0.01)
+
+    def test_steady_state_output_near_target(self):
+        result = self.make().simulate(cycles=400, steps_per_cycle=200)
+        mean = result.steady_state_mean("output_voltage_v")
+        assert mean == pytest.approx(1.0, rel=0.05)
+
+    def test_switch_node_levels(self):
+        result = self.make().simulate(cycles=5)
+        node = result.signal("switch_node_v")
+        assert set(np.unique(node)).issubset({0.0, 12.0})
+
+    def test_switch_node_duty_fraction(self):
+        sim = self.make()
+        result = sim.simulate(cycles=10, steps_per_cycle=600)
+        node = result.signal("switch_node_v")
+        high_fraction = float(np.mean(node > 0))
+        assert high_fraction == pytest.approx(sim.duty, abs=0.01)
+
+    def test_output_ripple_small(self):
+        result = self.make().simulate(cycles=400, steps_per_cycle=200)
+        ripple = result.steady_state_ripple("output_voltage_v")
+        assert ripple < 0.05
+
+    def test_inductor_current_tracks_load(self):
+        result = self.make().simulate(cycles=400, steps_per_cycle=200)
+        mean_il = result.steady_state_mean("inductor_current_a")
+        assert mean_il == pytest.approx(10.0, rel=0.1)  # 1 V / 0.1 Ohm
+
+    def test_rejects_step_up(self):
+        with pytest.raises(ConfigError):
+            BuckWaveformSimulator(1.0, 2.0, 1e-6, 1e-6, 1e6, 1.0)
+
+    def test_rejects_insufficient_cycles(self):
+        with pytest.raises(ConfigError):
+            self.make().simulate(cycles=0)
+
+
+class TestChargePumpWaveforms:
+    def make(self, ratio=4, f=1e6) -> ChargePumpWaveformSimulator:
+        return ChargePumpWaveformSimulator(
+            v_in_v=48.0,
+            ratio=ratio,
+            fly_capacitance_f=10e-6,
+            out_capacitance_f=50e-6,
+            frequency_hz=f,
+            load_ohm=2.0,
+        )
+
+    def test_ideal_output(self):
+        assert self.make(ratio=4).ideal_output_v == pytest.approx(12.0)
+
+    def test_steady_state_below_ideal(self):
+        # Charge-sharing droop: loaded output must sit below V_in/n.
+        result = self.make().simulate(cycles=300)
+        mean = result.steady_state_mean("output_voltage_v")
+        assert 0.8 * 12.0 < mean < 12.0
+
+    def test_higher_frequency_less_droop(self):
+        slow = self.make(f=0.2e6).simulate(cycles=200)
+        fast = self.make(f=2e6).simulate(cycles=200)
+        assert fast.steady_state_mean("output_voltage_v") > (
+            slow.steady_state_mean("output_voltage_v")
+        )
+
+    def test_flying_cap_oscillates_between_phases(self):
+        result = self.make().simulate(cycles=300)
+        ripple = result.steady_state_ripple("flying_cap_v")
+        assert ripple > 0.0
+
+    def test_phase_signal_alternates(self):
+        result = self.make().simulate(cycles=4, steps_per_cycle=100)
+        phases = set(np.unique(result.signal("phase")))
+        assert phases == {1.0, 2.0}
+
+    def test_rejects_ratio_one(self):
+        with pytest.raises(ConfigError):
+            ChargePumpWaveformSimulator(48.0, 1, 1e-6, 1e-6, 1e6, 1.0)
+
+
+class TestWaveformResult:
+    def test_unknown_signal_rejected(self):
+        result = WaveformResult(
+            time_s=np.arange(4.0), signals={"a": np.ones(4)}
+        )
+        with pytest.raises(ConfigError):
+            result.signal("b")
+
+    def test_steady_state_fraction_validation(self):
+        result = WaveformResult(
+            time_s=np.arange(4.0), signals={"a": np.ones(4)}
+        )
+        with pytest.raises(ConfigError):
+            result.steady_state_mean("a", fraction=0.0)
+
+    def test_ripple_of_constant_is_zero(self):
+        result = WaveformResult(
+            time_s=np.arange(10.0), signals={"a": np.ones(10)}
+        )
+        assert result.steady_state_ripple("a") == 0.0
