@@ -1,27 +1,81 @@
 """Substrate benchmark: sparse MNA grid-solve scaling.
 
 Not a paper artifact — times the PDN solver across grid resolutions so
-regressions in the numerical core are visible.
+regressions in the numerical core are visible, plus the two hot-path
+shapes the system-level sweeps rely on:
+
+* ``test_grid_solve_scaling`` — cold solves (assembly + factorization
+  + back-substitution) at increasing mesh resolution,
+* ``test_repeated_solve_cached_factorization`` — fixed topology,
+  varying sink map: the cached-factorization path used by N−1 fault
+  sweeps and Monte-Carlo load scenarios,
+* ``test_batched_rhs_solve_many`` — one factorization amortized over a
+  stack of RHS columns via ``FactorizedPDN.solve_many``.
+
+Run ``python benchmarks/run_benchmarks.py`` to record the results in
+``BENCH_solver.json``.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.pdn.grid import GridPDN
+from repro.pdn.mna import FactorizedPDN
 from repro.pdn.powermap import PowerMap
 
 
-def solve_grid(n: int) -> float:
+def make_grid(n: int) -> GridPDN:
     grid = GridPDN(0.0224, 0.0224, 0.62e-3, nx=n, ny=n)
     grid.set_sinks(PowerMap.hotspot_mixture(), 1000.0)
     for k in range(8):
         t = k / 8.0
         grid.add_source(f"s{k}", t, 0.0 if k % 2 else 1.0, 1.0, 1e-3)
-    return grid.solve().lateral_loss_w
+    return grid
 
 
-@pytest.mark.parametrize("n", [16, 32, 48])
+def solve_grid(n: int) -> float:
+    return make_grid(n).solve().lateral_loss_w
+
+
+@pytest.mark.parametrize("n", [16, 32, 48, 64, 96])
 def test_grid_solve_scaling(benchmark, n):
     loss = benchmark(solve_grid, n)
     assert loss > 0
+
+
+def test_repeated_solve_cached_factorization(benchmark):
+    """Fixed topology, varying RHS: the N−1 / Monte-Carlo hot loop."""
+    n = 48
+    grid = make_grid(n)
+    base = PowerMap.hotspot_mixture().cell_currents(n, n, 1000.0)
+    grid.solve()  # warm the factorization cache
+    step = {"i": 0}
+
+    def rescale_and_solve() -> float:
+        step["i"] += 1
+        grid.set_sink_array(base * (0.5 + (step["i"] % 16) / 16.0))
+        return grid.solve().lateral_loss_w
+
+    loss = benchmark(rescale_and_solve)
+    assert loss > 0
+
+
+def test_batched_rhs_solve_many(benchmark):
+    """64 load scenarios through one factorization in a single call."""
+    n = 48
+    grid = make_grid(n)
+    solver = FactorizedPDN(grid.compile())
+    base = solver.rhs()
+    scales = np.linspace(0.5, 1.5, 64)
+    rhs_matrix = np.tile(base[:, None], (1, scales.size))
+    cells = n * n
+    rhs_matrix[:cells, :] *= scales[None, :]
+
+    def solve_batch() -> np.ndarray:
+        return solver.solve_many(rhs_matrix)
+
+    solutions = benchmark(solve_batch)
+    assert solutions.shape[1] == scales.size
+    assert np.all(np.isfinite(solutions))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Run the solver benchmarks and record BENCH_solver.json.
+
+Executes ``bench_solver_scaling.py`` under pytest-benchmark with
+``--benchmark-json`` and writes the machine-readable results to
+``BENCH_solver.json`` at the repository root, so the performance
+trajectory of the numerical core is tracked across PRs.  Prints a
+compact mean-time summary when done.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [extra pytest args...]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_solver.json"
+BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_solver_scaling.py"
+
+
+def main(argv: list[str]) -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "-q",
+        f"--benchmark-json={OUTPUT}",
+        *argv,
+    ]
+    status = subprocess.call(command, cwd=REPO_ROOT, env=env)
+    if status != 0:
+        return status
+
+    report = json.loads(OUTPUT.read_text())
+    print(f"\nwrote {OUTPUT}")
+    print(f"{'benchmark':<52} {'mean':>12}")
+    for entry in report.get("benchmarks", []):
+        mean_s = entry["stats"]["mean"]
+        print(f"{entry['name']:<52} {mean_s * 1e3:>9.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

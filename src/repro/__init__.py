@@ -58,6 +58,8 @@ from .pdn import (
     MICRO_BUMP,
     TABLE_I,
     TSV,
+    CompiledNetlist,
+    FactorizedPDN,
     GridPDN,
     Netlist,
     PowerMap,
@@ -81,6 +83,8 @@ __all__ = [
     "DatasetError",
     # pdn
     "Netlist",
+    "CompiledNetlist",
+    "FactorizedPDN",
     "solve_dc",
     "GridPDN",
     "PowerMap",

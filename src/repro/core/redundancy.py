@@ -37,6 +37,11 @@ from .current_sharing import (
     RING_BUS_WIDTH_M,
 )
 
+#: Default die-grid resolution for fault-injection solves; shared by
+#: every entry point so single- and multi-failure results stay
+#: comparable.
+DEFAULT_GRID_NODES = 24
+
 
 @dataclass(frozen=True)
 class FailureResult:
@@ -63,26 +68,15 @@ class FailureResult:
         return self.overloaded_count == 0
 
 
-def _solve_with_failures(
-    arch: ArchitectureSpec,
-    topology: ConverterSpec,
-    failed: tuple[int, ...],
-    spec: SystemSpec,
-    power_map: PowerMap,
-    grid_nodes: int,
-    output_resistance_ohm: float,
-) -> FailureResult:
-    plan = plan_placement(
-        topology,
-        arch.pol_stage_style,
-        spec.pol_current_a,
-        spec.die_area_mm2,
-    )
-    if any(i < 0 or i >= plan.vr_count for i in failed):
-        raise ConfigError("failed index out of range")
-    if len(failed) >= plan.vr_count:
-        raise ConfigError("cannot fail every VR")
+def _base_grid(
+    spec: SystemSpec, power_map: PowerMap, grid_nodes: int
+) -> GridPDN:
+    """The die-level grid with sinks attached but no sources yet.
 
+    Built once per sweep: the mesh and sink map are scenario
+    independent, so every fault scenario shares this structure and
+    only reattaches the surviving sources before solving.
+    """
     stack = default_stack(spec)
     sheet = stack.level("Interposer").lateral.sheet_ohm_sq
     grid = GridPDN(
@@ -93,6 +87,24 @@ def _solve_with_failures(
         ny=grid_nodes,
     )
     grid.set_sinks(power_map, spec.pol_current_a)
+    return grid
+
+
+def _solve_scenario(
+    grid: GridPDN,
+    plan,
+    topology: ConverterSpec,
+    failed: tuple[int, ...],
+    spec: SystemSpec,
+    output_resistance_ohm: float,
+) -> FailureResult:
+    """Solve one fault scenario on a shared grid structure."""
+    if any(i < 0 or i >= plan.vr_count for i in failed):
+        raise ConfigError("failed index out of range")
+    if len(failed) >= plan.vr_count:
+        raise ConfigError("cannot fail every VR")
+
+    grid.clear_sources()
     survivors: list[int] = []
     for index, position in enumerate(plan.positions):
         if index in failed:
@@ -123,13 +135,34 @@ def _solve_with_failures(
     )
 
 
+def _solve_with_failures(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    failed: tuple[int, ...],
+    spec: SystemSpec,
+    power_map: PowerMap,
+    grid_nodes: int,
+    output_resistance_ohm: float,
+) -> FailureResult:
+    plan = plan_placement(
+        topology,
+        arch.pol_stage_style,
+        spec.pol_current_a,
+        spec.die_area_mm2,
+    )
+    grid = _base_grid(spec, power_map, grid_nodes)
+    return _solve_scenario(
+        grid, plan, topology, failed, spec, output_resistance_ohm
+    )
+
+
 def inject_failures(
     arch: ArchitectureSpec,
     topology: ConverterSpec,
     failed_indices: tuple[int, ...],
     spec: SystemSpec | None = None,
     power_map: PowerMap | None = None,
-    grid_nodes: int = 24,
+    grid_nodes: int = DEFAULT_GRID_NODES,
     output_resistance_ohm: float = DEFAULT_OUTPUT_RESISTANCE_OHM,
 ) -> FailureResult:
     """Remove the given VRs and re-solve the sharing network."""
@@ -165,7 +198,7 @@ def failure_tolerance(
     topology: ConverterSpec,
     spec: SystemSpec | None = None,
     power_map: PowerMap | None = None,
-    grid_nodes: int = 24,
+    grid_nodes: int = DEFAULT_GRID_NODES,
     sample_limit: int | None = None,
 ) -> ToleranceReport:
     """Exhaustive N−1 sweep: fail each VR in turn, find the worst.
@@ -174,6 +207,8 @@ def failure_tolerance(
         sample_limit: optionally only test the first k single-failure
             scenarios (for quick checks on large banks).
     """
+    if not arch.is_vertical:
+        raise ConfigError("fault injection applies to on-package VR banks")
     spec = spec or SystemSpec()
     power_map = power_map or PowerMap.hotspot_mixture()
     plan = plan_placement(
@@ -188,17 +223,20 @@ def failure_tolerance(
             raise ConfigError("sample limit must be >= 1")
         indices = indices[:sample_limit]
 
+    # One shared grid: every scenario reuses the mesh and sink map and
+    # only swaps the surviving-source attachment before solving.
+    grid = _base_grid(spec, power_map, grid_nodes)
     worst_fraction = 0.0
     worst_index = -1
     all_survive = True
     for index in indices:
-        result = inject_failures(
-            arch,
+        result = _solve_scenario(
+            grid,
+            plan,
             topology,
             (index,),
-            spec=spec,
-            power_map=power_map,
-            grid_nodes=grid_nodes,
+            spec,
+            DEFAULT_OUTPUT_RESISTANCE_OHM,
         )
         if result.worst_overload_fraction > worst_fraction:
             worst_fraction = result.worst_overload_fraction
@@ -228,6 +266,8 @@ def multi_failure_samples(
         raise ConfigError("failure count must be >= 1")
     if max_scenarios < 1:
         raise ConfigError("need at least one scenario")
+    if not arch.is_vertical:
+        raise ConfigError("fault injection applies to on-package VR banks")
     spec = spec or SystemSpec()
     plan = plan_placement(
         topology,
@@ -240,7 +280,10 @@ def multi_failure_samples(
         scenarios.append(combo)
         if len(scenarios) >= max_scenarios:
             break
+    grid = _base_grid(spec, PowerMap.hotspot_mixture(), DEFAULT_GRID_NODES)
     return [
-        inject_failures(arch, topology, combo, spec=spec)
+        _solve_scenario(
+            grid, plan, topology, combo, spec, DEFAULT_OUTPUT_RESISTANCE_OHM
+        )
         for combo in scenarios
     ]

@@ -24,8 +24,14 @@ from .interconnect import (
     VerticalInterconnect,
     table_i_rows,
 )
-from .network import CurrentSource, Netlist, Resistor, VoltageSource
-from .mna import DCSolution, solve_dc
+from .network import (
+    CompiledNetlist,
+    CurrentSource,
+    Netlist,
+    Resistor,
+    VoltageSource,
+)
+from .mna import DCSolution, FactorizedPDN, solve_dc
 from .planes import (
     annular_spreading_resistance,
     disk_edge_feed_resistance,
@@ -56,11 +62,13 @@ __all__ = [
     "TABLE_I",
     "table_i_rows",
     "Netlist",
+    "CompiledNetlist",
     "Resistor",
     "CurrentSource",
     "VoltageSource",
     "solve_dc",
     "DCSolution",
+    "FactorizedPDN",
     "sheet_resistance",
     "plane_resistance",
     "annular_spreading_resistance",

@@ -10,6 +10,15 @@ resistance at arbitrary grid positions.
 Loss accounting convention: the grid models ONE polarity.  For a
 symmetric power + ground pair the reported lateral loss is doubled via
 ``rail_pair_factor`` (default 2.0).
+
+Solving is array-native: the mesh is assembled directly into a
+:class:`~repro.pdn.network.CompiledNetlist` (vectorized edge
+construction, no per-element Python objects) and the sparse LU
+factorization is cached on the grid, so repeated solves that only
+change the sink map or the source voltages — load sweeps, Monte-Carlo
+scenarios, droop-setpoint studies — pay back-substitution cost only.
+Attaching/removing sources or the ring bus changes the topology and
+transparently refactorizes.
 """
 
 from __future__ import annotations
@@ -19,8 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigError, SolverError
-from .mna import DCSolution, solve_dc
-from .network import Netlist
+from .mna import DCSolution, FactorizedPDN
+from .network import GROUND_INDEX, CompiledNetlist, Netlist
 from .powermap import PowerMap
 
 
@@ -36,6 +45,8 @@ class GridSolution:
         source_loss_w: I²R loss inside the sources' output resistances
             (not part of interconnect loss; useful for diagnostics).
         voltage_map: node voltages as an (ny, nx) array.
+        grid_edge_currents_a: signed current through each mesh edge
+            (x edges then y edges), when solved via the fast path.
     """
 
     dc: DCSolution
@@ -43,6 +54,7 @@ class GridSolution:
     lateral_loss_w: float
     source_loss_w: float
     voltage_map: np.ndarray
+    grid_edge_currents_a: np.ndarray | None = None
 
     @property
     def worst_droop_v(self) -> float:
@@ -57,15 +69,50 @@ class GridSolution:
         electromigration check that complements the per-element
         ratings on the vertical arrays.
         """
-        currents = [
-            abs(current)
-            for name, current in self.dc.resistor_currents.items()
-            if name.startswith("grid.")
-        ]
-        if not currents:
+        if self.grid_edge_currents_a is not None:
+            edge_currents = np.abs(self.grid_edge_currents_a)
+        else:
+            # Name-keyed fallback for externally-constructed solutions.
+            edge_currents = np.abs(
+                np.array(
+                    [
+                        current
+                        for name, current in self.dc.resistor_currents.items()
+                        if name.startswith("grid.")
+                    ]
+                )
+            )
+        if not edge_currents.size:
             return {"max_a": 0.0, "mean_a": 0.0}
-        arr = np.asarray(currents)
-        return {"max_a": float(arr.max()), "mean_a": float(arr.mean())}
+        return {
+            "max_a": float(edge_currents.max()),
+            "mean_a": float(edge_currents.mean()),
+        }
+
+
+@dataclass
+class _GridStructure:
+    """Cached assembly (and, lazily, factorization) of one topology.
+
+    ``key`` captures everything that shapes the MNA matrix (mesh
+    resistances, source attachment points and output resistances, ring
+    bus).  Sink currents and source voltages are RHS-only and do not
+    participate.  The factorization is created on first solve so that
+    :meth:`GridPDN.compile` can hand out the array form without paying
+    for (or duplicating) an LU decomposition.
+    """
+
+    key: tuple
+    compiled: CompiledNetlist
+    grid_edge_count: int
+    lateral_count: int  # grid edges + ring segments
+    _solver: FactorizedPDN | None = None
+
+    @property
+    def solver(self) -> FactorizedPDN:
+        if self._solver is None:
+            self._solver = FactorizedPDN(self.compiled)
+        return self._solver
 
 
 class GridPDN:
@@ -107,6 +154,8 @@ class GridPDN:
         self._sources: list[tuple[str, int, int, float, float]] = []
         self._sink_map: np.ndarray | None = None
         self._ring_bus_ohm: float | None = None
+        self._mesh_edges_cache: tuple[np.ndarray, ...] | None = None
+        self._structure: _GridStructure | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -145,6 +194,8 @@ class GridPDN:
             raise ConfigError("source position must be inside the die")
         if output_resistance_ohm <= 0:
             raise ConfigError("source output resistance must be positive")
+        if any(existing == name for existing, *_ in self._sources):
+            raise ConfigError(f"duplicate source name: {name!r}")
         ix = min(int(round(x_frac * (self.nx - 1))), self.nx - 1)
         iy = min(int(round(y_frac * (self.ny - 1))), self.ny - 1)
         self._sources.append(
@@ -247,18 +298,159 @@ class GridPDN:
                 )
         return netlist
 
-    def solve(self, check: bool = True) -> GridSolution:
-        """Solve the grid and return per-source currents and losses."""
-        netlist = self.build_netlist()
-        dc = solve_dc(netlist, check=check)
+    # -- vectorized assembly / cached factorization ------------------------------
 
-        currents = np.array(
+    def _mesh_edges(self) -> tuple[np.ndarray, ...]:
+        """Mesh edge endpoints as row-index arrays (x edges, y edges).
+
+        Grid node (ix, iy) occupies row ``iy * nx + ix``; the arrays
+        depend only on (nx, ny) and are computed once per grid.
+        """
+        if self._mesh_edges_cache is None:
+            rows = np.arange(
+                self.nx * self.ny, dtype=np.int64
+            ).reshape(self.ny, self.nx)
+            self._mesh_edges_cache = (
+                rows[:, :-1].ravel(),
+                rows[:, 1:].ravel(),
+                rows[:-1, :].ravel(),
+                rows[1:, :].ravel(),
+            )
+        return self._mesh_edges_cache
+
+    def _ring_segments(self) -> list[tuple[int, int, int]]:
+        """Ring-bus segments as (k, row_a, row_b), degenerates skipped."""
+        if self._ring_bus_ohm is None:
+            return []
+        segments: list[tuple[int, int, int]] = []
+        count = len(self._sources)
+        for k in range(count):
+            _, ix_a, iy_a, _, _ = self._sources[k]
+            _, ix_b, iy_b, _, _ = self._sources[(k + 1) % count]
+            if (ix_a, iy_a) == (ix_b, iy_b):
+                continue
+            segments.append((k, iy_a * self.nx + ix_a, iy_b * self.nx + ix_b))
+        return segments
+
+    def _structure_key(self) -> tuple:
+        return (
+            self.edge_resistance_x_ohm,
+            self.edge_resistance_y_ohm,
+            tuple((name, ix, iy, r_out) for name, ix, iy, _, r_out in self._sources),
+            self._ring_bus_ohm,
+        )
+
+    def _build_structure(self, key: tuple) -> _GridStructure:
+        nx, ny = self.nx, self.ny
+        cells = nx * ny
+        x_a, x_b, y_a, y_b = self._mesh_edges()
+        rx = self.edge_resistance_x_ohm
+        ry = self.edge_resistance_y_ohm
+        sources = list(self._sources)
+        segments = self._ring_segments()
+
+        emf_rows = cells + np.arange(len(sources), dtype=np.int64)
+        attach_rows = np.array(
+            [iy * nx + ix for _, ix, iy, _, _ in sources], dtype=np.int64
+        )
+        ring_a = np.array([a for _, a, _ in segments], dtype=np.int64)
+        ring_b = np.array([b for _, _, b in segments], dtype=np.int64)
+
+        res_a = np.concatenate([x_a, y_a, ring_a, emf_rows])
+        res_b = np.concatenate([x_b, y_b, ring_b, attach_rows])
+        res_ohm = np.concatenate(
             [
-                dc.resistor_currents[f"src.{name}.rout"]
-                for name in self.source_names
+                np.full(x_a.size, rx),
+                np.full(y_a.size, ry),
+                np.full(len(segments), self._ring_bus_ohm or 0.0),
+                np.array([r_out for *_, r_out in sources]),
             ]
         )
-        total_sink = float(self._sink_map.sum())
+
+        def resistor_names() -> list[str]:
+            names = [
+                f"grid.x[{ix},{iy}]"
+                for iy in range(ny)
+                for ix in range(nx - 1)
+            ]
+            names += [
+                f"grid.y[{ix},{iy}]"
+                for iy in range(ny - 1)
+                for ix in range(nx)
+            ]
+            names += [f"ring[{k}]" for k, _, _ in segments]
+            names += [f"src.{name}.rout" for name, *_ in sources]
+            return names
+
+        def sink_names() -> list[str]:
+            return [
+                f"sink[{ix},{iy}]" for iy in range(ny) for ix in range(nx)
+            ]
+
+        nodes = tuple(
+            ("g", ix, iy) for iy in range(ny) for ix in range(nx)
+        ) + tuple((f"src.{name}", "emf") for name, *_ in sources)
+
+        compiled = CompiledNetlist(
+            nodes=nodes,
+            res_a=res_a,
+            res_b=res_b,
+            res_ohm=res_ohm,
+            cs_from=np.arange(cells, dtype=np.int64),
+            cs_to=np.full(cells, GROUND_INDEX, dtype=np.int64),
+            cs_amp=np.zeros(cells),
+            vs_plus=emf_rows,
+            vs_minus=np.full(len(sources), GROUND_INDEX, dtype=np.int64),
+            vs_volt=np.zeros(len(sources)),
+            res_names=resistor_names,
+            cs_names=sink_names,
+            vs_names=tuple(f"src.{name}.v" for name, *_ in sources),
+        )
+        grid_edge_count = x_a.size + y_a.size
+        return _GridStructure(
+            key=key,
+            compiled=compiled,
+            grid_edge_count=grid_edge_count,
+            lateral_count=grid_edge_count + len(segments),
+        )
+
+    def _ensure_structure(self) -> _GridStructure:
+        key = self._structure_key()
+        if self._structure is None or self._structure.key != key:
+            self._structure = self._build_structure(key)
+        return self._structure
+
+    def compile(self) -> CompiledNetlist:
+        """The grid as a compiled netlist with current sinks/voltages."""
+        if self._sink_map is None:
+            raise ConfigError("no sinks attached; call set_sinks first")
+        if not self._sources:
+            raise ConfigError("no sources attached; call add_source first")
+        return self._ensure_structure().compiled.with_sources(
+            cs_amp=np.ascontiguousarray(self._sink_map, dtype=float).ravel(),
+            vs_volt=np.array([s[3] for s in self._sources]),
+        )
+
+    def solve(self, check: bool = True) -> GridSolution:
+        """Solve the grid and return per-source currents and losses.
+
+        The first solve of a topology assembles and factorizes the MNA
+        system; later solves with the same topology (possibly new sink
+        maps or source voltages) reuse the factorization.
+        """
+        if self._sink_map is None:
+            raise ConfigError("no sinks attached; call set_sinks first")
+        if not self._sources:
+            raise ConfigError("no sources attached; call add_source first")
+        structure = self._ensure_structure()
+        sinks = np.ascontiguousarray(self._sink_map, dtype=float).ravel()
+        volts = np.array([s[3] for s in self._sources])
+        dc = structure.solver.solve(cs_amp=sinks, vs_volt=volts, check=check)
+
+        losses = dc.resistor_loss_array
+        branch_currents = dc.resistor_current_array
+        currents = branch_currents[structure.lateral_count :].copy()
+        total_sink = float(sinks.sum())
         if abs(currents.sum() - total_sink) > 1e-6 * max(total_sink, 1.0):
             raise SolverError(
                 "source currents do not sum to the load current: "
@@ -266,19 +458,19 @@ class GridPDN:
             )
 
         lateral = (
-            dc.loss_by_prefix("grid.") + dc.loss_by_prefix("ring[")
-        ) * self.rail_pair_factor
-        source_loss = sum(
-            dc.resistor_losses[f"src.{name}.rout"] for name in self.source_names
+            losses[: structure.lateral_count].sum() * self.rail_pair_factor
         )
-        voltage_map = np.empty((self.ny, self.nx))
-        for iy in range(self.ny):
-            for ix in range(self.nx):
-                voltage_map[iy, ix] = dc.node_voltages[("g", ix, iy)]
+        source_loss = losses[structure.lateral_count :].sum()
+        voltage_map = (
+            dc.node_voltage_array[: self.nx * self.ny]
+            .reshape(self.ny, self.nx)
+            .copy()
+        )
         return GridSolution(
             dc=dc,
             source_currents_a=currents,
             lateral_loss_w=float(lateral),
             source_loss_w=float(source_loss),
             voltage_map=voltage_map,
+            grid_edge_currents_a=branch_currents[: structure.grid_edge_count],
         )

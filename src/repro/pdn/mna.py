@@ -3,56 +3,110 @@
 Solves ``[G B; B^T 0] [v; j] = [i; e]`` where ``G`` is the conductance
 matrix over non-ground nodes, ``B`` maps voltage sources to nodes,
 ``i`` collects current-source injections and ``e`` the source voltages.
-The system is assembled in COO form and solved with SuperLU via
-``scipy.sparse.linalg.spsolve``.
+
+The solver operates on a :class:`~repro.pdn.network.CompiledNetlist`
+(array-backed, integer-indexed) and stamps the COO matrix with pure
+numpy concatenation — no per-element Python loop.  Factorization is
+SuperLU (``scipy.sparse.linalg.splu``) wrapped in
+:class:`FactorizedPDN`, which callers with fixed topology keep around
+to solve new load/source vectors at back-substitution cost
+(``solve_rhs`` / ``solve_many``).
 
 The solver also verifies the physics of the returned solution:
-Kirchhoff's current law at every node and global power balance
-(source power = load power + I²R dissipation) to tight tolerances,
-raising :class:`~repro.errors.SolverError` on violation rather than
-returning silently wrong answers.
+Kirchhoff's current law at every node (via ``np.bincount``) and global
+power balance (source power = load power + I²R dissipation) to tight
+tolerances, raising :class:`~repro.errors.SolverError` on violation
+rather than returning silently wrong answers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from functools import cached_property
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import SolverError
-from .network import Netlist, NodeId
+from .network import GROUND_INDEX, CompiledNetlist, Netlist, NodeId
 
 
-@dataclass(frozen=True)
 class DCSolution:
     """Result of a DC operating-point solve.
 
+    Array-backed: per-node voltages and per-element currents/losses
+    are numpy arrays aligned with the compiled netlist's element
+    order.  The historical name-keyed dict views (``node_voltages``,
+    ``resistor_currents``, ``resistor_losses``, ``source_currents``)
+    are built lazily on first access, so hot paths that consume the
+    arrays never pay for dict construction.
+
     Attributes:
-        node_voltages: voltage of every non-ground node (ground = 0 V).
-        resistor_currents: current through each resistor, measured
-            from ``node_a`` to ``node_b``.
-        resistor_losses: I²R dissipation per resistor.
-        source_currents: current *delivered* by each voltage source
-            (positive = sourcing power into the network).
+        compiled: the compiled netlist this solution belongs to.
+        node_voltage_array: voltage per non-ground node (row order).
+        resistor_current_array: current through each resistor,
+            measured from ``node_a`` to ``node_b``.
+        resistor_loss_array: I²R dissipation per resistor.
+        source_current_array: current *delivered* by each voltage
+            source (positive = sourcing power into the network).
     """
 
-    node_voltages: dict[NodeId, float]
-    resistor_currents: dict[str, float]
-    resistor_losses: dict[str, float]
-    source_currents: dict[str, float]
+    def __init__(
+        self,
+        compiled: CompiledNetlist,
+        node_voltage_array: np.ndarray,
+        resistor_current_array: np.ndarray,
+        resistor_loss_array: np.ndarray,
+        source_current_array: np.ndarray,
+    ) -> None:
+        self.compiled = compiled
+        self.node_voltage_array = node_voltage_array
+        self.resistor_current_array = resistor_current_array
+        self.resistor_loss_array = resistor_loss_array
+        self.source_current_array = source_current_array
+
+    # -- name-keyed views (lazy) ------------------------------------------------
+
+    @cached_property
+    def node_voltages(self) -> dict[NodeId, float]:
+        """Voltage of every non-ground node (ground = 0 V)."""
+        return dict(zip(self.compiled.nodes, self.node_voltage_array.tolist()))
+
+    @cached_property
+    def resistor_currents(self) -> dict[str, float]:
+        """Current through each resistor, ``node_a`` to ``node_b``."""
+        return dict(
+            zip(self.compiled.res_names, self.resistor_current_array.tolist())
+        )
+
+    @cached_property
+    def resistor_losses(self) -> dict[str, float]:
+        """I²R dissipation per resistor."""
+        return dict(
+            zip(self.compiled.res_names, self.resistor_loss_array.tolist())
+        )
+
+    @cached_property
+    def source_currents(self) -> dict[str, float]:
+        """Current delivered by each voltage source."""
+        return dict(
+            zip(self.compiled.vs_names, self.source_current_array.tolist())
+        )
+
+    # -- queries -----------------------------------------------------------------
 
     def voltage(self, node: NodeId) -> float:
         """Voltage at a node (ground returns 0.0)."""
-        if node == "0":
+        index = self.compiled.node_index[node]
+        if index == GROUND_INDEX:
             return 0.0
-        return self.node_voltages[node]
+        return float(self.node_voltage_array[index])
 
     @property
     def total_resistive_loss_w(self) -> float:
         """Total I²R dissipation across all resistors."""
-        return float(sum(self.resistor_losses.values()))
+        return float(self.resistor_loss_array.sum())
 
     def loss_by_prefix(self, prefix: str) -> float:
         """Sum of losses over resistors whose name starts with ``prefix``.
@@ -60,26 +114,236 @@ class DCSolution:
         Power-path builders use structured names ("pcb.", "bga.", ...)
         so per-segment breakdowns are a prefix query.
         """
-        return float(
-            sum(
-                loss
-                for name, loss in self.resistor_losses.items()
-                if name.startswith(prefix)
-            )
+        names = self.compiled.res_names
+        mask = np.fromiter(
+            (name.startswith(prefix) for name in names), bool, len(names)
         )
+        return float(self.resistor_loss_array[mask].sum())
 
     def min_voltage(self) -> float:
         """Smallest node voltage (worst-case droop detection)."""
-        if not self.node_voltages:
+        if not self.node_voltage_array.size:
             return 0.0
-        return float(min(self.node_voltages.values()))
+        return float(self.node_voltage_array.min())
 
 
-def solve_dc(netlist: Netlist, check: bool = True) -> DCSolution:
+class FactorizedPDN:
+    """A reusable sparse LU factorization of one netlist topology.
+
+    The MNA matrix depends only on the netlist *structure* (element
+    endpoints and resistances); load currents and source voltages only
+    enter the right-hand side.  Factorize once, then solve any number
+    of load/source scenarios at back-substitution cost:
+
+    * :meth:`solve` — full scenario solve returning a
+      :class:`DCSolution` (optionally overriding load currents and
+      source voltages),
+    * :meth:`solve_rhs` / :meth:`solve_many` — raw solves of explicit
+      RHS vectors / stacked RHS matrices.
+
+    Raises :class:`~repro.errors.SolverError` at construction when the
+    system is singular (floating subcircuits, missing ground
+    reference), which surfaces broken topologies at factorization time
+    instead of as NaNs downstream.
+    """
+
+    def __init__(self, netlist: Netlist | CompiledNetlist) -> None:
+        compiled = (
+            netlist.compile() if isinstance(netlist, Netlist) else netlist
+        )
+        compiled.validate()
+        self.compiled = compiled
+        n = compiled.n_nodes
+        size = compiled.size
+
+        ra, rb = compiled.res_a, compiled.res_b
+        conductance = 1.0 / compiled.res_ohm
+        in_a = ra != GROUND_INDEX
+        in_b = rb != GROUND_INDEX
+        in_ab = in_a & in_b
+
+        kp = np.nonzero(compiled.vs_plus != GROUND_INDEX)[0]
+        km = np.nonzero(compiled.vs_minus != GROUND_INDEX)[0]
+        plus = compiled.vs_plus[kp]
+        minus = compiled.vs_minus[km]
+        ones_p = np.ones(len(kp))
+        ones_m = np.ones(len(km))
+
+        rows = np.concatenate(
+            [ra[in_a], rb[in_b], ra[in_ab], rb[in_ab],
+             plus, n + kp, minus, n + km]
+        )
+        cols = np.concatenate(
+            [ra[in_a], rb[in_b], rb[in_ab], ra[in_ab],
+             n + kp, plus, n + km, minus]
+        )
+        vals = np.concatenate(
+            [conductance[in_a], conductance[in_b],
+             -conductance[in_ab], -conductance[in_ab],
+             ones_p, ones_p, -ones_m, -ones_m]
+        )
+        matrix = sp.coo_matrix(
+            (vals, (rows, cols)), shape=(size, size)
+        ).tocsc()
+
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", spla.MatrixRankWarning)
+            try:
+                self._lu = spla.splu(matrix)
+            except RuntimeError as exc:  # SuperLU signals singularity
+                raise SolverError(
+                    "MNA factorization failed: the network is singular "
+                    f"(floating subcircuit or missing ground?): {exc}"
+                ) from exc
+        self._n = n
+        self._size = size
+        self._conductance = conductance
+
+        # SuperLU can slide through an exactly singular system when
+        # rounding leaves a tiny (instead of zero) pivot; the resulting
+        # solutions carry an arbitrary offset along the null space that
+        # no KCL/power check can see (the offset is current-consistent).
+        # Probe with a known solution: recovering w from A @ w amplifies
+        # any near-null direction by ~1/pivot, so a large probe error
+        # means the factorization is unusable.  One matvec plus one
+        # back-substitution, paid once per topology.
+        probe = np.cos(np.arange(size))
+        with np.errstate(all="ignore"):
+            recovered = self._lu.solve(matrix @ probe)
+            error = float(np.abs(recovered - probe).max(initial=0.0))
+        if not np.isfinite(error) or error > 1e-3:
+            raise SolverError(
+                "MNA factorization is numerically singular (probe error "
+                f"{error:.3e}); the network likely has a floating "
+                "subcircuit with a current source"
+            )
+
+    # -- RHS assembly -------------------------------------------------------------
+
+    def _scenario_values(
+        self,
+        cs_amp: np.ndarray | None,
+        vs_volt: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve (and shape-check) load/source overrides."""
+        compiled = self.compiled
+        amp = compiled.cs_amp if cs_amp is None else np.asarray(cs_amp, float)
+        volt = (
+            compiled.vs_volt if vs_volt is None else np.asarray(vs_volt, float)
+        )
+        if amp.shape != compiled.cs_amp.shape:
+            raise SolverError(
+                f"expected {compiled.cs_amp.shape[0]} load currents, "
+                f"got shape {amp.shape}"
+            )
+        if volt.shape != compiled.vs_volt.shape:
+            raise SolverError(
+                f"expected {compiled.vs_volt.shape[0]} source voltages, "
+                f"got shape {volt.shape}"
+            )
+        if amp.size and np.any(amp < 0):
+            raise SolverError("load currents must be non-negative")
+        return amp, volt
+
+    def rhs(
+        self,
+        cs_amp: np.ndarray | None = None,
+        vs_volt: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Assemble the MNA right-hand side for a load/source scenario.
+
+        Defaults to the compiled netlist's own currents and voltages.
+        """
+        compiled = self.compiled
+        amp, volt = self._scenario_values(cs_amp, vs_volt)
+        rhs = np.zeros(self._size)
+        n = self._n
+        if amp.size:
+            out_of = compiled.cs_from != GROUND_INDEX
+            into = compiled.cs_to != GROUND_INDEX
+            rhs[:n] = np.bincount(
+                compiled.cs_to[into], weights=amp[into], minlength=n
+            )
+            rhs[:n] -= np.bincount(
+                compiled.cs_from[out_of], weights=amp[out_of], minlength=n
+            )
+        rhs[n:] = volt
+        return rhs
+
+    # -- raw solves ----------------------------------------------------------------
+
+    def solve_rhs(self, rhs: np.ndarray) -> np.ndarray:
+        """Back-substitute one explicit RHS vector (length ``size``)."""
+        solution = self._lu.solve(np.asarray(rhs, dtype=float))
+        if not np.all(np.isfinite(solution)):
+            raise SolverError("MNA solution contains non-finite values")
+        return solution
+
+    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        """Back-substitute a stack of RHS columns, shape (size, k).
+
+        One factorization amortized over k scenarios — the batched
+        path for Monte-Carlo sweeps and load sweeps over a fixed
+        topology.
+        """
+        stacked = np.asarray(rhs_matrix, dtype=float)
+        if stacked.ndim != 2 or stacked.shape[0] != self._size:
+            raise SolverError(
+                f"rhs matrix must be shaped ({self._size}, k), "
+                f"got {stacked.shape}"
+            )
+        solution = self._lu.solve(stacked)
+        if not np.all(np.isfinite(solution)):
+            raise SolverError("MNA solution contains non-finite values")
+        return solution
+
+    # -- scenario solve -------------------------------------------------------------
+
+    def solve(
+        self,
+        cs_amp: np.ndarray | None = None,
+        vs_volt: np.ndarray | None = None,
+        check: bool = True,
+    ) -> DCSolution:
+        """Solve one operating point, optionally overriding the loads
+        (``cs_amp``, aligned with the compiled current sources) and
+        source voltages (``vs_volt``).
+
+        Raises:
+            SolverError: non-finite result, KCL or power-balance
+                violation (with ``check=True``).
+        """
+        compiled = self.compiled
+        amp, volt = self._scenario_values(cs_amp, vs_volt)
+        x = self.solve_rhs(self.rhs(amp, volt))
+        n = self._n
+        voltages = x[:n]
+        # Ground trick: append one 0.0 so GROUND_INDEX (-1) gathers 0 V.
+        v_full = np.concatenate([voltages, [0.0]])
+        drop = v_full[compiled.res_a] - v_full[compiled.res_b]
+        currents = drop * self._conductance
+        losses = currents * drop
+        source_currents = -x[n:]
+
+        solution = DCSolution(
+            compiled=compiled,
+            node_voltage_array=voltages,
+            resistor_current_array=currents,
+            resistor_loss_array=losses,
+            source_current_array=source_currents,
+        )
+        if check:
+            _verify(solution, amp, volt, v_full)
+        return solution
+
+
+def solve_dc(netlist: Netlist | CompiledNetlist, check: bool = True) -> DCSolution:
     """Solve the DC operating point of a netlist.
 
     Args:
-        netlist: the circuit to solve.
+        netlist: the circuit to solve (a builder-style
+            :class:`~repro.pdn.network.Netlist` or an already-compiled
+            :class:`~repro.pdn.network.CompiledNetlist`).
         check: verify KCL and power balance on the solution
             (cheap relative to the factorization; disable only in
             tight inner loops that have been validated already).
@@ -87,144 +351,50 @@ def solve_dc(netlist: Netlist, check: bool = True) -> DCSolution:
     Raises:
         SolverError: singular/disconnected system or non-finite result.
     """
-    netlist.validate()
-    nodes = netlist.nodes()
-    index = {node: i for i, node in enumerate(nodes)}
-    n = len(nodes)
-    m = len(netlist.voltage_sources)
-    size = n + m
+    return FactorizedPDN(netlist).solve(check=check)
 
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    rhs = np.zeros(size)
 
-    def stamp(i: int, j: int, value: float) -> None:
-        rows.append(i)
-        cols.append(j)
-        vals.append(value)
+def _verify(
+    solution: DCSolution,
+    cs_amp: np.ndarray,
+    vs_volt: np.ndarray,
+    v_full: np.ndarray,
+) -> None:
+    """Check KCL at every node and overall power balance (vectorized)."""
+    compiled = solution.compiled
+    n = compiled.n_nodes
+    currents = solution.resistor_current_array
+    source_currents = solution.source_current_array
 
-    for r in netlist.resistors:
-        g = 1.0 / r.resistance_ohm
-        a = index.get(r.node_a)
-        b = index.get(r.node_b)
-        if r.node_a != netlist.GROUND:
-            stamp(a, a, g)
-        if r.node_b != netlist.GROUND:
-            stamp(b, b, g)
-        if r.node_a != netlist.GROUND and r.node_b != netlist.GROUND:
-            stamp(a, b, -g)
-            stamp(b, a, -g)
+    def contributions(nodes: np.ndarray, flow: np.ndarray) -> np.ndarray:
+        keep = nodes != GROUND_INDEX
+        return np.bincount(nodes[keep], weights=flow[keep], minlength=n)
 
-    for s in netlist.current_sources:
-        # Current flows out of node_from, into node_to.
-        if s.node_from != netlist.GROUND:
-            rhs[index[s.node_from]] -= s.current_a
-        if s.node_to != netlist.GROUND:
-            rhs[index[s.node_to]] += s.current_a
-
-    for k, v in enumerate(netlist.voltage_sources):
-        row = n + k
-        if v.node_plus != netlist.GROUND:
-            stamp(index[v.node_plus], row, 1.0)
-            stamp(row, index[v.node_plus], 1.0)
-        if v.node_minus != netlist.GROUND:
-            stamp(index[v.node_minus], row, -1.0)
-            stamp(row, index[v.node_minus], -1.0)
-        rhs[row] = v.voltage_v
-
-    matrix = sp.coo_matrix(
-        (vals, (rows, cols)), shape=(size, size)
-    ).tocsc()
-
-    import warnings
-
-    with np.errstate(all="ignore"), warnings.catch_warnings():
-        # Singular systems surface as a warning plus NaNs; we convert
-        # them to SolverError below, so silence the warning itself.
-        warnings.simplefilter("ignore", spla.MatrixRankWarning)
-        try:
-            solution = spla.spsolve(matrix, rhs)
-        except RuntimeError as exc:  # SuperLU signals singularity this way
-            raise SolverError(f"MNA solve failed: {exc}") from exc
-    if not np.all(np.isfinite(solution)):
-        raise SolverError(
-            "MNA solution contains non-finite values; the network is "
-            "likely singular (floating subcircuit with a current source?)"
-        )
-
-    voltages = {node: float(solution[index[node]]) for node in nodes}
-    branch_currents = {
-        v.name: float(-solution[n + k])
-        for k, v in enumerate(netlist.voltage_sources)
-    }
-
-    def node_voltage(node: NodeId) -> float:
-        return 0.0 if node == netlist.GROUND else voltages[node]
-
-    resistor_currents: dict[str, float] = {}
-    resistor_losses: dict[str, float] = {}
-    for r in netlist.resistors:
-        current = (node_voltage(r.node_a) - node_voltage(r.node_b)) / r.resistance_ohm
-        resistor_currents[r.name] = current
-        resistor_losses[r.name] = current**2 * r.resistance_ohm
-
-    result = DCSolution(
-        node_voltages=voltages,
-        resistor_currents=resistor_currents,
-        resistor_losses=resistor_losses,
-        source_currents=branch_currents,
+    residual = (
+        contributions(compiled.res_a, -currents)
+        + contributions(compiled.res_b, currents)
+        + contributions(compiled.cs_from, -cs_amp)
+        + contributions(compiled.cs_to, cs_amp)
+        + contributions(compiled.vs_plus, source_currents)
+        + contributions(compiled.vs_minus, -source_currents)
     )
-    if check:
-        _verify(netlist, result)
-    return result
-
-
-def _verify(netlist: Netlist, result: DCSolution) -> None:
-    """Check KCL at every node and overall power balance."""
-    residual: dict[NodeId, float] = {}
-
-    def accumulate(node: NodeId, current: float) -> None:
-        if node == netlist.GROUND:
-            return
-        residual[node] = residual.get(node, 0.0) + current
-
-    for r in netlist.resistors:
-        current = result.resistor_currents[r.name]
-        accumulate(r.node_a, -current)
-        accumulate(r.node_b, current)
-    for s in netlist.current_sources:
-        accumulate(s.node_from, -s.current_a)
-        accumulate(s.node_to, s.current_a)
-    for v in netlist.voltage_sources:
-        current = result.source_currents[v.name]
-        accumulate(v.node_plus, current)
-        accumulate(v.node_minus, -current)
-
     scale = max(
         1.0,
-        max((abs(s.current_a) for s in netlist.current_sources), default=1.0),
-        max((abs(c) for c in result.source_currents.values()), default=1.0),
+        float(np.abs(cs_amp).max(initial=0.0)),
+        float(np.abs(source_currents).max(initial=0.0)),
     )
-    worst = max((abs(x) for x in residual.values()), default=0.0)
+    worst = float(np.abs(residual).max(initial=0.0))
     if worst > 1e-6 * scale:
         raise SolverError(
             f"KCL violated: worst node residual {worst:.3e} A "
             f"(scale {scale:.3e} A)"
         )
 
-    source_power = sum(
-        v.voltage_v * result.source_currents[v.name]
-        for v in netlist.voltage_sources
+    source_power = float(vs_volt @ source_currents)
+    load_power = float(
+        cs_amp @ (v_full[compiled.cs_from] - v_full[compiled.cs_to])
     )
-    load_power = 0.0
-    for s in netlist.current_sources:
-
-        def nv(node: NodeId) -> float:
-            return 0.0 if node == netlist.GROUND else result.node_voltages[node]
-
-        load_power += s.current_a * (nv(s.node_from) - nv(s.node_to))
-    dissipated = result.total_resistive_loss_w
+    dissipated = float(solution.resistor_loss_array.sum())
     imbalance = abs(source_power - load_power - dissipated)
     power_scale = max(1.0, abs(source_power), abs(load_power), dissipated)
     if imbalance > 1e-6 * power_scale:

@@ -1,0 +1,132 @@
+"""Reference (scalar) MNA assembly — the parity oracle.
+
+This is the original per-element, dict-accumulating implementation of
+the DC solver, retained verbatim in spirit so the vectorized fast path
+in :mod:`repro.pdn.mna` can be property-tested against an independent
+assembly on randomized netlists.  It is intentionally simple and slow;
+production code must use :func:`repro.pdn.mna.solve_dc` or
+:class:`repro.pdn.mna.FactorizedPDN`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SolverError
+from .network import Netlist, NodeId
+
+
+@dataclass(frozen=True)
+class ReferenceSolution:
+    """Dict-keyed result of the reference solve."""
+
+    node_voltages: dict[NodeId, float]
+    resistor_currents: dict[str, float]
+    resistor_losses: dict[str, float]
+    source_currents: dict[str, float]
+
+    @property
+    def total_resistive_loss_w(self) -> float:
+        """Total I²R dissipation across all resistors."""
+        return float(sum(self.resistor_losses.values()))
+
+
+def solve_dc_reference(netlist: Netlist) -> ReferenceSolution:
+    """Solve the DC operating point with per-element Python stamping.
+
+    Raises:
+        SolverError: singular/disconnected system or non-finite result.
+    """
+    netlist.validate()
+    nodes = netlist.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    m = len(netlist.voltage_sources)
+    size = n + m
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    rhs = np.zeros(size)
+
+    def stamp(i: int, j: int, value: float) -> None:
+        rows.append(i)
+        cols.append(j)
+        vals.append(value)
+
+    for r in netlist.resistors:
+        g = 1.0 / r.resistance_ohm
+        a = index.get(r.node_a)
+        b = index.get(r.node_b)
+        if r.node_a != netlist.GROUND:
+            stamp(a, a, g)
+        if r.node_b != netlist.GROUND:
+            stamp(b, b, g)
+        if r.node_a != netlist.GROUND and r.node_b != netlist.GROUND:
+            stamp(a, b, -g)
+            stamp(b, a, -g)
+
+    for s in netlist.current_sources:
+        # Current flows out of node_from, into node_to.
+        if s.node_from != netlist.GROUND:
+            rhs[index[s.node_from]] -= s.current_a
+        if s.node_to != netlist.GROUND:
+            rhs[index[s.node_to]] += s.current_a
+
+    for k, v in enumerate(netlist.voltage_sources):
+        row = n + k
+        if v.node_plus != netlist.GROUND:
+            stamp(index[v.node_plus], row, 1.0)
+            stamp(row, index[v.node_plus], 1.0)
+        if v.node_minus != netlist.GROUND:
+            stamp(index[v.node_minus], row, -1.0)
+            stamp(row, index[v.node_minus], -1.0)
+        rhs[row] = v.voltage_v
+
+    matrix = sp.coo_matrix(
+        (vals, (rows, cols)), shape=(size, size)
+    ).tocsc()
+
+    with np.errstate(all="ignore"), warnings.catch_warnings():
+        # Singular systems surface as a warning plus NaNs; convert
+        # them to SolverError below, so silence the warning itself.
+        warnings.simplefilter("ignore", spla.MatrixRankWarning)
+        try:
+            solution = spla.spsolve(matrix, rhs)
+        except RuntimeError as exc:  # SuperLU signals singularity
+            raise SolverError(f"reference MNA solve failed: {exc}") from exc
+    if not np.all(np.isfinite(solution)):
+        raise SolverError(
+            "reference MNA solution contains non-finite values; the "
+            "network is likely singular"
+        )
+
+    voltages = {node: float(solution[index[node]]) for node in nodes}
+    branch_currents = {
+        v.name: float(-solution[n + k])
+        for k, v in enumerate(netlist.voltage_sources)
+    }
+
+    def node_voltage(node: NodeId) -> float:
+        return 0.0 if node == netlist.GROUND else voltages[node]
+
+    resistor_currents: dict[str, float] = {}
+    resistor_losses: dict[str, float] = {}
+    for r in netlist.resistors:
+        current = (
+            node_voltage(r.node_a) - node_voltage(r.node_b)
+        ) / r.resistance_ohm
+        resistor_currents[r.name] = current
+        resistor_losses[r.name] = current**2 * r.resistance_ohm
+
+    return ReferenceSolution(
+        node_voltages=voltages,
+        resistor_currents=resistor_currents,
+        resistor_losses=resistor_losses,
+        source_currents=branch_currents,
+    )

@@ -8,16 +8,28 @@ is consumed by :mod:`repro.pdn.mna`.
 
 Node names are arbitrary hashables; ``Netlist.GROUND`` ("0") is the
 reference node.
+
+:meth:`Netlist.compile` produces a :class:`CompiledNetlist`: the same
+circuit with nodes mapped to integer rows once and element data held
+as numpy arrays, so the solver stamps and post-processes without any
+per-element Python loop.  Builders with regular structure (the grid
+PDN mesh) can also construct a :class:`CompiledNetlist` directly from
+arrays and skip the element-object representation entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable
+from typing import Callable, Hashable, Iterable, Sequence
+
+import numpy as np
 
 from ..errors import ConfigError
 
 NodeId = Hashable
+
+#: Row index used for the ground/reference node in compiled arrays.
+GROUND_INDEX = -1
 
 
 @dataclass(frozen=True)
@@ -205,6 +217,265 @@ class Netlist:
             self.add_current_source(s.name, s.node_from, s.node_to, s.current_a)
         for v in other.voltage_sources:
             self.add_voltage_source(v.name, v.node_plus, v.voltage_v, v.node_minus)
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self) -> "CompiledNetlist":
+        """Snapshot this netlist into an array-backed form.
+
+        Maps nodes to integer rows once (ground becomes
+        :data:`GROUND_INDEX`) and gathers element values into numpy
+        arrays.  The result is an immutable view of the current
+        elements; later ``add_*`` calls do not affect it.
+        """
+        self.validate()
+        nodes = self.nodes()
+        index = {node: i for i, node in enumerate(nodes)}
+        index[self.GROUND] = GROUND_INDEX
+
+        def rows(node_pairs: list[tuple[NodeId, NodeId]]) -> np.ndarray:
+            flat = np.fromiter(
+                (index[node] for pair in node_pairs for node in pair),
+                dtype=np.int64,
+                count=2 * len(node_pairs),
+            )
+            return flat.reshape(-1, 2)
+
+        res = rows([(r.node_a, r.node_b) for r in self.resistors])
+        cur = rows([(s.node_from, s.node_to) for s in self.current_sources])
+        vol = rows([(v.node_plus, v.node_minus) for v in self.voltage_sources])
+        return CompiledNetlist(
+            nodes=tuple(nodes),
+            res_a=res[:, 0],
+            res_b=res[:, 1],
+            res_ohm=np.array([r.resistance_ohm for r in self.resistors]),
+            cs_from=cur[:, 0],
+            cs_to=cur[:, 1],
+            cs_amp=np.array([s.current_a for s in self.current_sources]),
+            vs_plus=vol[:, 0],
+            vs_minus=vol[:, 1],
+            vs_volt=np.array([v.voltage_v for v in self.voltage_sources]),
+            res_names=tuple(r.name for r in self.resistors),
+            cs_names=tuple(s.name for s in self.current_sources),
+            vs_names=tuple(v.name for v in self.voltage_sources),
+            ground=self.GROUND,
+        )
+
+
+NameSource = Sequence[str] | Callable[[], Sequence[str]] | None
+
+
+class CompiledNetlist:
+    """An immutable, array-backed circuit ready for vectorized MNA.
+
+    Nodes are integer rows ``0..n_nodes-1`` (ground encoded as
+    :data:`GROUND_INDEX`); element endpoints, resistances, source
+    currents and voltages live in flat numpy arrays, so matrix
+    stamping, branch-current extraction, and KCL verification are all
+    pure array operations.
+
+    Element names are optional and may be supplied lazily (a callable
+    returning the name sequence): regular builders like the grid mesh
+    generate thousands of structured names that are only needed when a
+    caller asks for the name-keyed dict views of a solution.
+
+    The structural arrays (endpoints, resistances) determine the MNA
+    matrix; ``cs_amp`` and ``vs_volt`` only enter the right-hand side,
+    which is what makes factorization reuse across load/source
+    scenarios possible (see :class:`repro.pdn.mna.FactorizedPDN`).
+    """
+
+    def __init__(
+        self,
+        *,
+        nodes: tuple[NodeId, ...],
+        res_a: np.ndarray,
+        res_b: np.ndarray,
+        res_ohm: np.ndarray,
+        cs_from: np.ndarray | None = None,
+        cs_to: np.ndarray | None = None,
+        cs_amp: np.ndarray | None = None,
+        vs_plus: np.ndarray | None = None,
+        vs_minus: np.ndarray | None = None,
+        vs_volt: np.ndarray | None = None,
+        res_names: NameSource = None,
+        cs_names: NameSource = None,
+        vs_names: NameSource = None,
+        ground: NodeId = "0",
+    ) -> None:
+        def ints(values: np.ndarray | None) -> np.ndarray:
+            if values is None:
+                return np.empty(0, dtype=np.int64)
+            return np.ascontiguousarray(values, dtype=np.int64)
+
+        def floats(values: np.ndarray | None) -> np.ndarray:
+            if values is None:
+                return np.empty(0)
+            return np.ascontiguousarray(values, dtype=float)
+
+        self.nodes = tuple(nodes)
+        self.ground = ground
+        self.res_a = ints(res_a)
+        self.res_b = ints(res_b)
+        self.res_ohm = floats(res_ohm)
+        self.cs_from = ints(cs_from)
+        self.cs_to = ints(cs_to)
+        self.cs_amp = floats(cs_amp)
+        self.vs_plus = ints(vs_plus)
+        self.vs_minus = ints(vs_minus)
+        self.vs_volt = floats(vs_volt)
+        # Materialized name sequences are validated eagerly; callables
+        # stay lazy and are length-checked on resolution.
+        def normalize(source: NameSource, count: int, prefix: str) -> NameSource:
+            if source is None or callable(source):
+                return source
+            return self._resolve_names(source, count, prefix)
+
+        self._res_names = normalize(res_names, len(self.res_ohm), "R")
+        self._cs_names = normalize(cs_names, len(self.cs_amp), "I")
+        self._vs_names = normalize(vs_names, len(self.vs_volt), "V")
+        self._node_index: dict[NodeId, int] | None = None
+
+        n = len(self.nodes)
+        for label, a, b, values in (
+            ("resistor", self.res_a, self.res_b, self.res_ohm),
+            ("current source", self.cs_from, self.cs_to, self.cs_amp),
+            ("voltage source", self.vs_plus, self.vs_minus, self.vs_volt),
+        ):
+            if not (len(a) == len(b) == len(values)):
+                raise ConfigError(f"{label} arrays have mismatched lengths")
+            for endpoint in (a, b):
+                if endpoint.size and (
+                    endpoint.min() < GROUND_INDEX or endpoint.max() >= n
+                ):
+                    raise ConfigError(f"{label} endpoint index out of range")
+        if self.res_ohm.size and np.any(self.res_ohm <= 0):
+            raise ConfigError("compiled resistances must all be positive")
+        if self.cs_amp.size and np.any(self.cs_amp < 0):
+            raise ConfigError("compiled source currents must be non-negative")
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes (rows of the G block)."""
+        return len(self.nodes)
+
+    @property
+    def n_vsources(self) -> int:
+        """Number of voltage sources (extra MNA rows)."""
+        return len(self.vs_volt)
+
+    @property
+    def size(self) -> int:
+        """Dimension of the MNA system."""
+        return self.n_nodes + self.n_vsources
+
+    @property
+    def element_count(self) -> int:
+        """Total number of elements of all kinds."""
+        return len(self.res_ohm) + len(self.cs_amp) + len(self.vs_volt)
+
+    # -- names (lazy) --------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_names(
+        source: NameSource, count: int, prefix: str
+    ) -> tuple[str, ...]:
+        if source is None:
+            return tuple(f"{prefix}[{i}]" for i in range(count))
+        if callable(source):
+            source = source()
+        names = tuple(source)
+        if len(names) != count:
+            raise ConfigError(
+                f"expected {count} {prefix} names, got {len(names)}"
+            )
+        return names
+
+    @property
+    def res_names(self) -> tuple[str, ...]:
+        """Resistor names (generated or resolved on first access)."""
+        if not isinstance(self._res_names, tuple):
+            self._res_names = self._resolve_names(
+                self._res_names, len(self.res_ohm), "R"
+            )
+        return self._res_names
+
+    @property
+    def cs_names(self) -> tuple[str, ...]:
+        """Current-source names."""
+        if not isinstance(self._cs_names, tuple):
+            self._cs_names = self._resolve_names(
+                self._cs_names, len(self.cs_amp), "I"
+            )
+        return self._cs_names
+
+    @property
+    def vs_names(self) -> tuple[str, ...]:
+        """Voltage-source names."""
+        if not isinstance(self._vs_names, tuple):
+            self._vs_names = self._resolve_names(
+                self._vs_names, len(self.vs_volt), "V"
+            )
+        return self._vs_names
+
+    # -- lookups ---------------------------------------------------------------------
+
+    @property
+    def node_index(self) -> dict[NodeId, int]:
+        """Node-id -> row mapping (ground maps to GROUND_INDEX)."""
+        if self._node_index is None:
+            mapping = {node: i for i, node in enumerate(self.nodes)}
+            mapping[self.ground] = GROUND_INDEX
+            self._node_index = mapping
+        return self._node_index
+
+    def total_load_current_a(self) -> float:
+        """Sum of all current-source magnitudes (loads)."""
+        return float(self.cs_amp.sum())
+
+    def validate(self) -> None:
+        """Cheap structural validation, mirroring :meth:`Netlist.validate`."""
+        if not len(self.res_ohm) and not len(self.vs_volt):
+            raise ConfigError("netlist has no resistors or sources")
+        if not len(self.vs_volt) and len(self.cs_amp):
+            raise ConfigError(
+                "current sources present but no voltage source/ground "
+                "reference to absorb them"
+            )
+
+    # -- scenario values --------------------------------------------------------------
+
+    def with_sources(
+        self,
+        cs_amp: np.ndarray | None = None,
+        vs_volt: np.ndarray | None = None,
+    ) -> "CompiledNetlist":
+        """A copy with new load currents and/or source voltages.
+
+        Structure (endpoints, resistances, names) is shared, so the
+        copy is valid for the same cached factorization.
+        """
+        clone = object.__new__(CompiledNetlist)
+        clone.__dict__.update(self.__dict__)
+        if cs_amp is not None:
+            amp = np.ascontiguousarray(cs_amp, dtype=float)
+            if amp.shape != self.cs_amp.shape:
+                raise ConfigError(
+                    f"expected {self.cs_amp.shape[0]} source currents"
+                )
+            if amp.size and np.any(amp < 0):
+                raise ConfigError("source currents must be non-negative")
+            clone.cs_amp = amp
+        if vs_volt is not None:
+            volt = np.ascontiguousarray(vs_volt, dtype=float)
+            if volt.shape != self.vs_volt.shape:
+                raise ConfigError(
+                    f"expected {self.vs_volt.shape[0]} source voltages"
+                )
+            clone.vs_volt = volt
+        return clone
 
 
 def series_chain(

@@ -1,0 +1,335 @@
+"""Unit tests for the compiled netlist and cached-factorization API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SolverError
+from repro.pdn.grid import GridPDN
+from repro.pdn.mna import FactorizedPDN, solve_dc
+from repro.pdn.network import GROUND_INDEX, CompiledNetlist, Netlist
+from repro.pdn.powermap import PowerMap
+
+
+def feed_netlist() -> Netlist:
+    net = Netlist()
+    net.add_voltage_source("v", "in", 1.0)
+    net.add_resistor("feed", "in", "pol", 1e-3)
+    net.add_load("cpu", "pol", 100.0)
+    return net
+
+
+class TestCompile:
+    def test_roundtrip_counts(self):
+        compiled = feed_netlist().compile()
+        assert compiled.n_nodes == 2
+        assert compiled.n_vsources == 1
+        assert compiled.size == 3
+        assert compiled.element_count == 3
+
+    def test_ground_encoded_as_sentinel(self):
+        compiled = feed_netlist().compile()
+        assert compiled.cs_to[0] == GROUND_INDEX
+        assert compiled.vs_minus[0] == GROUND_INDEX
+
+    def test_names_preserved(self):
+        compiled = feed_netlist().compile()
+        assert compiled.res_names == ("feed",)
+        assert compiled.cs_names == ("cpu",)
+        assert compiled.vs_names == ("v",)
+
+    def test_node_index_maps_ground(self):
+        compiled = feed_netlist().compile()
+        assert compiled.node_index["0"] == GROUND_INDEX
+        assert set(compiled.node_index) == {"in", "pol", "0"}
+
+    def test_compile_is_snapshot(self):
+        net = feed_netlist()
+        compiled = net.compile()
+        net.add_load("late", "pol", 5.0)
+        assert len(compiled.cs_amp) == 1
+
+    def test_total_load_current(self):
+        compiled = feed_netlist().compile()
+        assert compiled.total_load_current_a() == pytest.approx(100.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ConfigError):
+            CompiledNetlist(
+                nodes=("a",),
+                res_a=np.array([0]),
+                res_b=np.array([GROUND_INDEX]),
+                res_ohm=np.array([0.0]),
+            )
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(ConfigError):
+            CompiledNetlist(
+                nodes=("a",),
+                res_a=np.array([5]),
+                res_b=np.array([GROUND_INDEX]),
+                res_ohm=np.array([1.0]),
+            )
+
+    def test_lazy_default_names(self):
+        compiled = CompiledNetlist(
+            nodes=("a",),
+            res_a=np.array([0]),
+            res_b=np.array([GROUND_INDEX]),
+            res_ohm=np.array([1.0]),
+            vs_plus=np.array([0]),
+            vs_minus=np.array([GROUND_INDEX]),
+            vs_volt=np.array([1.0]),
+        )
+        assert compiled.res_names == ("R[0]",)
+        assert compiled.vs_names == ("V[0]",)
+
+    def test_wrong_length_names_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            CompiledNetlist(
+                nodes=("a", "b"),
+                res_a=np.array([0, 1]),
+                res_b=np.array([GROUND_INDEX, GROUND_INDEX]),
+                res_ohm=np.array([1.0, 2.0]),
+                vs_plus=np.array([0]),
+                vs_minus=np.array([GROUND_INDEX]),
+                vs_volt=np.array([1.0]),
+                res_names=("only-one",),
+            )
+
+    def test_wrong_length_callable_names_rejected_on_resolution(self):
+        compiled = CompiledNetlist(
+            nodes=("a",),
+            res_a=np.array([0]),
+            res_b=np.array([GROUND_INDEX]),
+            res_ohm=np.array([1.0]),
+            vs_plus=np.array([0]),
+            vs_minus=np.array([GROUND_INDEX]),
+            vs_volt=np.array([1.0]),
+            res_names=lambda: ["a", "b"],
+        )
+        with pytest.raises(ConfigError):
+            compiled.res_names
+
+    def test_callable_names_resolved_once(self):
+        calls = {"n": 0}
+
+        def names():
+            calls["n"] += 1
+            return ["only"]
+
+        compiled = CompiledNetlist(
+            nodes=("a",),
+            res_a=np.array([0]),
+            res_b=np.array([GROUND_INDEX]),
+            res_ohm=np.array([1.0]),
+            vs_plus=np.array([0]),
+            vs_minus=np.array([GROUND_INDEX]),
+            vs_volt=np.array([1.0]),
+            res_names=names,
+        )
+        assert compiled.res_names == ("only",)
+        assert compiled.res_names == ("only",)
+        assert calls["n"] == 1
+
+
+class TestWithSources:
+    def test_shares_structure(self):
+        compiled = feed_netlist().compile()
+        scaled = compiled.with_sources(cs_amp=np.array([50.0]))
+        assert scaled.res_ohm is compiled.res_ohm
+        assert scaled.cs_amp[0] == 50.0
+        assert compiled.cs_amp[0] == 100.0
+
+    def test_shape_checked(self):
+        compiled = feed_netlist().compile()
+        with pytest.raises(ConfigError):
+            compiled.with_sources(cs_amp=np.array([1.0, 2.0]))
+        with pytest.raises(ConfigError):
+            compiled.with_sources(vs_volt=np.array([1.0, 2.0]))
+
+
+class TestFactorizedPDN:
+    def test_solve_matches_solve_dc(self):
+        net = feed_netlist()
+        solver = FactorizedPDN(net)
+        direct = solve_dc(net)
+        reused = solver.solve()
+        assert reused.voltage("pol") == pytest.approx(direct.voltage("pol"))
+
+    def test_rhs_override_scales_linearly(self):
+        solver = FactorizedPDN(feed_netlist())
+        half = solver.solve(cs_amp=np.array([50.0]))
+        full = solver.solve()
+        assert 1.0 - half.voltage("pol") == pytest.approx(
+            (1.0 - full.voltage("pol")) / 2.0
+        )
+
+    def test_voltage_override(self):
+        solver = FactorizedPDN(feed_netlist())
+        boosted = solver.solve(vs_volt=np.array([2.0]))
+        assert boosted.voltage("pol") == pytest.approx(1.9)
+
+    def test_solve_many_columns_match_individual_solves(self):
+        solver = FactorizedPDN(feed_netlist())
+        base = solver.rhs()
+        stacked = np.column_stack([base, 2.0 * base, 0.5 * base])
+        batch = solver.solve_many(stacked)
+        for column, scale in zip(batch.T, (1.0, 2.0, 0.5)):
+            single = solver.solve_rhs(base * scale)
+            assert np.allclose(column, single, rtol=1e-12, atol=1e-12)
+
+    def test_solve_many_rejects_wrong_shape(self):
+        solver = FactorizedPDN(feed_netlist())
+        with pytest.raises(SolverError):
+            solver.solve_many(np.zeros((2, 4)))
+
+    def test_singular_topology_raises_at_factorization(self):
+        net = Netlist()
+        net.add_voltage_source("v", "a", 1.0)
+        net.add_resistor("r", "a", net.GROUND, 1.0)
+        net.add_resistor("island", "f1", "f2", 1.0)
+        net.add_current_source("i", "f1", "f2", 1.0)
+        with pytest.raises(SolverError):
+            FactorizedPDN(net)
+
+
+class TestDCSolutionViews:
+    def test_dict_views_match_arrays(self):
+        solution = solve_dc(feed_netlist())
+        compiled = solution.compiled
+        for i, name in enumerate(compiled.res_names):
+            assert solution.resistor_currents[name] == (
+                solution.resistor_current_array[i]
+            )
+            assert solution.resistor_losses[name] == (
+                solution.resistor_loss_array[i]
+            )
+        for i, node in enumerate(compiled.nodes):
+            assert solution.node_voltages[node] == (
+                solution.node_voltage_array[i]
+            )
+        for i, name in enumerate(compiled.vs_names):
+            assert solution.source_currents[name] == (
+                solution.source_current_array[i]
+            )
+
+    def test_loss_by_prefix_matches_dict_sum(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("pcb.r1", "in", "m", 1e-3)
+        net.add_resistor("pkg.r1", "m", net.GROUND, 1e-3)
+        solution = solve_dc(net)
+        assert solution.loss_by_prefix("pcb.") == pytest.approx(
+            solution.resistor_losses["pcb.r1"]
+        )
+
+
+def hotspot_grid(n: int = 12) -> GridPDN:
+    grid = GridPDN(0.02, 0.02, 1e-3, nx=n, ny=n)
+    grid.set_sinks(PowerMap.hotspot_mixture(), 100.0)
+    grid.add_source("a", 0.0, 0.5, 1.0, 1e-3)
+    grid.add_source("b", 1.0, 0.5, 1.0, 1e-3)
+    return grid
+
+
+class TestGridFactorizationCache:
+    def test_sink_change_reuses_factorization(self):
+        grid = hotspot_grid()
+        grid.solve()
+        structure = grid._structure
+        grid.set_sinks(PowerMap.uniform(), 50.0)
+        grid.solve()
+        assert grid._structure is structure
+
+    def test_voltage_change_reuses_factorization(self):
+        grid = hotspot_grid()
+        grid.solve()
+        structure = grid._structure
+        grid.clear_sources()
+        grid.add_source("a", 0.0, 0.5, 0.95, 1e-3)
+        grid.add_source("b", 1.0, 0.5, 0.95, 1e-3)
+        grid.solve()
+        assert grid._structure is structure
+
+    def test_source_move_refactorizes(self):
+        grid = hotspot_grid()
+        grid.solve()
+        structure = grid._structure
+        grid.clear_sources()
+        grid.add_source("a", 0.5, 0.5, 1.0, 1e-3)
+        grid.add_source("b", 1.0, 0.5, 1.0, 1e-3)
+        grid.solve()
+        assert grid._structure is not structure
+
+    def test_cached_solution_matches_fresh_grid(self):
+        """A sink change solved through the cache equals a cold solve."""
+        grid = hotspot_grid()
+        grid.solve()  # prime with the hotspot map
+        grid.set_sinks(PowerMap.uniform(), 73.0)
+        warm = grid.solve()
+
+        cold = GridPDN(0.02, 0.02, 1e-3, nx=12, ny=12)
+        cold.set_sinks(PowerMap.uniform(), 73.0)
+        cold.add_source("a", 0.0, 0.5, 1.0, 1e-3)
+        cold.add_source("b", 1.0, 0.5, 1.0, 1e-3)
+        fresh = cold.solve()
+        assert warm.lateral_loss_w == pytest.approx(
+            fresh.lateral_loss_w, rel=1e-12
+        )
+        assert np.allclose(warm.voltage_map, fresh.voltage_map)
+
+    def test_fast_path_matches_netlist_path(self):
+        """The compiled mesh agrees with build_netlist + solve_dc."""
+        grid = hotspot_grid()
+        fast = grid.solve()
+        slow = solve_dc(grid.build_netlist())
+        assert fast.lateral_loss_w == pytest.approx(
+            (
+                slow.loss_by_prefix("grid.") + slow.loss_by_prefix("ring[")
+            ) * grid.rail_pair_factor,
+            rel=1e-9,
+        )
+        for iy in range(grid.ny):
+            for ix in range(grid.nx):
+                assert fast.voltage_map[iy, ix] == pytest.approx(
+                    slow.node_voltages[("g", ix, iy)], rel=1e-9, abs=1e-12
+                )
+
+    def test_edge_current_stats_match_name_filtered_dict(self):
+        solution = hotspot_grid().solve()
+        stats = solution.edge_current_stats()
+        by_name = np.abs(
+            np.array(
+                [
+                    current
+                    for name, current in solution.dc.resistor_currents.items()
+                    if name.startswith("grid.")
+                ]
+            )
+        )
+        assert stats["max_a"] == pytest.approx(by_name.max(), rel=1e-12)
+        assert stats["mean_a"] == pytest.approx(by_name.mean(), rel=1e-12)
+
+    def test_grid_compile_exposes_sinks_and_voltages(self):
+        grid = hotspot_grid()
+        compiled = grid.compile()
+        assert compiled.total_load_current_a() == pytest.approx(100.0)
+        assert np.all(compiled.vs_volt == 1.0)
+
+    def test_duplicate_source_name_rejected_at_attachment(self):
+        grid = GridPDN(0.02, 0.02, 1e-3, nx=8, ny=8)
+        grid.add_source("a", 0.0, 0.0, 1.0, 1e-3)
+        with pytest.raises(ConfigError):
+            grid.add_source("a", 1.0, 1.0, 1.0, 1e-3)
+
+    def test_compile_does_not_factorize(self):
+        """grid.compile() hands out the array form without paying for
+        (or later duplicating) an LU decomposition."""
+        grid = hotspot_grid()
+        grid.compile()
+        assert grid._structure is not None
+        assert grid._structure._solver is None
+        grid.solve()
+        assert grid._structure._solver is not None

@@ -38,11 +38,18 @@ def test_bus_voltage_between_extremes(refs, droop, load):
 @given(refs=setpoints, droop=droop_values, load=loads)
 @settings(max_examples=100, deadline=None)
 def test_ordering_follows_setpoints(refs, droop, load):
-    """Equal droops: current ordering mirrors setpoint ordering."""
+    """Equal droops: current ordering mirrors setpoint ordering.
+
+    Near-tied setpoints (within float round-off of each other) have no
+    defined winner — ``ref_i - v_bus`` can round to identical currents
+    — so the ordering is asserted with a round-off allowance instead
+    of comparing argsort permutations.
+    """
     currents, _ = droop_sharing(refs, [droop] * len(refs), load)
-    order_refs = np.argsort(refs)
-    order_currents = np.argsort(currents)
-    assert list(order_refs) == list(order_currents)
+    order = np.argsort(refs, kind="stable")
+    sorted_currents = currents[order]
+    slack = 1e-12 * max(1.0, float(np.abs(currents).max())) / droop
+    assert np.all(np.diff(sorted_currents) >= -slack)
 
 
 @given(refs=setpoints, droop=droop_values)
