@@ -1,7 +1,7 @@
 """Substrate benchmark: sparse MNA grid-solve scaling.
 
 Not a paper artifact — times the PDN solver across grid resolutions so
-regressions in the numerical core are visible, plus the two hot-path
+regressions in the numerical core are visible, plus the hot-path
 shapes the system-level sweeps rely on:
 
 * ``test_grid_solve_scaling`` — cold solves (assembly + factorization
@@ -10,10 +10,17 @@ shapes the system-level sweeps rely on:
   varying sink map: the cached-factorization path used by N−1 fault
   sweeps and Monte-Carlo load scenarios,
 * ``test_batched_rhs_solve_many`` — one factorization amortized over a
-  stack of RHS columns via ``FactorizedPDN.solve_many``.
+  stack of RHS columns via ``FactorizedPDN.solve_many``,
+* ``test_ac_sweep_scalar`` / ``test_ac_sweep_compiled`` — a 200-point
+  impedance sweep through the per-frequency scalar oracle vs the
+  compiled stamp-structure engine (``ACSweep``),
+* ``test_n1_sweep_refactorize`` / ``test_n1_sweep_woodbury`` — a
+  12-scenario N−1 fault sweep with per-scenario refactorization vs
+  the Woodbury-corrected shared factorization.
 
 Run ``python benchmarks/run_benchmarks.py`` to record the results in
-``BENCH_solver.json``.
+``BENCH_solver.json``; ``--check`` compares a fresh run against that
+baseline and fails on >2x regressions.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.pdn.ac import ACNetlist, ACSweep, probe_netlist, solve_ac
 from repro.pdn.grid import GridPDN
 from repro.pdn.mna import FactorizedPDN
 from repro.pdn.powermap import PowerMap
@@ -79,3 +87,99 @@ def test_batched_rhs_solve_many(benchmark):
     solutions = benchmark(solve_batch)
     assert solutions.shape[1] == scales.size
     assert np.all(np.isfinite(solutions))
+
+
+# -- AC frequency sweeps ------------------------------------------------------
+
+AC_SWEEP_POINTS = 200
+
+
+def make_ac_probe() -> ACNetlist:
+    """The branched-decap PDN probe circuit from the AC tests."""
+    net = ACNetlist()
+    net.add_voltage_source("vrm", "src", 1.0)
+    net.add_resistor("r_series", "src", "mid", 0.05e-3)
+    net.add_inductor("l_series", "mid", "die", 1e-9)
+    net.add_capacitor("c_decap", "die", "cap_tap", 1e-6)
+    net.add_resistor("esr", "cap_tap", "0", 0.3e-3)
+    net.add_capacitor("c_bulk", "die", "bulk_tap", 100e-6)
+    net.add_resistor("esr_bulk", "bulk_tap", "0", 1e-3)
+    return probe_netlist(net, "die")
+
+
+def test_ac_sweep_scalar(benchmark):
+    """The pre-compile path: one full scalar solve per frequency."""
+    probe = make_ac_probe()
+    freqs = np.logspace(3, 9, AC_SWEEP_POINTS)
+
+    def sweep_scalar() -> float:
+        return max(
+            solve_ac(probe, float(f)).magnitude("die") for f in freqs
+        )
+
+    peak = benchmark(sweep_scalar)
+    assert peak > 0
+
+
+def test_ac_sweep_compiled(benchmark):
+    """The compiled path: one stamp structure, vectorized values."""
+    probe = make_ac_probe()
+    freqs = np.logspace(3, 9, AC_SWEEP_POINTS)
+
+    def sweep_compiled() -> float:
+        return float(ACSweep(probe).solve(freqs).magnitude("die").max())
+
+    peak = benchmark(sweep_compiled)
+    assert peak > 0
+
+
+# -- N-1 fault sweeps ---------------------------------------------------------
+
+N1_GRID = 24
+N1_SCENARIOS = 12
+N1_SOURCES = 8
+
+
+def make_n1_grid() -> GridPDN:
+    grid = GridPDN(0.0224, 0.0224, 0.62e-3, nx=N1_GRID, ny=N1_GRID)
+    grid.set_sinks(PowerMap.hotspot_mixture(), 1000.0)
+    for k in range(N1_SOURCES):
+        t = k / N1_SOURCES
+        grid.add_source(f"s{k}", t, 0.0 if k % 2 else 1.0, 1.0, 1e-3)
+    return grid
+
+
+def test_n1_sweep_refactorize(benchmark):
+    """Per-scenario refactorization (the pre-Woodbury sweep shape)."""
+    grid = make_n1_grid()
+    grid.solve()
+
+    def sweep() -> float:
+        worst = 0.0
+        for k in range(N1_SCENARIOS):
+            solution = grid.solve_disabled(
+                (k % N1_SOURCES,), method="refactor"
+            )
+            worst = max(worst, float(solution.source_currents_a.max()))
+        return worst
+
+    worst = benchmark(sweep)
+    assert worst > 0
+
+
+def test_n1_sweep_woodbury(benchmark):
+    """Woodbury-corrected scenarios on one shared factorization."""
+    grid = make_n1_grid()
+    grid.solve()
+
+    def sweep() -> float:
+        worst = 0.0
+        for k in range(N1_SCENARIOS):
+            solution = grid.solve_disabled(
+                (k % N1_SOURCES,), method="woodbury"
+            )
+            worst = max(worst, float(solution.source_currents_a.max()))
+        return worst
+
+    worst = benchmark(sweep)
+    assert worst > 0

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run the solver benchmarks and record BENCH_solver.json.
+"""Run the solver benchmarks and record/check BENCH_solver.json.
 
 Executes ``bench_solver_scaling.py`` under pytest-benchmark with
 ``--benchmark-json`` and writes the machine-readable results to
@@ -10,6 +10,12 @@ compact mean-time summary when done.
 Usage::
 
     python benchmarks/run_benchmarks.py [extra pytest args...]
+    python benchmarks/run_benchmarks.py --check [extra pytest args...]
+
+``--check`` is the regression gate: instead of overwriting the
+recorded baseline it benchmarks into a scratch file, compares each
+benchmark's mean against the baseline by name, and exits non-zero if
+any is more than ``REGRESSION_FACTOR`` times slower.
 """
 
 from __future__ import annotations
@@ -22,10 +28,16 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_solver.json"
+CHECK_OUTPUT = REPO_ROOT / "BENCH_solver.check.json"
 BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_solver_scaling.py"
 
+#: A benchmark failing ``--check`` must be at least this much slower
+#: than its recorded baseline mean (2x leaves ample headroom for
+#: machine noise while catching real algorithmic regressions).
+REGRESSION_FACTOR = 2.0
 
-def main(argv: list[str]) -> int:
+
+def run_pytest_benchmark(output: Path, argv: list[str]) -> int:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = (
@@ -39,19 +51,82 @@ def main(argv: list[str]) -> int:
         "pytest",
         str(BENCH_FILE),
         "-q",
-        f"--benchmark-json={OUTPUT}",
+        f"--benchmark-json={output}",
         *argv,
     ]
-    status = subprocess.call(command, cwd=REPO_ROOT, env=env)
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def load_means(path: Path) -> dict[str, float]:
+    report = json.loads(path.read_text())
+    return {
+        entry["name"]: entry["stats"]["mean"]
+        for entry in report.get("benchmarks", [])
+    }
+
+
+def print_summary(path: Path) -> None:
+    print(f"\nwrote {path}")
+    print(f"{'benchmark':<52} {'mean':>12}")
+    for name, mean_s in load_means(path).items():
+        print(f"{name:<52} {mean_s * 1e3:>9.3f} ms")
+
+
+def check_against_baseline(fresh: Path, baseline: Path) -> int:
+    """Compare a fresh run to the recorded baseline; 1 on regression."""
+    if not baseline.exists():
+        print(
+            f"no baseline at {baseline}; run without --check to record one",
+            file=sys.stderr,
+        )
+        return 1
+    base_means = load_means(baseline)
+    fresh_means = load_means(fresh)
+    regressions: list[str] = []
+    print(
+        f"{'benchmark':<52} {'baseline':>12} {'fresh':>12} {'ratio':>8}"
+    )
+    for name, mean_s in fresh_means.items():
+        base_s = base_means.get(name)
+        if base_s is None:
+            print(f"{name:<52} {'(new)':>12} {mean_s * 1e3:>9.3f} ms")
+            continue
+        ratio = mean_s / base_s
+        flag = "  REGRESSION" if ratio > REGRESSION_FACTOR else ""
+        print(
+            f"{name:<52} {base_s * 1e3:>9.3f} ms {mean_s * 1e3:>9.3f} ms "
+            f"{ratio:>7.2f}x{flag}"
+        )
+        if ratio > REGRESSION_FACTOR:
+            regressions.append(name)
+    missing = sorted(set(base_means) - set(fresh_means))
+    if missing:
+        print(f"missing from fresh run: {', '.join(missing)}", file=sys.stderr)
+        return 1
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{REGRESSION_FACTOR:.1f}x: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall benchmarks within {REGRESSION_FACTOR:.1f}x of baseline")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    check = "--check" in argv
+    argv = [arg for arg in argv if arg != "--check"]
+    output = CHECK_OUTPUT if check else OUTPUT
+    status = run_pytest_benchmark(output, argv)
     if status != 0:
         return status
-
-    report = json.loads(OUTPUT.read_text())
-    print(f"\nwrote {OUTPUT}")
-    print(f"{'benchmark':<52} {'mean':>12}")
-    for entry in report.get("benchmarks", []):
-        mean_s = entry["stats"]["mean"]
-        print(f"{entry['name']:<52} {mean_s * 1e3:>9.3f} ms")
+    if check:
+        try:
+            return check_against_baseline(output, OUTPUT)
+        finally:
+            CHECK_OUTPUT.unlink(missing_ok=True)
+    print_summary(output)
     return 0
 
 

@@ -10,10 +10,21 @@ robustness a first-class requirement.  This module answers:
 * how many arbitrary failures can the design absorb in the worst case
   (`failure_tolerance`)?
 
-Failures are modeled by removing the failed VRs' sources from the
-die-level grid and re-solving: surviving neighbours pick up the
+Failures are modeled by open-circuiting the failed VRs' sources on
+the die-level grid and re-solving: surviving neighbours pick up the
 orphaned region through the lateral metal, so *which* VR fails
-matters — a corner failure is benign, a hotspot failure is not.
+matters — a corner failure is benign, a hotspot failure is not.  A
+failed VR's output resistor and ring-bus tap stay in the metal (the
+passives don't vanish when a converter dies); only its regulation
+loop drops out, i.e. its source branch is forced to carry zero
+current.
+
+That formulation makes every scenario a rank-k correction of one
+shared system: the whole bank is attached and factorized once per
+sweep, and each failure set is solved with a Sherman–Morrison–Woodbury
+update (:meth:`repro.pdn.mna.FactorizedPDN.solve_modified` via
+:meth:`repro.pdn.grid.GridPDN.solve_disabled`) instead of
+refactorizing the grid per scenario.
 """
 
 from __future__ import annotations
@@ -74,8 +85,7 @@ def _base_grid(
     """The die-level grid with sinks attached but no sources yet.
 
     Built once per sweep: the mesh and sink map are scenario
-    independent, so every fault scenario shares this structure and
-    only reattaches the surviving sources before solving.
+    independent, so every fault scenario shares this structure.
     """
     stack = default_stack(spec)
     sheet = stack.level("Interposer").lateral.sheet_ohm_sq
@@ -90,26 +100,19 @@ def _base_grid(
     return grid
 
 
-def _solve_scenario(
+def _attach_bank(
     grid: GridPDN,
     plan,
-    topology: ConverterSpec,
-    failed: tuple[int, ...],
     spec: SystemSpec,
     output_resistance_ohm: float,
-) -> FailureResult:
-    """Solve one fault scenario on a shared grid structure."""
-    if any(i < 0 or i >= plan.vr_count for i in failed):
-        raise ConfigError("failed index out of range")
-    if len(failed) >= plan.vr_count:
-        raise ConfigError("cannot fail every VR")
+) -> None:
+    """Attach the full VR bank (and its ring bus) to a sweep grid.
 
-    grid.clear_sources()
-    survivors: list[int] = []
+    Every fault scenario shares this one topology and factorization;
+    failures are expressed per scenario by disabling source branches,
+    never by re-attaching a survivor subset.
+    """
     for index, position in enumerate(plan.positions):
-        if index in failed:
-            continue
-        survivors.append(index)
         grid.add_source(
             f"vr{index}",
             position.x,
@@ -117,13 +120,32 @@ def _solve_scenario(
             spec.pol_voltage_v,
             output_resistance_ohm,
         )
-    if plan.style is PlacementStyle.PERIPHERY and len(survivors) >= 3:
+    if plan.style is PlacementStyle.PERIPHERY and plan.vr_count >= 3:
         spacing = 4.0 * spec.die_side_m / plan.vr_count
         grid.connect_sources_with_ring_bus(
             RING_BUS_SHEET_OHM_SQ * spacing / RING_BUS_WIDTH_M
         )
-    solution = grid.solve()
-    currents = solution.source_currents_a
+
+
+def _solve_scenario(
+    grid: GridPDN,
+    plan,
+    topology: ConverterSpec,
+    failed: tuple[int, ...],
+) -> FailureResult:
+    """Solve one fault scenario on the shared full-bank grid.
+
+    The grid must already carry the full bank (:func:`_attach_bank`);
+    the failed VRs are disabled via the Woodbury-corrected solve, so
+    every scenario after the first costs back-substitutions only.
+    """
+    if any(i < 0 or i >= plan.vr_count for i in failed):
+        raise ConfigError("failed index out of range")
+    if len(failed) >= plan.vr_count:
+        raise ConfigError("cannot fail every VR")
+
+    solution = grid.solve_disabled(failed)
+    currents = np.delete(solution.source_currents_a, list(failed))
     limit = topology.max_load_a
     overloaded = int(np.count_nonzero(currents > limit * (1 + 1e-9)))
     return FailureResult(
@@ -151,9 +173,8 @@ def _solve_with_failures(
         spec.die_area_mm2,
     )
     grid = _base_grid(spec, power_map, grid_nodes)
-    return _solve_scenario(
-        grid, plan, topology, failed, spec, output_resistance_ohm
-    )
+    _attach_bank(grid, plan, spec, output_resistance_ohm)
+    return _solve_scenario(grid, plan, topology, failed)
 
 
 def inject_failures(
@@ -223,21 +244,17 @@ def failure_tolerance(
             raise ConfigError("sample limit must be >= 1")
         indices = indices[:sample_limit]
 
-    # One shared grid: every scenario reuses the mesh and sink map and
-    # only swaps the surviving-source attachment before solving.
+    # One shared grid and ONE factorization: every scenario disables
+    # its failed VR on the full attached bank via the Woodbury-updated
+    # solve, paying back-substitution cost only.
     grid = _base_grid(spec, power_map, grid_nodes)
+    _attach_bank(grid, plan, spec, DEFAULT_OUTPUT_RESISTANCE_OHM)
+    grid.preload_failure_sweep(indices)
     worst_fraction = 0.0
     worst_index = -1
     all_survive = True
     for index in indices:
-        result = _solve_scenario(
-            grid,
-            plan,
-            topology,
-            (index,),
-            spec,
-            DEFAULT_OUTPUT_RESISTANCE_OHM,
-        )
+        result = _solve_scenario(grid, plan, topology, (index,))
         if result.worst_overload_fraction > worst_fraction:
             worst_fraction = result.worst_overload_fraction
             worst_index = index
@@ -281,9 +298,8 @@ def multi_failure_samples(
         if len(scenarios) >= max_scenarios:
             break
     grid = _base_grid(spec, PowerMap.hotspot_mixture(), DEFAULT_GRID_NODES)
+    _attach_bank(grid, plan, spec, DEFAULT_OUTPUT_RESISTANCE_OHM)
+    grid.preload_failure_sweep(sorted({i for combo in scenarios for i in combo}))
     return [
-        _solve_scenario(
-            grid, plan, topology, combo, spec, DEFAULT_OUTPUT_RESISTANCE_OHM
-        )
-        for combo in scenarios
+        _solve_scenario(grid, plan, topology, combo) for combo in scenarios
     ]

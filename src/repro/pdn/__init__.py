@@ -43,13 +43,23 @@ from .grid import GridPDN, GridSolution
 from .stackup import PackagingLevel, PackagingStack, default_stack
 from .impedance import (
     ImpedanceProfile,
+    ladder_ac_netlist,
     pdn_impedance,
+    pdn_impedance_mna,
     size_die_decap_for_target,
     target_impedance_ohm,
 )
 from .transient import PDNStage, PDNTransient
 from .thermal import StackTemperatures, ThermalStack
-from .ac import ACNetlist, ACSolution, impedance_at, solve_ac
+from .ac import (
+    ACNetlist,
+    ACSolution,
+    ACSweep,
+    ACSweepSolution,
+    CompiledACNetlist,
+    impedance_at,
+    solve_ac,
+)
 
 __all__ = [
     "VerticalInterconnect",
@@ -81,6 +91,8 @@ __all__ = [
     "default_stack",
     "ImpedanceProfile",
     "pdn_impedance",
+    "pdn_impedance_mna",
+    "ladder_ac_netlist",
     "target_impedance_ohm",
     "size_die_decap_for_target",
     "PDNStage",
@@ -89,6 +101,9 @@ __all__ = [
     "StackTemperatures",
     "ACNetlist",
     "ACSolution",
+    "ACSweep",
+    "ACSweepSolution",
+    "CompiledACNetlist",
     "solve_ac",
     "impedance_at",
 ]

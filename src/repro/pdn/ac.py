@@ -7,11 +7,24 @@ the node voltage — the impedance the die sees — for *arbitrary*
 decap networks, not just the ladder the analytic model in
 :mod:`repro.pdn.impedance` covers.  The two are cross-validated in
 ``tests/test_ac.py``.
+
+Two solve paths exist:
+
+* :func:`solve_ac` — the scalar oracle: rebuilds and solves the full
+  system at one frequency.  Retained for parity testing.
+* :class:`CompiledACNetlist` / :class:`ACSweep` — the sweep engine:
+  the COO stamp *structure* (entry rows/columns plus per-entry
+  resistive, capacitive, and inductive coefficients) is built once;
+  per frequency only the complex value vector is recomputed
+  (vectorized over elements and over the whole frequency grid), and
+  one shared CSC index pattern maps values into the matrix.  Small
+  systems batch all frequencies through one LAPACK call.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,7 +32,13 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import ConfigError, SolverError
-from .network import Netlist, NodeId
+from .mna import SINGULARITY_PROBE_TOL, singularity_probe
+from .network import (
+    GROUND_INDEX,
+    Netlist,
+    NodeId,
+    admittance_stamp_entries,
+)
 
 
 @dataclass(frozen=True)
@@ -110,6 +129,11 @@ class ACNetlist(Netlist):
         for c in other.capacitors:
             self.add_capacitor(c.name, c.node_a, c.node_b, c.capacitance_f)
 
+    def compile_ac(self) -> "CompiledACNetlist":
+        """Snapshot into the array-backed sweep form (built once,
+        reused for any number of frequencies)."""
+        return CompiledACNetlist(self)
+
 
 @dataclass(frozen=True)
 class ACSolution:
@@ -189,8 +213,6 @@ def solve_ac(netlist: ACNetlist, frequency_hz: float) -> ACSolution:
         (np.asarray(vals, dtype=complex), (rows, cols)),
         shape=(size, size),
     ).tocsc()
-    import warnings
-
     with np.errstate(all="ignore"), warnings.catch_warnings():
         warnings.simplefilter("ignore", spla.MatrixRankWarning)
         try:
@@ -206,22 +228,336 @@ def solve_ac(netlist: ACNetlist, frequency_hz: float) -> ACSolution:
     return ACSolution(frequency_hz=frequency_hz, node_voltages=voltages)
 
 
-def impedance_at(
-    netlist: ACNetlist, node: NodeId, frequencies_hz: np.ndarray
-) -> np.ndarray:
-    """|Z(f)| looking into ``node``: inject 1 A AC, read |V|.
-
-    Small-signal analysis: all independent sources in the netlist are
-    zeroed first (voltage sources become shorts, current sources open
-    circuits), then the probe current is injected.  The input netlist
-    is not mutated.
-    """
+def check_frequencies(frequencies_hz: np.ndarray) -> np.ndarray:
+    """Validate and normalize a frequency grid (1-D, positive)."""
     freqs = np.asarray(frequencies_hz, dtype=float)
     if freqs.ndim != 1 or len(freqs) == 0:
         raise ConfigError("frequencies must be a non-empty 1-D array")
     if np.any(freqs <= 0):
         raise ConfigError("frequencies must be positive")
+    return freqs
 
+
+@dataclass(frozen=True)
+class ACSweepSolution:
+    """Phasor solutions over a frequency grid.
+
+    Attributes:
+        frequencies_hz: the sweep grid.
+        nodes: non-ground node ids in row order.
+        voltage_matrix: complex node voltages, shape
+            ``(len(frequencies_hz), len(nodes))``.
+    """
+
+    frequencies_hz: np.ndarray
+    nodes: tuple[NodeId, ...]
+    voltage_matrix: np.ndarray
+
+    def _column(self, node: NodeId) -> int:
+        try:
+            return self.nodes.index(node)
+        except ValueError:
+            raise ConfigError(f"unknown node: {node!r}") from None
+
+    def voltage(self, node: NodeId) -> np.ndarray:
+        """Complex V(f) at a node (ground returns zeros)."""
+        if node == "0":
+            return np.zeros(len(self.frequencies_hz), dtype=complex)
+        return self.voltage_matrix[:, self._column(node)]
+
+    def magnitude(self, node: NodeId) -> np.ndarray:
+        """|V(f)| at a node."""
+        return np.abs(self.voltage(node))
+
+    def at(self, index: int) -> ACSolution:
+        """The scalar :class:`ACSolution` view of one sweep point."""
+        row = self.voltage_matrix[index]
+        return ACSolution(
+            frequency_hz=float(self.frequencies_hz[index]),
+            node_voltages={
+                node: complex(row[i]) for i, node in enumerate(self.nodes)
+            },
+        )
+
+
+#: Systems at or below this MNA dimension solve a frequency sweep as
+#: one batched dense LAPACK call instead of per-frequency sparse LU.
+DENSE_SWEEP_CUTOFF = 256
+
+#: Upper bound on the scratch size (complex entries) of one dense
+#: batch; sweeps above it are chunked over frequency.
+_DENSE_BATCH_ENTRIES = 2_000_000
+
+
+class CompiledACNetlist:
+    """An AC netlist compiled to a reusable frequency-sweep structure.
+
+    Built once from an :class:`ACNetlist`: nodes are mapped to integer
+    rows and every matrix entry is recorded as COO coordinates plus
+    three per-entry coefficient arrays — resistive (frequency
+    independent), capacitive (scaled by ``jω``), and inductive (scaled
+    by ``1/(jω)``) — so the complex value vector at any frequency is
+
+    ``vals(ω) = const + j(ω·cap − ind/ω)``
+
+    with no per-element Python work.  The CSC index pattern (column
+    pointers, row indices, and the duplicate-summing permutation) is
+    computed once and shared by every frequency in a sweep; only the
+    numeric values change.  The right-hand side (source phasors) is
+    frequency independent and also precomputed.
+    """
+
+    def __init__(self, netlist: ACNetlist) -> None:
+        netlist.validate()
+        nodes = netlist.nodes()
+        index = {node: i for i, node in enumerate(nodes)}
+        index[netlist.GROUND] = GROUND_INDEX
+        n = len(nodes)
+        m = len(netlist.voltage_sources)
+        self.nodes: tuple[NodeId, ...] = tuple(nodes)
+        self.n_nodes = n
+        self.size = n + m
+
+        def endpoint_rows(pairs: list[tuple[NodeId, NodeId]]) -> np.ndarray:
+            flat = np.fromiter(
+                (index[node] for pair in pairs for node in pair),
+                dtype=np.int64,
+                count=2 * len(pairs),
+            )
+            return flat.reshape(-1, 2)
+
+        res = endpoint_rows(
+            [(r.node_a, r.node_b) for r in netlist.resistors]
+        )
+        ind = endpoint_rows(
+            [(l.node_a, l.node_b) for l in netlist.inductors]
+        )
+        cap = endpoint_rows(
+            [(c.node_a, c.node_b) for c in netlist.capacitors]
+        )
+        g_rows, g_cols, g_vals = admittance_stamp_entries(
+            res[:, 0],
+            res[:, 1],
+            1.0 / np.array([r.resistance_ohm for r in netlist.resistors]),
+        )
+        l_rows, l_cols, l_vals = admittance_stamp_entries(
+            ind[:, 0],
+            ind[:, 1],
+            1.0 / np.array([l.inductance_h for l in netlist.inductors]),
+        )
+        c_rows, c_cols, c_vals = admittance_stamp_entries(
+            cap[:, 0],
+            cap[:, 1],
+            np.array([c.capacitance_f for c in netlist.capacitors]),
+        )
+
+        vs = endpoint_rows(
+            [(v.node_plus, v.node_minus) for v in netlist.voltage_sources]
+        )
+        kp = np.nonzero(vs[:, 0] != GROUND_INDEX)[0]
+        km = np.nonzero(vs[:, 1] != GROUND_INDEX)[0]
+        b_rows = np.concatenate([vs[kp, 0], n + kp, vs[km, 1], n + km])
+        b_cols = np.concatenate([n + kp, vs[kp, 0], n + km, vs[km, 1]])
+        b_vals = np.concatenate(
+            [np.ones(len(kp)), np.ones(len(kp)),
+             -np.ones(len(km)), -np.ones(len(km))]
+        )
+
+        rows = np.concatenate([g_rows, b_rows, c_rows, l_rows])
+        cols = np.concatenate([g_cols, b_cols, c_cols, l_cols])
+        nnz = len(rows)
+        self._const = np.zeros(nnz)
+        self._cap = np.zeros(nnz)
+        self._ind = np.zeros(nnz)
+        fixed = len(g_rows) + len(b_rows)
+        self._const[: len(g_rows)] = g_vals
+        self._const[len(g_rows) : fixed] = b_vals
+        self._cap[fixed : fixed + len(c_rows)] = c_vals
+        self._ind[fixed + len(c_rows) :] = l_vals
+        self._rows = rows
+        self._cols = cols
+
+        # One shared CSC pattern: sort entries column-major once, find
+        # duplicate groups, and keep the reduceat boundaries so any
+        # frequency's values map onto the pattern with one fancy-index
+        # plus one reduceat.
+        order = np.lexsort((rows, cols))
+        r_sorted = rows[order]
+        c_sorted = cols[order]
+        boundary = np.ones(nnz, dtype=bool)
+        boundary[1:] = (r_sorted[1:] != r_sorted[:-1]) | (
+            c_sorted[1:] != c_sorted[:-1]
+        )
+        starts = np.nonzero(boundary)[0]
+        self._order = order
+        self._starts = starts
+        self._csc_rows = r_sorted[starts]
+        self._csc_cols = c_sorted[starts]
+        counts = np.bincount(self._csc_cols, minlength=self.size)
+        self._indptr = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.int64)
+
+        # Frequency-independent RHS: source magnitudes at phase 0.
+        rhs = np.zeros(self.size, dtype=complex)
+        for s in netlist.current_sources:
+            if s.node_from != netlist.GROUND:
+                rhs[index[s.node_from]] -= s.current_a
+            if s.node_to != netlist.GROUND:
+                rhs[index[s.node_to]] += s.current_a
+        for k, v in enumerate(netlist.voltage_sources):
+            rhs[n + k] = v.voltage_v
+        self.rhs = rhs
+
+    # -- per-frequency values -------------------------------------------------
+
+    def values_at(self, omega: float) -> np.ndarray:
+        """Complex COO entry values at one angular frequency
+        (element stamp order, duplicates not summed)."""
+        return self._const + 1j * (omega * self._cap - self._ind / omega)
+
+    def csc_data(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """Matrix values for every frequency on the shared pattern.
+
+        Shape ``(len(frequencies_hz), nnz_csc)`` — row ``k`` is the
+        ``data`` array of the CSC matrix at frequency ``k``.
+        """
+        omega = 2.0 * math.pi * check_frequencies(frequencies_hz)
+        vals = self._const[None, :] + 1j * (
+            omega[:, None] * self._cap[None, :]
+            - self._ind[None, :] / omega[:, None]
+        )
+        return np.add.reduceat(vals[:, self._order], self._starts, axis=1)
+
+    def matrix_at(self, frequency_hz: float) -> sp.csc_matrix:
+        """The assembled CSC system matrix at one frequency."""
+        data = self.csc_data(np.array([float(frequency_hz)]))[0]
+        return sp.csc_matrix(
+            (data, self._csc_rows, self._indptr),
+            shape=(self.size, self.size),
+        )
+
+    # -- sweep solve ----------------------------------------------------------
+
+    def solve(self, frequencies_hz: np.ndarray) -> ACSweepSolution:
+        """Solve the phasor operating point at every frequency.
+
+        Small systems (``size <= DENSE_SWEEP_CUTOFF``) are solved as
+        batched dense LAPACK calls, chunked to bound scratch memory;
+        larger ones run one sparse LU per frequency on the shared
+        pattern.  Either way the netlist is never re-assembled.
+
+        Raises:
+            SolverError: a non-finite solution (resonant singularity
+                or floating subcircuit) at any sweep point.
+        """
+        freqs = check_frequencies(frequencies_hz)
+        count = len(freqs)
+        size = self.size
+        solutions = np.empty((count, size), dtype=complex)
+        # Known-solution probe, as in the DC factorization (see
+        # repro.pdn.mna.singularity_probe): an exactly singular point
+        # (a floating subcircuit that LU slid through on a rounded
+        # pivot) fails loudly instead of returning an arbitrary
+        # null-space offset.  It rides along as one extra RHS column,
+        # so the sweep pays almost nothing.
+        probe = singularity_probe(size)
+        probe_error = np.empty(count)
+        use_dense = size <= DENSE_SWEEP_CUTOFF
+        # Both branches chunk over frequency so the per-chunk scratch
+        # (dense matrix batch, or the (chunk, nnz) value matrix of a
+        # large sparse system) stays bounded on long sweeps.
+        per_point = size * size if use_dense else max(len(self._rows), size)
+        chunk = max(1, _DENSE_BATCH_ENTRIES // per_point)
+
+        for lo in range(0, count, chunk):
+            hi = min(lo + chunk, count)
+            data = self.csc_data(freqs[lo:hi])
+            if use_dense:
+                flat_index = self._csc_rows * size + self._csc_cols
+                dense = np.zeros((hi - lo, size * size), dtype=complex)
+                dense[:, flat_index] = data
+                dense = dense.reshape(hi - lo, size, size)
+                stacked = np.empty((hi - lo, size, 2), dtype=complex)
+                stacked[:, :, 0] = self.rhs
+                stacked[:, :, 1] = dense @ probe
+                try:
+                    with np.errstate(all="ignore"):
+                        solved = np.linalg.solve(dense, stacked)
+                except np.linalg.LinAlgError as exc:
+                    raise SolverError(
+                        f"AC sweep solve failed: {exc}"
+                    ) from exc
+                solutions[lo:hi] = solved[:, :, 0]
+                with np.errstate(all="ignore"):
+                    probe_error[lo:hi] = np.abs(
+                        solved[:, :, 1] - probe
+                    ).max(axis=1, initial=0.0)
+            else:
+                for k in range(lo, hi):
+                    matrix = sp.csc_matrix(
+                        (data[k - lo], self._csc_rows, self._indptr),
+                        shape=(size, size),
+                    )
+                    stacked = np.column_stack([self.rhs, matrix @ probe])
+                    with np.errstate(all="ignore"), warnings.catch_warnings():
+                        warnings.simplefilter(
+                            "ignore", spla.MatrixRankWarning
+                        )
+                        try:
+                            solved = spla.splu(matrix).solve(stacked)
+                        except RuntimeError as exc:
+                            raise SolverError(
+                                f"AC sweep solve failed at "
+                                f"{freqs[k]:.6g} Hz: {exc}"
+                            ) from exc
+                    solutions[k] = solved[:, 0]
+                    with np.errstate(all="ignore"):
+                        probe_error[k] = float(
+                            np.abs(solved[:, 1] - probe).max(initial=0.0)
+                        )
+
+        good = np.all(np.isfinite(solutions), axis=1)
+        good &= np.isfinite(probe_error) & (
+            probe_error <= SINGULARITY_PROBE_TOL
+        )
+        if not good.all():
+            bad = freqs[np.nonzero(~good)[0][0]]
+            raise SolverError(
+                f"AC solution is singular or non-finite at {bad:.6g} Hz "
+                "(resonant singularity or floating subcircuit)"
+            )
+        return ACSweepSolution(
+            frequencies_hz=freqs,
+            nodes=self.nodes,
+            voltage_matrix=solutions[:, : self.n_nodes],
+        )
+
+
+class ACSweep:
+    """Compile-once frequency-sweep engine over an :class:`ACNetlist`.
+
+    The netlist is compiled on construction; :meth:`solve` then runs
+    any number of sweeps without re-assembling the stamp structure.
+    The input netlist is snapshotted — later mutations do not affect
+    the sweep.
+    """
+
+    def __init__(self, netlist: ACNetlist) -> None:
+        self.compiled = netlist.compile_ac()
+
+    def solve(self, frequencies_hz: np.ndarray) -> ACSweepSolution:
+        """Solve every frequency on the shared stamp pattern."""
+        return self.compiled.solve(frequencies_hz)
+
+
+def probe_netlist(netlist: ACNetlist, node: NodeId) -> ACNetlist:
+    """The small-signal probe circuit for an impedance measurement.
+
+    All independent sources are zeroed (voltage sources become shorts,
+    current sources open circuits) and a 1 A probe is injected into
+    ``node``.  The input netlist is not mutated.
+    """
     probe = ACNetlist()
     for r in netlist.resistors:
         probe.add_resistor(r.name, r.node_a, r.node_b, r.resistance_ohm)
@@ -234,8 +570,20 @@ def impedance_at(
         probe.add_voltage_source(v.name, v.node_plus, 0.0, v.node_minus)
     # Current sources are zeroed by omission (open circuits).
     probe.add_current_source("__probe__", probe.GROUND, node, 1.0)
+    return probe
 
-    magnitudes = np.empty(len(freqs))
-    for k, frequency in enumerate(freqs):
-        magnitudes[k] = solve_ac(probe, float(frequency)).magnitude(node)
-    return magnitudes
+
+def impedance_at(
+    netlist: ACNetlist, node: NodeId, frequencies_hz: np.ndarray
+) -> np.ndarray:
+    """|Z(f)| looking into ``node``: inject 1 A AC, read |V|.
+
+    Small-signal analysis via :func:`probe_netlist`; the whole sweep
+    runs on one compiled stamp structure (:class:`ACSweep`), so dense
+    frequency grids cost one compilation plus vectorized solves.
+    :func:`solve_ac` on the same probe circuit is the scalar parity
+    oracle (see ``tests/test_ac.py``).
+    """
+    freqs = check_frequencies(frequencies_hz)
+    sweep = ACSweep(probe_netlist(netlist, node))
+    return sweep.solve(freqs).magnitude(node)

@@ -156,6 +156,7 @@ class GridPDN:
         self._ring_bus_ohm: float | None = None
         self._mesh_edges_cache: tuple[np.ndarray, ...] | None = None
         self._structure: _GridStructure | None = None
+        self._topology_dirty = True
 
     # -- construction ---------------------------------------------------------
 
@@ -201,11 +202,13 @@ class GridPDN:
         self._sources.append(
             (name, ix, iy, voltage_v, output_resistance_ohm)
         )
+        self._topology_dirty = True
 
     def clear_sources(self) -> None:
         """Remove all attached sources."""
         self._sources.clear()
         self._ring_bus_ohm = None
+        self._topology_dirty = True
 
     def connect_sources_with_ring_bus(self, segment_resistance_ohm: float) -> None:
         """Join consecutive sources with a dedicated ring bus.
@@ -221,6 +224,7 @@ class GridPDN:
         if len(self._sources) < 3:
             raise ConfigError("a ring bus needs at least three sources")
         self._ring_bus_ohm = segment_resistance_ohm
+        self._topology_dirty = True
 
     @property
     def source_names(self) -> list[str]:
@@ -415,9 +419,14 @@ class GridPDN:
         )
 
     def _ensure_structure(self) -> _GridStructure:
-        key = self._structure_key()
-        if self._structure is None or self._structure.key != key:
-            self._structure = self._build_structure(key)
+        # The key is only recomputed after a topology mutator ran:
+        # steady-state sweep loops (N-1 scenarios, sink sweeps) skip
+        # the per-solve key construction entirely.
+        if self._structure is None or self._topology_dirty:
+            key = self._structure_key()
+            if self._structure is None or self._structure.key != key:
+                self._structure = self._build_structure(key)
+            self._topology_dirty = False
         return self._structure
 
     def compile(self) -> CompiledNetlist:
@@ -438,6 +447,64 @@ class GridPDN:
         system; later solves with the same topology (possibly new sink
         maps or source voltages) reuse the factorization.
         """
+        structure, sinks, volts = self._solve_inputs()
+        dc = structure.solver.solve(cs_amp=sinks, vs_volt=volts, check=check)
+        return self._package_solution(structure, dc, sinks)
+
+    def solve_disabled(
+        self,
+        disabled_sources: "tuple[int, ...] | list[int] | np.ndarray",
+        check: bool = True,
+        method: str = "auto",
+    ) -> GridSolution:
+        """Solve with a subset of the attached sources disabled.
+
+        A disabled source's branch current is forced to zero (an
+        open-circuited regulator: its output resistor and ring tap
+        stay in the metal but carry nothing), expressed as a rank-k
+        Woodbury correction on the *shared* factorization — an N−1/N−k
+        sweep pays one factorization for the whole bank and k+1
+        back-substitutions per scenario.  Indices follow attachment
+        order; disabled sources report exactly 0 A.  ``method`` is
+        forwarded to :meth:`~repro.pdn.mna.FactorizedPDN.solve_modified`
+        (``"auto"`` falls back to refactorization when the correction
+        is ill-conditioned).
+        """
+        indices = tuple(int(i) for i in disabled_sources)
+        if any(i < 0 or i >= len(self._sources) for i in indices):
+            raise ConfigError("disabled source index out of range")
+        if len(set(indices)) >= len(self._sources):
+            raise ConfigError("cannot disable every source")
+        structure, sinks, volts = self._solve_inputs()
+        dc = structure.solver.solve_modified(
+            disable_sources=indices,
+            cs_amp=sinks,
+            vs_volt=volts,
+            check=check,
+            method=method,
+        )
+        solution = self._package_solution(structure, dc, sinks)
+        # The dead rout branches carry only O(eps) numerical residue.
+        solution.source_currents_a[list(set(indices))] = 0.0
+        return solution
+
+    def preload_failure_sweep(
+        self,
+        indices: "tuple[int, ...] | list[int] | range | None" = None,
+    ) -> None:
+        """Warm everything an N−1/N−k sweep needs in batched calls.
+
+        Factorizes the full attached topology (if not already cached)
+        and back-substitutes the influence columns for the given
+        source indices (default: all) in one call, so each subsequent
+        :meth:`solve_disabled` scenario pays only two
+        back-substitutions.
+        """
+        structure, _, _ = self._solve_inputs()
+        structure.solver.preload_source_influence(indices)
+
+    def _solve_inputs(self) -> tuple[_GridStructure, np.ndarray, np.ndarray]:
+        """Validate attachments and gather the per-scenario RHS data."""
         if self._sink_map is None:
             raise ConfigError("no sinks attached; call set_sinks first")
         if not self._sources:
@@ -445,8 +512,14 @@ class GridPDN:
         structure = self._ensure_structure()
         sinks = np.ascontiguousarray(self._sink_map, dtype=float).ravel()
         volts = np.array([s[3] for s in self._sources])
-        dc = structure.solver.solve(cs_amp=sinks, vs_volt=volts, check=check)
+        return structure, sinks, volts
 
+    def _package_solution(
+        self,
+        structure: _GridStructure,
+        dc: DCSolution,
+        sinks: np.ndarray,
+    ) -> GridSolution:
         losses = dc.resistor_loss_array
         branch_currents = dc.resistor_current_array
         currents = branch_currents[structure.lateral_count :].copy()

@@ -127,6 +127,91 @@ def pdn_impedance(
     )
 
 
+def ladder_ac_netlist(
+    stages: list[PDNStage],
+    source_impedance_ohm: float = 1e-6,
+) -> tuple["ACNetlist", str]:
+    """The analytic ladder as an explicit AC netlist.
+
+    Returns ``(netlist, die_node)`` — the exact circuit
+    :func:`pdn_impedance` evaluates in closed form: the source
+    impedance to ground, then per stage a series R + L into a shunt
+    C + ESR branch.  A zero source impedance becomes an ideal (zeroed)
+    voltage-source short.  Used by :func:`pdn_impedance_mna` and the
+    cross-validation tests.
+    """
+    from .ac import ACNetlist  # local import keeps module load light
+
+    if not stages:
+        raise ConfigError("at least one PDN stage required")
+    if source_impedance_ohm < 0:
+        raise ConfigError("source impedance must be non-negative")
+    net = ACNetlist()
+    if source_impedance_ohm > 0:
+        net.add_resistor("z_source", "ladder[0]", net.GROUND, source_impedance_ohm)
+    else:
+        net.add_voltage_source("z_source", "ladder[0]", 0.0)
+    for k, stage in enumerate(stages):
+        node_in = f"ladder[{k}]"
+        node_out = f"ladder[{k + 1}]"
+        net.add_resistor(
+            f"{stage.name}.r[{k}]",
+            node_in,
+            (node_in, "rl"),
+            stage.series_resistance_ohm,
+        )
+        net.add_inductor(
+            f"{stage.name}.l[{k}]",
+            (node_in, "rl"),
+            node_out,
+            stage.series_inductance_h,
+        )
+        net.add_capacitor(
+            f"{stage.name}.c[{k}]",
+            node_out,
+            (node_out, "esr"),
+            stage.decap_farad,
+        )
+        if stage.decap_esr_ohm > 0:
+            net.add_resistor(
+                f"{stage.name}.esr[{k}]",
+                (node_out, "esr"),
+                net.GROUND,
+                stage.decap_esr_ohm,
+            )
+        else:
+            net.add_voltage_source(
+                f"{stage.name}.esr[{k}]", (node_out, "esr"), 0.0
+            )
+    return net, f"ladder[{len(stages)}]"
+
+
+def pdn_impedance_mna(
+    stages: list[PDNStage],
+    frequencies_hz: np.ndarray | None = None,
+    source_impedance_ohm: float = 1e-6,
+) -> ImpedanceProfile:
+    """:func:`pdn_impedance` evaluated by the compiled AC sweep engine.
+
+    Builds the ladder as an explicit netlist and probes the die node
+    with :func:`repro.pdn.ac.impedance_at` — the general MNA path that
+    handles arbitrary decap networks.  On pure ladders it must agree
+    with the closed form to numerical precision, which is exactly what
+    the cross-validation tests assert; keeping both paths exercised
+    guards the sweep engine against silent stamp regressions.
+    """
+    from .ac import impedance_at
+
+    if frequencies_hz is None:
+        frequencies_hz = np.logspace(3, 9, 361)
+    net, die_node = ladder_ac_netlist(stages, source_impedance_ohm)
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    return ImpedanceProfile(
+        frequencies_hz=freqs,
+        impedance_ohm=impedance_at(net, die_node, freqs),
+    )
+
+
 @dataclass(frozen=True)
 class DecapRecommendation:
     """Result of the decap sizing helper."""

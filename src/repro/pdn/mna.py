@@ -31,6 +31,34 @@ import scipy.sparse.linalg as spla
 from ..errors import SolverError
 from .network import GROUND_INDEX, CompiledNetlist, Netlist, NodeId
 
+#: Acceptance threshold for the known-solution singularity probe.
+#: Shared by the DC factorization, the modified-scenario fallback, and
+#: the AC sweep engine so every solve path renders the same
+#: singular/non-singular verdict for the same matrix.
+SINGULARITY_PROBE_TOL = 1e-3
+
+
+def singularity_probe(size: int) -> np.ndarray:
+    """The known probe solution ``w`` used to detect rounded pivots.
+
+    Recovering ``w`` from ``A @ w`` amplifies any near-null direction
+    by ~1/pivot, so a large recovery error exposes an exactly singular
+    system that LU happened to factor through a rounded tiny pivot —
+    an error mode downstream KCL/power checks cannot see (the
+    null-space offset is current-consistent).
+    """
+    return np.cos(np.arange(size))
+
+
+def factorization_probe_error(lu: "spla.SuperLU", matrix: sp.csc_matrix) -> float:
+    """Probe recovery error of a factorization (see
+    :func:`singularity_probe`); compare against
+    :data:`SINGULARITY_PROBE_TOL`."""
+    probe = singularity_probe(matrix.shape[0])
+    with np.errstate(all="ignore"):
+        recovered = lu.solve(matrix @ probe)
+        return float(np.abs(recovered - probe).max(initial=0.0))
+
 
 class DCSolution:
     """Result of a DC operating-point solve.
@@ -156,32 +184,7 @@ class FactorizedPDN:
         n = compiled.n_nodes
         size = compiled.size
 
-        ra, rb = compiled.res_a, compiled.res_b
-        conductance = 1.0 / compiled.res_ohm
-        in_a = ra != GROUND_INDEX
-        in_b = rb != GROUND_INDEX
-        in_ab = in_a & in_b
-
-        kp = np.nonzero(compiled.vs_plus != GROUND_INDEX)[0]
-        km = np.nonzero(compiled.vs_minus != GROUND_INDEX)[0]
-        plus = compiled.vs_plus[kp]
-        minus = compiled.vs_minus[km]
-        ones_p = np.ones(len(kp))
-        ones_m = np.ones(len(km))
-
-        rows = np.concatenate(
-            [ra[in_a], rb[in_b], ra[in_ab], rb[in_ab],
-             plus, n + kp, minus, n + km]
-        )
-        cols = np.concatenate(
-            [ra[in_a], rb[in_b], rb[in_ab], ra[in_ab],
-             n + kp, plus, n + km, minus]
-        )
-        vals = np.concatenate(
-            [conductance[in_a], conductance[in_b],
-             -conductance[in_ab], -conductance[in_ab],
-             ones_p, ones_p, -ones_m, -ones_m]
-        )
+        rows, cols, vals = compiled.mna_coo()
         matrix = sp.coo_matrix(
             (vals, (rows, cols)), shape=(size, size)
         ).tocsc()
@@ -197,21 +200,18 @@ class FactorizedPDN:
                 ) from exc
         self._n = n
         self._size = size
-        self._conductance = conductance
+        self._conductance = 1.0 / compiled.res_ohm
+        self._matrix = matrix
+        # Memoized A^-1 @ u columns for low-rank modifications: the
+        # update vector of "disable source j" / "remove resistor i" is
+        # canonical per element, so sweeps that revisit elements (N-k
+        # enumerations, repeated studies) pay each back-substitution
+        # once per factorization.
+        self._influence: dict[tuple[str, int], np.ndarray] = {}
 
-        # SuperLU can slide through an exactly singular system when
-        # rounding leaves a tiny (instead of zero) pivot; the resulting
-        # solutions carry an arbitrary offset along the null space that
-        # no KCL/power check can see (the offset is current-consistent).
-        # Probe with a known solution: recovering w from A @ w amplifies
-        # any near-null direction by ~1/pivot, so a large probe error
-        # means the factorization is unusable.  One matvec plus one
-        # back-substitution, paid once per topology.
-        probe = np.cos(np.arange(size))
-        with np.errstate(all="ignore"):
-            recovered = self._lu.solve(matrix @ probe)
-            error = float(np.abs(recovered - probe).max(initial=0.0))
-        if not np.isfinite(error) or error > 1e-3:
+        # One matvec plus one back-substitution, paid once per topology.
+        error = factorization_probe_error(self._lu, matrix)
+        if not np.isfinite(error) or error > SINGULARITY_PROBE_TOL:
             raise SolverError(
                 "MNA factorization is numerically singular (probe error "
                 f"{error:.3e}); the network likely has a floating "
@@ -313,17 +313,39 @@ class FactorizedPDN:
             SolverError: non-finite result, KCL or power-balance
                 violation (with ``check=True``).
         """
-        compiled = self.compiled
         amp, volt = self._scenario_values(cs_amp, vs_volt)
         x = self.solve_rhs(self.rhs(amp, volt))
+        return self._package(x, amp, volt, self._conductance, check)
+
+    def _package(
+        self,
+        x: np.ndarray,
+        amp: np.ndarray,
+        volt: np.ndarray,
+        conductance: np.ndarray,
+        check: bool,
+        disabled_sources: np.ndarray | None = None,
+    ) -> DCSolution:
+        """Post-process a raw MNA solution vector into a DCSolution.
+
+        ``conductance`` is the per-resistor conductance used for branch
+        currents — :meth:`solve_modified` passes a copy with removed
+        elements zeroed so their reported currents and losses vanish.
+        """
+        compiled = self.compiled
         n = self._n
         voltages = x[:n]
         # Ground trick: append one 0.0 so GROUND_INDEX (-1) gathers 0 V.
         v_full = np.concatenate([voltages, [0.0]])
         drop = v_full[compiled.res_a] - v_full[compiled.res_b]
-        currents = drop * self._conductance
+        currents = drop * conductance
         losses = currents * drop
         source_currents = -x[n:]
+        if disabled_sources is not None and disabled_sources.size:
+            # The modified constraint row forces these branch currents
+            # to zero; snap away the O(eps) Woodbury residue.
+            source_currents = source_currents.copy()
+            source_currents[disabled_sources] = 0.0
 
         solution = DCSolution(
             compiled=compiled,
@@ -335,6 +357,242 @@ class FactorizedPDN:
         if check:
             _verify(solution, amp, volt, v_full)
         return solution
+
+    # -- low-rank modified solves ---------------------------------------------------
+
+    def _modification_factors(
+        self,
+        disabled: np.ndarray,
+        removed: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The rank-k update ``A_mod = A + U @ W.T`` for a scenario.
+
+        Disabling voltage source ``j`` replaces its constraint row
+        ``v+ - v- = V_j`` with ``i_j = 0`` — a rank-1 row replacement
+        ``e_r (new_row - old_row)^T`` with ``r = n + j``.  Removing
+        resistor ``i`` subtracts its conductance stamp
+        ``g_i d d^T`` with ``d = e_a - e_b`` (ground entries dropped).
+        """
+        compiled = self.compiled
+        n = self._n
+        k = len(disabled) + len(removed)
+        u = np.zeros((self._size, k))
+        w = np.zeros((self._size, k))
+        for t, j in enumerate(disabled):
+            row = n + j
+            u[row, t] = 1.0
+            w[row, t] = 1.0
+            plus = compiled.vs_plus[j]
+            minus = compiled.vs_minus[j]
+            if plus != GROUND_INDEX:
+                w[plus, t] -= 1.0
+            if minus != GROUND_INDEX:
+                w[minus, t] += 1.0
+        offset = len(disabled)
+        for t, i in enumerate(removed):
+            col = offset + t
+            a = compiled.res_a[i]
+            b = compiled.res_b[i]
+            if a != GROUND_INDEX:
+                u[a, col] = 1.0
+            if b != GROUND_INDEX:
+                u[b, col] = -1.0
+            w[:, col] = -self._conductance[i] * u[:, col]
+        return u, w
+
+    def _influence_solve(
+        self,
+        u: np.ndarray,
+        disabled: np.ndarray,
+        removed: np.ndarray,
+    ) -> np.ndarray:
+        """``Z = A^-1 U`` with per-element memoization.
+
+        Missing columns are back-substituted in one batched call and
+        cached, so a sweep touching m distinct elements performs m
+        influence solves total, not m per scenario.
+        """
+        keys = [("vs", int(j)) for j in disabled] + [
+            ("res", int(i)) for i in removed
+        ]
+        missing = [t for t, key in enumerate(keys) if key not in self._influence]
+        if missing:
+            solved = self._lu.solve(u[:, missing])
+            for column, t in enumerate(missing):
+                self._influence[keys[t]] = solved[:, column]
+        return np.column_stack([self._influence[key] for key in keys])
+
+    def preload_source_influence(
+        self, indices: "np.ndarray | tuple[int, ...] | list[int] | None" = None
+    ) -> None:
+        """Batch the influence columns of many source disables.
+
+        An N−1 sweep touches every source once; one back-substitution
+        call over all missing columns is several times cheaper than 48
+        single-column solves scattered across scenarios.  Defaults to
+        every voltage source.
+        """
+        m = self.compiled.n_vsources
+        if indices is None:
+            indices = range(m)
+        wanted = sorted({int(j) for j in indices})
+        if wanted and (wanted[0] < 0 or wanted[-1] >= m):
+            raise SolverError("source index out of range")
+        missing = [j for j in wanted if ("vs", j) not in self._influence]
+        if not missing:
+            return
+        u = np.zeros((self._size, len(missing)))
+        u[self._n + np.asarray(missing), np.arange(len(missing))] = 1.0
+        solved = self._lu.solve(u)
+        for column, j in enumerate(missing):
+            self._influence[("vs", j)] = solved[:, column]
+
+    def _refactorize_modified(
+        self, u: np.ndarray, w: np.ndarray
+    ) -> spla.SuperLU:
+        """Factorize ``A + U W^T`` explicitly (the Woodbury fallback)."""
+        # U and W have at most a few nonzeros per column, so the
+        # update is assembled sparsely (O(k * size), not size^2).
+        delta = sp.csc_matrix(u) @ sp.csc_matrix(w).T
+        matrix = (self._matrix + delta).tocsc()
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", spla.MatrixRankWarning)
+            try:
+                lu = spla.splu(matrix)
+            except RuntimeError as exc:
+                raise SolverError(
+                    "modified MNA factorization failed: the scenario "
+                    f"disconnects the network: {exc}"
+                ) from exc
+        # Same known-solution probe as the base factorization: an
+        # exactly singular modified system (a removal that islands a
+        # loaded subgrid) must fail loudly, not via a rounded pivot.
+        error = factorization_probe_error(lu, matrix)
+        if not np.isfinite(error) or error > SINGULARITY_PROBE_TOL:
+            raise SolverError(
+                "modified MNA system is numerically singular (probe "
+                f"error {error:.3e}); the scenario likely leaves a "
+                "floating subcircuit with a current source"
+            )
+        return lu
+
+    def solve_modified(
+        self,
+        disable_sources: "np.ndarray | tuple[int, ...] | list[int]" = (),
+        remove_resistors: "np.ndarray | tuple[int, ...] | list[int]" = (),
+        cs_amp: np.ndarray | None = None,
+        vs_volt: np.ndarray | None = None,
+        check: bool = True,
+        method: str = "auto",
+        cond_limit: float = 1e10,
+    ) -> DCSolution:
+        """Solve a structurally modified scenario on the base factorization.
+
+        A failure/ablation sweep removes a handful of elements per
+        scenario; refactorizing each time costs a full LU.  Instead the
+        modification is expressed as a rank-k update ``A + U W^T`` and
+        solved with the Sherman–Morrison–Woodbury identity
+
+        ``x = y - Z (I_k + W^T Z)^{-1} W^T y``
+
+        where ``y = A^{-1} b_mod`` and ``Z = A^{-1} U`` cost k+1
+        back-substitutions on the *cached* factorization.
+
+        Args:
+            disable_sources: voltage-source indices whose constraint is
+                replaced by ``i = 0`` (an open-circuited regulator: the
+                source branch carries no current; its series elements
+                stay in the matrix but go dead).
+            remove_resistors: resistor indices whose conductance stamp
+                is subtracted (an open lateral edge).  Removed
+                resistors report zero current and loss.
+            method: ``"auto"`` uses Woodbury and falls back to an
+                explicit refactorization when the k-by-k capacitance
+                matrix ``S = I + W^T Z`` is ill-conditioned (its
+                smallest singular value below
+                ``max(1, sigma_max) / cond_limit``); ``"woodbury"`` raises
+                :class:`~repro.errors.SolverError` instead of falling
+                back; ``"refactor"`` always rebuilds (the parity
+                oracle for the correction).
+
+        Raises:
+            SolverError: invalid indices, disconnecting modification,
+                or (with ``method="woodbury"``) an ill-conditioned
+                correction.
+        """
+        if method not in ("auto", "woodbury", "refactor"):
+            raise SolverError(f"unknown solve_modified method: {method!r}")
+        compiled = self.compiled
+        disabled = np.unique(np.asarray(disable_sources, dtype=np.int64))
+        removed = np.unique(np.asarray(remove_resistors, dtype=np.int64))
+        if disabled.size and (
+            disabled.min() < 0 or disabled.max() >= compiled.n_vsources
+        ):
+            raise SolverError("disable_sources index out of range")
+        if removed.size and (
+            removed.min() < 0 or removed.max() >= len(compiled.res_ohm)
+        ):
+            raise SolverError("remove_resistors index out of range")
+        amp, volt = self._scenario_values(cs_amp, vs_volt)
+        if not disabled.size and not removed.size:
+            x = self.solve_rhs(self.rhs(amp, volt))
+            return self._package(x, amp, volt, self._conductance, check)
+
+        rhs = self.rhs(amp, volt)
+        rhs[self._n + disabled] = 0.0
+        u, w = self._modification_factors(disabled, removed)
+
+        x: np.ndarray | None = None
+        if method in ("auto", "woodbury"):
+            z = self._influence_solve(u, disabled, removed)
+            s = np.eye(u.shape[1]) + w.T @ z
+            # Gate on the smallest singular value against an absolute
+            # floor: cond(S) alone cannot flag a uniformly tiny S (for
+            # k=1 it is identically 1), but sigma_min -> 0 is exactly
+            # the near-singular modified system Woodbury cannot solve.
+            with np.errstate(all="ignore"):
+                singular_values = np.linalg.svd(s, compute_uv=False)
+            sigma_max = float(singular_values[0])
+            sigma_min = float(singular_values[-1])
+            cond = sigma_max / sigma_min if sigma_min > 0 else np.inf
+            if (
+                np.all(np.isfinite(singular_values))
+                and sigma_min > max(1.0, sigma_max) / cond_limit
+            ):
+
+                def correct(b: np.ndarray) -> np.ndarray:
+                    yb = self._lu.solve(b)
+                    return yb - z @ np.linalg.solve(s, w.T @ yb)
+
+                x = correct(rhs)
+                # One step of iterative refinement on the modified
+                # system tightens the correction from ~1e-9 to ~1e-12
+                # relative for one extra back-substitution.
+                residual = rhs - (self._matrix @ x + u @ (w.T @ x))
+                x = x + correct(residual)
+                if not np.all(np.isfinite(x)):
+                    x = None
+            if x is None and method == "woodbury":
+                raise SolverError(
+                    "Woodbury correction is ill-conditioned "
+                    f"(cond(S) = {cond:.3e}); the scenario likely "
+                    "disconnects the network"
+                )
+        if x is None:  # method == "refactor" or ill-conditioned fallback
+            lu = self._refactorize_modified(u, w)
+            x = lu.solve(rhs)
+            residual = rhs - (self._matrix @ x + u @ (w.T @ x))
+            x = x + lu.solve(residual)
+            if not np.all(np.isfinite(x)):
+                raise SolverError(
+                    "modified MNA solution contains non-finite values"
+                )
+
+        conductance = self._conductance
+        if removed.size:
+            conductance = conductance.copy()
+            conductance[removed] = 0.0
+        return self._package(x, amp, volt, conductance, check, disabled)
 
 
 def solve_dc(netlist: Netlist | CompiledNetlist, check: bool = True) -> DCSolution:

@@ -32,6 +32,36 @@ NodeId = Hashable
 GROUND_INDEX = -1
 
 
+def admittance_stamp_entries(
+    node_a: np.ndarray, node_b: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO entries for two-terminal admittance stamps (vectorized).
+
+    Each element with endpoints ``(a, b)`` and admittance ``y``
+    contributes ``+y`` on the two diagonal positions and ``-y`` on the
+    two off-diagonal positions; entries touching ground
+    (:data:`GROUND_INDEX`) are dropped.  Returns ``(rows, cols, vals)``
+    with duplicates *not* summed — COO-to-CSC conversion (or
+    ``np.add.reduceat`` over a sorted pattern) handles accumulation.
+
+    Shared by the DC MNA stamp (:meth:`CompiledNetlist.mna_coo`) and
+    the AC stamp structure (:class:`repro.pdn.ac.CompiledACNetlist`),
+    so both solvers agree on the stamp convention by construction.
+    """
+    a = np.asarray(node_a)
+    b = np.asarray(node_b)
+    vals = np.asarray(values)
+    in_a = a != GROUND_INDEX
+    in_b = b != GROUND_INDEX
+    in_ab = in_a & in_b
+    rows = np.concatenate([a[in_a], b[in_b], a[in_ab], b[in_ab]])
+    cols = np.concatenate([a[in_a], b[in_b], b[in_ab], a[in_ab]])
+    entry_vals = np.concatenate(
+        [vals[in_a], vals[in_b], -vals[in_ab], -vals[in_ab]]
+    )
+    return rows, cols, entry_vals
+
+
 @dataclass(frozen=True)
 class Resistor:
     """A resistor between two nodes.
@@ -444,6 +474,31 @@ class CompiledNetlist:
                 "current sources present but no voltage source/ground "
                 "reference to absorb them"
             )
+
+    # -- MNA stamps -------------------------------------------------------------------
+
+    def mna_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO stamps ``(rows, cols, vals)`` of the DC MNA matrix.
+
+        The ``[G B; B^T 0]`` system over ``size`` rows: conductance
+        stamps from the resistors plus the voltage-source incidence
+        entries.  Duplicates are not summed (sparse constructors and
+        :class:`repro.pdn.mna.FactorizedPDN` handle accumulation).
+        """
+        n = self.n_nodes
+        g_rows, g_cols, g_vals = admittance_stamp_entries(
+            self.res_a, self.res_b, 1.0 / self.res_ohm
+        )
+        kp = np.nonzero(self.vs_plus != GROUND_INDEX)[0]
+        km = np.nonzero(self.vs_minus != GROUND_INDEX)[0]
+        plus = self.vs_plus[kp]
+        minus = self.vs_minus[km]
+        ones_p = np.ones(len(kp))
+        ones_m = np.ones(len(km))
+        rows = np.concatenate([g_rows, plus, n + kp, minus, n + km])
+        cols = np.concatenate([g_cols, n + kp, plus, n + km, minus])
+        vals = np.concatenate([g_vals, ones_p, ones_p, -ones_m, -ones_m])
+        return rows, cols, vals
 
     # -- scenario values --------------------------------------------------------------
 

@@ -209,12 +209,15 @@ class PDNTransient:
         band = settle_band_v if settle_band_v is not None else 0.02 * abs(
             self.supply_voltage_v
         )
+        # First k whose entire suffix stays inside the band: a reversed
+        # cumulative AND gives every suffix verdict in one pass (the
+        # scan was O(n^2) as `inside[k:].all()` per k).
         inside = np.abs(pol - v_final) <= band
-        settle = float(time[-1])
-        for k in range(len(inside)):
-            if inside[k:].all():
-                settle = float(time[k])
-                break
+        suffix_inside = np.logical_and.accumulate(inside[::-1])[::-1]
+        if suffix_inside.any():
+            settle = float(time[int(np.argmax(suffix_inside))])
+        else:
+            settle = float(time[-1])
 
         return TransientResult(
             time_s=time,

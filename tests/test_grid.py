@@ -274,3 +274,67 @@ class TestSourceValidation:
         grid.add_source("s", 0.5, 0.5, 1.0, 1e-3)
         grid.clear_sources()
         assert grid.source_names == []
+
+
+class TestSolveDisabled:
+    def powered_grid(self, n_sources=4) -> GridPDN:
+        grid = make_grid()
+        grid.set_sinks(PowerMap.hotspot_mixture(), 120.0)
+        for k in range(n_sources):
+            t = k / max(n_sources - 1, 1)
+            grid.add_source(f"s{k}", t, t, 1.0, 1e-3)
+        return grid
+
+    def test_disabled_source_reports_zero_current(self):
+        grid = self.powered_grid()
+        solution = grid.solve_disabled((1,))
+        assert solution.source_currents_a[1] == 0.0
+        assert solution.source_currents_a.sum() == pytest.approx(
+            120.0, rel=1e-6
+        )
+
+    def test_matches_survivor_only_grid_without_ring(self):
+        """Without a ring bus, disabling equals detaching: a dead
+        source's rout is electrically invisible."""
+        full = self.powered_grid()
+        disabled = full.solve_disabled((2,))
+
+        survivors = make_grid()
+        survivors.set_sinks(PowerMap.hotspot_mixture(), 120.0)
+        for k in range(4):
+            if k == 2:
+                continue
+            t = k / 3
+            survivors.add_source(f"s{k}", t, t, 1.0, 1e-3)
+        detached = survivors.solve()
+
+        assert disabled.voltage_map == pytest.approx(
+            detached.voltage_map, rel=1e-9
+        )
+        kept = np.delete(disabled.source_currents_a, 2)
+        assert kept == pytest.approx(
+            detached.source_currents_a, rel=1e-9
+        )
+
+    def test_shares_one_factorization_across_scenarios(self):
+        grid = self.powered_grid()
+        grid.solve()
+        structure = grid._structure
+        solver = structure._solver
+        for k in range(3):
+            grid.solve_disabled((k,))
+        assert grid._structure is structure
+        assert structure._solver is solver
+
+    def test_baseline_empty_disable_equals_solve(self):
+        grid = self.powered_grid()
+        base = grid.solve()
+        empty = grid.solve_disabled(())
+        assert empty.voltage_map == pytest.approx(base.voltage_map)
+
+    def test_validation(self):
+        grid = self.powered_grid(n_sources=2)
+        with pytest.raises(ConfigError):
+            grid.solve_disabled((5,))
+        with pytest.raises(ConfigError):
+            grid.solve_disabled((0, 1))

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import SolverError
-from repro.pdn.mna import solve_dc
+from repro.pdn.mna import FactorizedPDN, solve_dc
 from repro.pdn.network import Netlist
 
 
@@ -171,3 +172,110 @@ class TestFailureModes:
         net.add_load("l", "out", 10.0)
         result = solve_dc(net, check=True)
         assert result.voltage("out") == pytest.approx(47.0)
+
+
+class TestSolveModified:
+    """Woodbury-corrected low-rank modified solves."""
+
+    def parallel_feeds(self) -> Netlist:
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("feed_a", "in", "pol", 1e-3)
+        net.add_resistor("feed_b", "in", "pol", 2e-3)
+        net.add_load("cpu", "pol", 30.0)
+        return net
+
+    def dual_source(self) -> Netlist:
+        net = Netlist()
+        net.add_source_with_impedance("vr0", "bus", 1.0, 1e-3)
+        net.add_source_with_impedance("vr1", "bus", 1.0, 2e-3)
+        net.add_load("cpu", "bus", 100.0)
+        return net
+
+    def test_no_modification_equals_solve(self):
+        solver = FactorizedPDN(self.parallel_feeds())
+        base = solver.solve()
+        modified = solver.solve_modified()
+        assert modified.node_voltage_array == pytest.approx(
+            base.node_voltage_array
+        )
+
+    def test_removed_feed_matches_hand_calc(self):
+        # Opening feed_a leaves 30 A through 2 mOhm: V_pol = 0.94 V.
+        solver = FactorizedPDN(self.parallel_feeds())
+        result = solver.solve_modified(remove_resistors=(0,))
+        assert result.voltage("pol") == pytest.approx(0.94)
+        assert result.resistor_currents["feed_a"] == 0.0
+        assert result.resistor_losses["feed_a"] == 0.0
+        assert result.resistor_currents["feed_b"] == pytest.approx(30.0)
+
+    def test_disabled_source_matches_hand_calc(self):
+        # With vr0 dead, vr1 alone carries 100 A through 2 mOhm.
+        solver = FactorizedPDN(self.dual_source())
+        result = solver.solve_modified(disable_sources=(0,))
+        assert result.voltage("bus") == pytest.approx(0.8)
+        assert result.source_currents["vr0.v"] == 0.0
+        assert result.source_currents["vr1.v"] == pytest.approx(100.0)
+        # The dead source's series resistor carries nothing and its
+        # emf node floats to the bus voltage.
+        assert result.resistor_currents["vr0.rout"] == pytest.approx(
+            0.0, abs=1e-9
+        )
+        assert result.voltage(("vr0", "emf")) == pytest.approx(0.8)
+
+    def test_methods_agree(self):
+        solver = FactorizedPDN(self.dual_source())
+        fast = solver.solve_modified(disable_sources=(1,), method="woodbury")
+        oracle = solver.solve_modified(
+            disable_sources=(1,), method="refactor"
+        )
+        assert fast.node_voltage_array == pytest.approx(
+            oracle.node_voltage_array, rel=1e-9
+        )
+
+    def test_base_factorization_is_untouched(self):
+        solver = FactorizedPDN(self.dual_source())
+        before = solver.solve().node_voltage_array.copy()
+        solver.solve_modified(disable_sources=(0,))
+        after = solver.solve().node_voltage_array
+        assert after == pytest.approx(before)
+
+    def test_rejects_bad_indices(self):
+        solver = FactorizedPDN(self.parallel_feeds())
+        with pytest.raises(SolverError):
+            solver.solve_modified(remove_resistors=(5,))
+        with pytest.raises(SolverError):
+            solver.solve_modified(disable_sources=(-1,))
+        with pytest.raises(SolverError):
+            solver.solve_modified(disable_sources=(0,), method="sideways")
+
+    def test_disabling_only_source_fails(self):
+        # No live source leaves the load unreferenced: the Woodbury
+        # correction is ill-conditioned and the fallback must reject
+        # the singular refactorization too.
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("r", "in", "pol", 1e-3)
+        net.add_load("cpu", "pol", 10.0)
+        solver = FactorizedPDN(net)
+        with pytest.raises(SolverError):
+            solver.solve_modified(disable_sources=(0,))
+
+    def test_woodbury_method_raises_on_ill_conditioned(self):
+        net = Netlist()
+        net.add_voltage_source("v", "in", 1.0)
+        net.add_resistor("r", "in", "pol", 1e-3)
+        net.add_load("cpu", "pol", 10.0)
+        solver = FactorizedPDN(net)
+        with pytest.raises(SolverError):
+            solver.solve_modified(disable_sources=(0,), method="woodbury")
+
+    def test_scenario_overrides_compose(self):
+        # Load/source overrides and modifications apply together.
+        solver = FactorizedPDN(self.dual_source())
+        result = solver.solve_modified(
+            disable_sources=(0,),
+            cs_amp=np.array([50.0]),
+            vs_volt=np.array([1.0, 2.0]),
+        )
+        assert result.voltage("bus") == pytest.approx(2.0 - 50.0 * 2e-3)

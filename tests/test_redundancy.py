@@ -139,3 +139,61 @@ class TestSmallSystem:
             single_stage_a1(), DSCH, spec=spec, sample_limit=8
         )
         assert report.tolerates_any_single_failure
+
+class TestWoodburySweepParity:
+    def test_scenario_matches_refactorized_oracle(self):
+        """The sweep's Woodbury scenarios equal full refactorized
+        solves of the same failure model (<= 1e-9 relative)."""
+        from repro.core.redundancy import (
+            DEFAULT_GRID_NODES,
+            _attach_bank,
+            _base_grid,
+        )
+        from repro.core.current_sharing import (
+            DEFAULT_OUTPUT_RESISTANCE_OHM,
+        )
+        from repro.placement.planner import plan_placement
+
+        spec = SystemSpec()
+        power_map = PowerMap.hotspot_mixture()
+        arch = single_stage_a1()
+        plan = plan_placement(
+            DSCH,
+            arch.pol_stage_style,
+            spec.pol_current_a,
+            spec.die_area_mm2,
+        )
+        grid = _base_grid(spec, power_map, DEFAULT_GRID_NODES)
+        _attach_bank(grid, plan, spec, DEFAULT_OUTPUT_RESISTANCE_OHM)
+        for failed in [(0,), (7,), (3, 19)]:
+            fast = grid.solve_disabled(failed, method="woodbury")
+            oracle = grid.solve_disabled(failed, method="refactor")
+            scale = float(np.abs(oracle.voltage_map).max())
+            assert np.abs(
+                fast.voltage_map - oracle.voltage_map
+            ).max() <= 1e-9 * scale
+            assert fast.source_currents_a == pytest.approx(
+                oracle.source_currents_a, rel=1e-9, abs=1e-9
+            )
+
+    def test_sweep_reuses_one_factorization(self):
+        """failure_tolerance must factorize once for the whole sweep."""
+        from unittest.mock import patch
+
+        from repro.pdn.mna import FactorizedPDN
+
+        original = FactorizedPDN.__init__
+        calls = {"count": 0}
+
+        def counting_init(self, netlist):
+            calls["count"] += 1
+            original(self, netlist)
+
+        with patch.object(FactorizedPDN, "__init__", counting_init):
+            failure_tolerance(
+                single_stage_a1(),
+                DSCH,
+                power_map=PowerMap.uniform(),
+                sample_limit=6,
+            )
+        assert calls["count"] == 1

@@ -147,3 +147,44 @@ class TestValidation:
     def test_rejects_short_duration(self):
         with pytest.raises(ConfigError):
             simple_pdn().simulate_step(0.0, 5.0, duration_s=1e-9, dt_s=1e-9)
+
+
+class TestSettleTimeScan:
+    def settle_by_reference_scan(self, pdn, i0, i1, **kwargs):
+        """The retained O(n^2) definition: first sample whose entire
+        suffix stays inside the band."""
+        result = pdn.simulate_step(i0, i1, **kwargs)
+        band = kwargs.get("settle_band_v")
+        if band is None:
+            band = 0.02 * abs(pdn.supply_voltage_v)
+        v_final_state = pdn.dc_state(i1).reshape(-1, 1)
+        v_final = float(pdn._output_voltage(v_final_state, i1)[0])
+        inside = np.abs(result.pol_voltage_v - v_final) <= band
+        settle = float(result.time_s[-1])
+        for k in range(len(inside)):
+            if inside[k:].all():
+                settle = float(result.time_s[k])
+                break
+        return result.settle_time_s, settle
+
+    def test_vectorized_scan_equals_reference(self):
+        pdn = simple_pdn(esr=0.3e-3)
+        fast, reference = self.settle_by_reference_scan(pdn, 10.0, 60.0)
+        assert fast == reference
+
+    def test_equivalence_with_tight_band(self):
+        pdn = default_board_regulated_pdn()
+        fast, reference = self.settle_by_reference_scan(
+            pdn, 0.0, 40.0, settle_band_v=1e-4
+        )
+        assert fast == reference
+
+    def test_equivalence_when_never_settling(self):
+        # A band of ~zero width is never continuously satisfied.
+        pdn = simple_pdn(esr=0.3e-3)
+        fast, reference = self.settle_by_reference_scan(
+            pdn, 5.0, 80.0, settle_band_v=1e-15
+        )
+        assert fast == reference
+        result = pdn.simulate_step(5.0, 80.0, settle_band_v=1e-15)
+        assert result.settle_time_s == result.time_s[-1]
