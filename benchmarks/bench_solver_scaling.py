@@ -16,7 +16,13 @@ shapes the system-level sweeps rely on:
   compiled stamp-structure engine (``ACSweep``),
 * ``test_n1_sweep_refactorize`` / ``test_n1_sweep_woodbury`` — a
   12-scenario N−1 fault sweep with per-scenario refactorization vs
-  the Woodbury-corrected shared factorization.
+  the Woodbury-corrected shared factorization,
+* ``test_nk_sweep_batched`` — the same sweep with every scenario's
+  influence/RHS/refinement solves stacked through
+  ``solve_modified_many`` (three batched back-substitutions total),
+* ``test_grid_ac_impedance_map`` — the grid-level AC engine: die-seen
+  per-node Z(f) over a 200-point sweep at mesh sizes 8/16/24
+  (``GridACPDN.impedance_map``, compile once / revalue per frequency).
 
 Run ``python benchmarks/run_benchmarks.py`` to record the results in
 ``BENCH_solver.json``; ``--check`` compares a fresh run against that
@@ -29,7 +35,7 @@ import numpy as np
 import pytest
 
 from repro.pdn.ac import ACNetlist, ACSweep, probe_netlist, solve_ac
-from repro.pdn.grid import GridPDN
+from repro.pdn.grid import GridACPDN, GridPDN
 from repro.pdn.mna import FactorizedPDN
 from repro.pdn.powermap import PowerMap
 
@@ -183,3 +189,51 @@ def test_n1_sweep_woodbury(benchmark):
 
     worst = benchmark(sweep)
     assert worst > 0
+
+
+def test_nk_sweep_batched(benchmark):
+    """The whole scenario list through batched back-substitutions."""
+    grid = make_n1_grid()
+    grid.solve()
+    scenarios = [
+        (k % N1_SOURCES, (k + 1) % N1_SOURCES) for k in range(N1_SCENARIOS)
+    ]
+
+    def sweep() -> float:
+        solutions = grid.solve_disabled_many(scenarios, method="woodbury")
+        return max(
+            float(solution.source_currents_a.max())
+            for solution in solutions
+        )
+
+    worst = benchmark(sweep)
+    assert worst > 0
+
+
+# -- grid-level AC impedance maps --------------------------------------------
+
+GRID_AC_POINTS = 200
+
+
+def make_grid_ac(n: int) -> GridACPDN:
+    """A die mesh with uniform decap allocation and an 8-VR bank."""
+    pdn = GridACPDN(0.0224, 0.0224, 0.62e-3, nx=n, ny=n)
+    pdn.set_decap_density(1.0, 0.2e-6, 2e-3, 1e-12)
+    for k in range(8):
+        t = k / 8.0
+        pdn.add_source(
+            f"s{k}", t, 0.0 if k % 2 else 1.0, 1.0, 1e-3, 5e-12
+        )
+    return pdn
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_grid_ac_impedance_map(benchmark, n):
+    """Die-seen Z(f) at every mesh node, 200-point sweep, warm cache."""
+    pdn = make_grid_ac(n)
+    freqs = np.logspace(4, 9, GRID_AC_POINTS)
+    pdn.impedance_map(freqs)  # compile + eigendecomposition, once
+
+    impedance = benchmark(pdn.impedance_map, freqs)
+    assert impedance.peak_impedance_ohm > 0
+    assert np.all(np.isfinite(impedance.z_ohm))

@@ -60,6 +60,7 @@ from .pdn import (
     TSV,
     CompiledNetlist,
     FactorizedPDN,
+    GridACPDN,
     GridPDN,
     Netlist,
     PowerMap,
@@ -87,6 +88,7 @@ __all__ = [
     "FactorizedPDN",
     "solve_dc",
     "GridPDN",
+    "GridACPDN",
     "PowerMap",
     "TABLE_I",
     "BGA",

@@ -41,7 +41,13 @@ from .utilization import (
 from .characterization import CharacterizationRow, characterize_all, fig7_claims
 from .electro_thermal import ElectroThermalResult, electro_thermal_loss
 from .energy import DeploymentModel, EnergyReport, annual_energy, annual_savings
-from .ir_drop import IRDropReport, analyze_ir_drop, compare_architectures
+from .ir_drop import (
+    ImpedanceMapReport,
+    IRDropReport,
+    analyze_impedance_map,
+    analyze_ir_drop,
+    compare_architectures,
+)
 from .optimizer import (
     DesignCandidate,
     DesignConstraints,
@@ -58,6 +64,11 @@ from .scaling_study import (
     DensityPoint,
     a0_density_limit,
     density_scaling_study,
+)
+from .exploration import (
+    DecapDensityPoint,
+    SweepPoint,
+    decap_density_sweep,
 )
 from .variation import VariationResult, VariationSpec, monte_carlo_loss
 
@@ -93,6 +104,11 @@ __all__ = [
     "IRDropReport",
     "analyze_ir_drop",
     "compare_architectures",
+    "ImpedanceMapReport",
+    "analyze_impedance_map",
+    "SweepPoint",
+    "DecapDensityPoint",
+    "decap_density_sweep",
     "DesignConstraints",
     "DesignCandidate",
     "OptimizationResult",

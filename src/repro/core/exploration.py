@@ -13,6 +13,8 @@
   ablations for the horizontal-loss and current-sharing results.
 * :func:`si_vs_gan_buck` — device-technology ablation on a physics
   buck model (the paper's motivation for GaN).
+* :func:`decap_density_sweep` — worst-node die-seen Z(f) vs the
+  per-node decap allocation, on the real grid-level AC engine.
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ from ..config import SystemSpec
 from ..converters.catalog import DSCH, ConverterSpec, StageModelMode
 from ..converters.devices import Capacitor, Inductor, PowerSwitch
 from ..converters.topologies.buck import SynchronousBuck
-from ..errors import InfeasibleError
+from ..errors import ConfigError, InfeasibleError
 from ..materials import GAN_100V, SI_POWER_MOSFET, TransistorTechnology
 from ..pdn.powermap import PowerMap
 from .architectures import (
@@ -33,6 +35,7 @@ from .architectures import (
     single_stage_a2,
 )
 from .current_sharing import SharingResult, analyze_current_sharing
+from .ir_drop import ImpedanceMapReport, analyze_impedance_map
 from .loss_analysis import LossAnalyzer, LossBreakdown, LossModelParameters
 
 
@@ -281,3 +284,58 @@ def si_vs_gan_buck(
                 )
             )
     return results
+
+
+@dataclass(frozen=True)
+class DecapDensityPoint:
+    """Worst-node impedance at one per-node decap allocation."""
+
+    label: str
+    density: float
+    peak_impedance_ohm: float
+    peak_frequency_hz: float
+    meets_target: bool
+
+
+def decap_density_sweep(
+    densities: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+    arch=None,
+    grid_nodes: int = 12,
+    **kwargs,
+) -> list[DecapDensityPoint]:
+    """Worst-node die-seen Z(f) vs per-node decap allocation.
+
+    The AC ablation the grid-level engine enables: each point re-sweeps
+    the full per-node impedance map of the architecture (default A2)
+    with ``density`` decap unit cells per mesh node.  More cells in
+    parallel push the anti-resonant peak down — the knob a designer
+    turns when :class:`~repro.core.ir_drop.ImpedanceMapReport` fails
+    its target.  Extra keyword arguments are forwarded to
+    :func:`~repro.core.ir_drop.analyze_impedance_map`.
+    """
+    if not densities:
+        raise ConfigError("at least one density required")
+    spec = spec or SystemSpec()
+    arch = arch or single_stage_a2()
+    points: list[DecapDensityPoint] = []
+    for density in densities:
+        report: ImpedanceMapReport = analyze_impedance_map(
+            arch,
+            topology,
+            spec=spec,
+            grid_nodes=grid_nodes,
+            decap_density=density,
+            **kwargs,
+        )
+        points.append(
+            DecapDensityPoint(
+                label=f"{density:g} cells/node",
+                density=density,
+                peak_impedance_ohm=report.peak_impedance_ohm,
+                peak_frequency_hz=report.peak_frequency_hz,
+                meets_target=report.meets_target,
+            )
+        )
+    return points

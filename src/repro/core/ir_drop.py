@@ -1,4 +1,4 @@
-"""Die-level IR-drop (voltage map) analysis.
+"""Die-level IR-drop (voltage map) and AC impedance-map analysis.
 
 The DC loss numbers say how much power an architecture wastes; the
 IR-drop map says whether the die even *works* — every POL node must
@@ -7,6 +7,12 @@ This analysis solves the same die-level grid used for current sharing
 and reports the spatial voltage statistics per architecture, showing
 why distributed under-die regulation (A2) beats the periphery ring
 (A1) on worst-case droop even when the loss numbers are close.
+
+:func:`analyze_impedance_map` is the frequency-domain companion: the
+same die grid and VR placement, with per-node decap allocation and
+bump/TSV inductance, swept for the die-seen impedance Z(f) at every
+node (:class:`~repro.pdn.grid.GridACPDN`) and judged against the
+standard target impedance ``Z_t = V · ripple / ΔI``.
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ import numpy as np
 from ..config import SystemSpec
 from ..converters.catalog import ConverterSpec
 from ..errors import ConfigError
-from ..pdn.grid import GridPDN
+from ..pdn.grid import GridACPDN, GridImpedanceMap, GridPDN
+from ..pdn.impedance import target_impedance_ohm
 from ..pdn.powermap import PowerMap
 from ..pdn.stackup import default_stack
 from ..placement.planner import PlacementStyle, plan_placement
@@ -31,6 +38,19 @@ from .current_sharing import (
 
 #: Default droop budget: the die must stay within 5% of nominal.
 DEFAULT_DROOP_BUDGET_FRACTION = 0.05
+
+#: Default per-node decap unit cell for the impedance map: on-die /
+#: on-interposer MIM-style capacitance with its parasitics.
+DEFAULT_DECAP_PER_UNIT_F = 0.2e-6
+DEFAULT_DECAP_ESR_OHM = 2e-3
+DEFAULT_DECAP_ESL_H = 1e-12
+
+#: Bump/TSV loop inductance in series with each VR output.
+DEFAULT_SOURCE_INDUCTANCE_H = 5e-12
+
+#: Fraction of the POL current assumed to swing in a load transient
+#: when deriving the target impedance.
+DEFAULT_TRANSIENT_FRACTION = 0.5
 
 
 @dataclass(frozen=True)
@@ -68,6 +88,56 @@ class IRDropReport:
         return self.worst_droop_v / self.nominal_v
 
 
+def _die_grid_with_bank(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    spec: SystemSpec,
+    power_map: PowerMap | None,
+    grid_nodes: int,
+    setpoint_v: float,
+    output_resistance_ohm: float,
+):
+    """The die-level grid with the architecture's VR bank attached.
+
+    One builder shared by the DC IR-drop map and the AC impedance map
+    so both analyses see the identical mesh, sheet resistance, VR
+    placement, and ring bus.  Returns ``(grid, plan)``.
+    """
+    if not arch.is_vertical:
+        raise ConfigError("die-grid maps apply to on-package VR stages")
+    plan = plan_placement(
+        topology,
+        arch.pol_stage_style,
+        spec.pol_current_a,
+        spec.die_area_mm2,
+    )
+    stack = default_stack(spec)
+    sheet = stack.level("Interposer").lateral.sheet_ohm_sq
+    grid = GridPDN(
+        width_m=spec.die_side_m,
+        height_m=spec.die_side_m,
+        sheet_ohm_sq=sheet,
+        nx=grid_nodes,
+        ny=grid_nodes,
+    )
+    if power_map is not None:
+        grid.set_sinks(power_map, spec.pol_current_a)
+    for index, position in enumerate(plan.positions):
+        grid.add_source(
+            f"vr{index}",
+            position.x,
+            position.y,
+            setpoint_v,
+            output_resistance_ohm,
+        )
+    if plan.style is PlacementStyle.PERIPHERY and plan.vr_count >= 3:
+        spacing = 4.0 * spec.die_side_m / plan.vr_count
+        grid.connect_sources_with_ring_bus(
+            RING_BUS_SHEET_OHM_SQ * spacing / RING_BUS_WIDTH_M
+        )
+    return grid, plan
+
+
 def analyze_ir_drop(
     arch: ArchitectureSpec,
     topology: ConverterSpec,
@@ -90,35 +160,18 @@ def analyze_ir_drop(
     spec = spec or SystemSpec()
     power_map = power_map or PowerMap.hotspot_mixture()
 
-    plan = plan_placement(
-        topology,
-        arch.pol_stage_style,
-        spec.pol_current_a,
-        spec.die_area_mm2,
-    )
-    stack = default_stack(spec)
-    sheet = stack.level("Interposer").lateral.sheet_ohm_sq
-    grid = GridPDN(
-        width_m=spec.die_side_m,
-        height_m=spec.die_side_m,
-        sheet_ohm_sq=sheet,
-        nx=grid_nodes,
-        ny=grid_nodes,
-    )
-    grid.set_sinks(power_map, spec.pol_current_a)
-
     nominal = spec.pol_voltage_v
     budget = droop_budget_fraction * nominal
     setpoint = nominal + budget / 2.0
-    for index, position in enumerate(plan.positions):
-        grid.add_source(
-            f"vr{index}", position.x, position.y, setpoint, output_resistance_ohm
-        )
-    if plan.style is PlacementStyle.PERIPHERY and plan.vr_count >= 3:
-        spacing = 4.0 * spec.die_side_m / plan.vr_count
-        grid.connect_sources_with_ring_bus(
-            RING_BUS_SHEET_OHM_SQ * spacing / RING_BUS_WIDTH_M
-        )
+    grid, _ = _die_grid_with_bank(
+        arch,
+        topology,
+        spec,
+        power_map,
+        grid_nodes,
+        setpoint,
+        output_resistance_ohm,
+    )
 
     solution = grid.solve()
     vmap = solution.voltage_map
@@ -149,3 +202,103 @@ def compare_architectures(
         analyze_ir_drop(arch, topology, spec=spec, **kwargs)
         for arch in architectures
     ]
+
+
+@dataclass(frozen=True)
+class ImpedanceMapReport:
+    """Per-node die-seen Z(f) statistics of one design point.
+
+    Attributes:
+        architecture / topology: design-point labels.
+        target_ohm: the target impedance the PDN must stay below.
+        peak_impedance_ohm: worst |Z| over all nodes and frequencies.
+        peak_frequency_hz: frequency of that worst |Z|.
+        worst_node: (x_frac, y_frac) of the node with the worst peak.
+        meets_target: True when every node passes everywhere.
+        impedance: the full per-node impedance map.
+    """
+
+    architecture: str
+    topology: str
+    target_ohm: float
+    peak_impedance_ohm: float
+    peak_frequency_hz: float
+    worst_node: tuple[float, float]
+    meets_target: bool
+    impedance: GridImpedanceMap
+
+    @property
+    def margin(self) -> float:
+        """Target over peak: > 1 means the design passes with room."""
+        return self.target_ohm / self.peak_impedance_ohm
+
+
+def analyze_impedance_map(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    spec: SystemSpec | None = None,
+    grid_nodes: int = 16,
+    ripple_fraction: float = DEFAULT_DROOP_BUDGET_FRACTION,
+    transient_fraction: float = DEFAULT_TRANSIENT_FRACTION,
+    decap_density: float = 1.0,
+    decap_per_unit_f: float = DEFAULT_DECAP_PER_UNIT_F,
+    decap_esr_ohm: float = DEFAULT_DECAP_ESR_OHM,
+    decap_esl_h: float = DEFAULT_DECAP_ESL_H,
+    source_inductance_h: float = DEFAULT_SOURCE_INDUCTANCE_H,
+    output_resistance_ohm: float = DEFAULT_OUTPUT_RESISTANCE_OHM,
+    frequencies_hz: np.ndarray | None = None,
+) -> ImpedanceMapReport:
+    """Sweep the die-seen per-node Z(f) of a vertical architecture.
+
+    Builds the *same* die grid and VR placement as
+    :func:`analyze_ir_drop`, adds the per-node decap allocation
+    (``decap_density`` unit cells per node) and the vertical bump/TSV
+    inductance of each VR output, and sweeps the grid-level impedance
+    map.  The verdict compares every mesh node against the standard
+    target impedance ``Z_t = V · ripple / ΔI`` with
+    ``ΔI = transient_fraction · I_pol`` — the real-grid replacement
+    for the closed-form ladder check.
+    """
+    if not arch.is_vertical:
+        raise ConfigError("impedance maps apply to on-package VR stages")
+    if not 0.0 < transient_fraction <= 1.0:
+        raise ConfigError("transient fraction must be in (0, 1]")
+    if decap_density <= 0:
+        raise ConfigError("decap density must be positive")
+    spec = spec or SystemSpec()
+    if frequencies_hz is None:
+        frequencies_hz = np.logspace(4, 9, 121)
+
+    grid, _ = _die_grid_with_bank(
+        arch,
+        topology,
+        spec,
+        None,
+        grid_nodes,
+        spec.pol_voltage_v,
+        output_resistance_ohm,
+    )
+    pdn = GridACPDN.from_grid(grid, source_inductance_h=source_inductance_h)
+    pdn.set_decap_density(
+        decap_density, decap_per_unit_f, decap_esr_ohm, decap_esl_h
+    )
+    impedance = pdn.impedance_map(frequencies_hz)
+
+    target = target_impedance_ohm(
+        spec.pol_voltage_v,
+        ripple_fraction,
+        transient_fraction * spec.pol_current_a,
+    )
+    ix, iy = impedance.worst_node()
+    denom_x = max(impedance.nx - 1, 1)
+    denom_y = max(impedance.ny - 1, 1)
+    return ImpedanceMapReport(
+        architecture=arch.name,
+        topology=topology.name,
+        target_ohm=target,
+        peak_impedance_ohm=impedance.peak_impedance_ohm,
+        peak_frequency_hz=impedance.peak_frequency_hz,
+        worst_node=(ix / denom_x, iy / denom_y),
+        meets_target=impedance.meets_target(target),
+        impedance=impedance,
+    )

@@ -127,6 +127,32 @@ def _attach_bank(
         )
 
 
+def _failure_result(
+    plan,
+    topology: ConverterSpec,
+    failed: tuple[int, ...],
+    solution,
+) -> FailureResult:
+    """Package one solved fault scenario into a :class:`FailureResult`."""
+    currents = np.delete(solution.source_currents_a, list(failed))
+    limit = topology.max_load_a
+    overloaded = int(np.count_nonzero(currents > limit * (1 + 1e-9)))
+    return FailureResult(
+        failed_indices=tuple(failed),
+        survivor_currents_a=currents,
+        overloaded_count=overloaded,
+        worst_overload_fraction=float(currents.max() / limit),
+        worst_droop_v=solution.worst_droop_v,
+    )
+
+
+def _check_failed(plan, failed: tuple[int, ...]) -> None:
+    if any(i < 0 or i >= plan.vr_count for i in failed):
+        raise ConfigError("failed index out of range")
+    if len(failed) >= plan.vr_count:
+        raise ConfigError("cannot fail every VR")
+
+
 def _solve_scenario(
     grid: GridPDN,
     plan,
@@ -139,22 +165,29 @@ def _solve_scenario(
     the failed VRs are disabled via the Woodbury-corrected solve, so
     every scenario after the first costs back-substitutions only.
     """
-    if any(i < 0 or i >= plan.vr_count for i in failed):
-        raise ConfigError("failed index out of range")
-    if len(failed) >= plan.vr_count:
-        raise ConfigError("cannot fail every VR")
+    _check_failed(plan, failed)
+    return _failure_result(plan, topology, failed, grid.solve_disabled(failed))
 
-    solution = grid.solve_disabled(failed)
-    currents = np.delete(solution.source_currents_a, list(failed))
-    limit = topology.max_load_a
-    overloaded = int(np.count_nonzero(currents > limit * (1 + 1e-9)))
-    return FailureResult(
-        failed_indices=tuple(failed),
-        survivor_currents_a=currents,
-        overloaded_count=overloaded,
-        worst_overload_fraction=float(currents.max() / limit),
-        worst_droop_v=solution.worst_droop_v,
-    )
+
+def _solve_scenarios(
+    grid: GridPDN,
+    plan,
+    topology: ConverterSpec,
+    scenarios: list[tuple[int, ...]],
+) -> list[FailureResult]:
+    """Solve a whole fault sweep through the batched Woodbury path.
+
+    One shared factorization, with the influence columns and modified
+    right-hand sides of every scenario stacked into batched
+    back-substitutions (:meth:`repro.pdn.grid.GridPDN.solve_disabled_many`).
+    """
+    for failed in scenarios:
+        _check_failed(plan, failed)
+    solutions = grid.solve_disabled_many(scenarios)
+    return [
+        _failure_result(plan, topology, failed, solution)
+        for failed, solution in zip(scenarios, solutions)
+    ]
 
 
 def _solve_with_failures(
@@ -244,17 +277,18 @@ def failure_tolerance(
             raise ConfigError("sample limit must be >= 1")
         indices = indices[:sample_limit]
 
-    # One shared grid and ONE factorization: every scenario disables
-    # its failed VR on the full attached bank via the Woodbury-updated
-    # solve, paying back-substitution cost only.
+    # One shared grid, ONE factorization, and batched scenarios: the
+    # whole N−1 enumeration goes through three stacked
+    # back-substitutions on the full attached bank.
     grid = _base_grid(spec, power_map, grid_nodes)
     _attach_bank(grid, plan, spec, DEFAULT_OUTPUT_RESISTANCE_OHM)
-    grid.preload_failure_sweep(indices)
     worst_fraction = 0.0
     worst_index = -1
     all_survive = True
-    for index in indices:
-        result = _solve_scenario(grid, plan, topology, (index,))
+    results = _solve_scenarios(
+        grid, plan, topology, [(index,) for index in indices]
+    )
+    for index, result in zip(indices, results):
         if result.worst_overload_fraction > worst_fraction:
             worst_fraction = result.worst_overload_fraction
             worst_index = index
@@ -299,7 +333,4 @@ def multi_failure_samples(
             break
     grid = _base_grid(spec, PowerMap.hotspot_mixture(), DEFAULT_GRID_NODES)
     _attach_bank(grid, plan, spec, DEFAULT_OUTPUT_RESISTANCE_OHM)
-    grid.preload_failure_sweep(sorted({i for combo in scenarios for i in combo}))
-    return [
-        _solve_scenario(grid, plan, topology, combo) for combo in scenarios
-    ]
+    return _solve_scenarios(grid, plan, topology, scenarios)

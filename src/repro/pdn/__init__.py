@@ -39,7 +39,13 @@ from .planes import (
     sheet_resistance,
 )
 from .powermap import PowerMap
-from .grid import GridPDN, GridSolution
+from .grid import (
+    GridACPDN,
+    GridACSweepSolution,
+    GridImpedanceMap,
+    GridPDN,
+    GridSolution,
+)
 from .stackup import PackagingLevel, PackagingStack, default_stack
 from .impedance import (
     ImpedanceProfile,
@@ -47,6 +53,7 @@ from .impedance import (
     pdn_impedance,
     pdn_impedance_mna,
     size_die_decap_for_target,
+    size_grid_decap_for_target,
     target_impedance_ohm,
 )
 from .transient import PDNStage, PDNTransient
@@ -86,6 +93,9 @@ __all__ = [
     "PowerMap",
     "GridPDN",
     "GridSolution",
+    "GridACPDN",
+    "GridACSweepSolution",
+    "GridImpedanceMap",
     "PackagingLevel",
     "PackagingStack",
     "default_stack",
@@ -95,6 +105,7 @@ __all__ = [
     "ladder_ac_netlist",
     "target_impedance_ohm",
     "size_die_decap_for_target",
+    "size_grid_decap_for_target",
     "PDNStage",
     "PDNTransient",
     "ThermalStack",

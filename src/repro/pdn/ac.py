@@ -289,14 +289,43 @@ DENSE_SWEEP_CUTOFF = 256
 _DENSE_BATCH_ENTRIES = 2_000_000
 
 
+def shared_csc_pattern(
+    rows: np.ndarray, cols: np.ndarray, size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One reusable CSC index pattern for a fixed COO entry layout.
+
+    Sorts the entries column-major once and finds the duplicate
+    groups, so that any value vector over the same (rows, cols) maps
+    onto the CSC ``data`` array with one fancy-index plus one
+    ``np.add.reduceat`` — no per-solve sparse re-assembly.  Returns
+    ``(order, starts, csc_rows, csc_cols, indptr)``.  Shared by the
+    lumped AC sweep engine and the grid-level reduced AC assembly.
+    """
+    nnz = len(rows)
+    order = np.lexsort((rows, cols))
+    r_sorted = rows[order]
+    c_sorted = cols[order]
+    boundary = np.ones(nnz, dtype=bool)
+    boundary[1:] = (r_sorted[1:] != r_sorted[:-1]) | (
+        c_sorted[1:] != c_sorted[:-1]
+    )
+    starts = np.nonzero(boundary)[0]
+    csc_rows = r_sorted[starts]
+    csc_cols = c_sorted[starts]
+    counts = np.bincount(csc_cols, minlength=size)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return order, starts, csc_rows, csc_cols, indptr
+
+
 class CompiledACNetlist:
     """An AC netlist compiled to a reusable frequency-sweep structure.
 
-    Built once from an :class:`ACNetlist`: nodes are mapped to integer
-    rows and every matrix entry is recorded as COO coordinates plus
-    three per-entry coefficient arrays — resistive (frequency
-    independent), capacitive (scaled by ``jω``), and inductive (scaled
-    by ``1/(jω)``) — so the complex value vector at any frequency is
+    Built once from an :class:`ACNetlist` (or directly from arrays via
+    :meth:`from_arrays`): nodes are mapped to integer rows and every
+    matrix entry is recorded as COO coordinates plus three per-entry
+    coefficient arrays — resistive (frequency independent), capacitive
+    (scaled by ``jω``), and inductive (scaled by ``1/(jω)``) — so the
+    complex value vector at any frequency is
 
     ``vals(ω) = const + j(ω·cap − ind/ω)``
 
@@ -312,11 +341,6 @@ class CompiledACNetlist:
         nodes = netlist.nodes()
         index = {node: i for i, node in enumerate(nodes)}
         index[netlist.GROUND] = GROUND_INDEX
-        n = len(nodes)
-        m = len(netlist.voltage_sources)
-        self.nodes: tuple[NodeId, ...] = tuple(nodes)
-        self.n_nodes = n
-        self.size = n + m
 
         def endpoint_rows(pairs: list[tuple[NodeId, NodeId]]) -> np.ndarray:
             flat = np.fromiter(
@@ -335,29 +359,151 @@ class CompiledACNetlist:
         cap = endpoint_rows(
             [(c.node_a, c.node_b) for c in netlist.capacitors]
         )
-        g_rows, g_cols, g_vals = admittance_stamp_entries(
-            res[:, 0],
-            res[:, 1],
-            1.0 / np.array([r.resistance_ohm for r in netlist.resistors]),
-        )
-        l_rows, l_cols, l_vals = admittance_stamp_entries(
-            ind[:, 0],
-            ind[:, 1],
-            1.0 / np.array([l.inductance_h for l in netlist.inductors]),
-        )
-        c_rows, c_cols, c_vals = admittance_stamp_entries(
-            cap[:, 0],
-            cap[:, 1],
-            np.array([c.capacitance_f for c in netlist.capacitors]),
-        )
-
         vs = endpoint_rows(
             [(v.node_plus, v.node_minus) for v in netlist.voltage_sources]
         )
-        kp = np.nonzero(vs[:, 0] != GROUND_INDEX)[0]
-        km = np.nonzero(vs[:, 1] != GROUND_INDEX)[0]
-        b_rows = np.concatenate([vs[kp, 0], n + kp, vs[km, 1], n + km])
-        b_cols = np.concatenate([n + kp, vs[kp, 0], n + km, vs[km, 1]])
+        cs = endpoint_rows(
+            [(s.node_from, s.node_to) for s in netlist.current_sources]
+        )
+        self._init_arrays(
+            nodes=tuple(nodes),
+            res_a=res[:, 0],
+            res_b=res[:, 1],
+            res_ohm=np.array([r.resistance_ohm for r in netlist.resistors]),
+            ind_a=ind[:, 0],
+            ind_b=ind[:, 1],
+            ind_h=np.array([l.inductance_h for l in netlist.inductors]),
+            cap_a=cap[:, 0],
+            cap_b=cap[:, 1],
+            cap_f=np.array([c.capacitance_f for c in netlist.capacitors]),
+            vs_plus=vs[:, 0],
+            vs_minus=vs[:, 1],
+            vs_volt=np.array([v.voltage_v for v in netlist.voltage_sources]),
+            cs_from=cs[:, 0],
+            cs_to=cs[:, 1],
+            cs_amp=np.array([s.current_a for s in netlist.current_sources]),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        nodes: tuple[NodeId, ...],
+        res_a: np.ndarray | None = None,
+        res_b: np.ndarray | None = None,
+        res_ohm: np.ndarray | None = None,
+        ind_a: np.ndarray | None = None,
+        ind_b: np.ndarray | None = None,
+        ind_h: np.ndarray | None = None,
+        cap_a: np.ndarray | None = None,
+        cap_b: np.ndarray | None = None,
+        cap_f: np.ndarray | None = None,
+        vs_plus: np.ndarray | None = None,
+        vs_minus: np.ndarray | None = None,
+        vs_volt: np.ndarray | None = None,
+        cs_from: np.ndarray | None = None,
+        cs_to: np.ndarray | None = None,
+        cs_amp: np.ndarray | None = None,
+    ) -> "CompiledACNetlist":
+        """Compile directly from integer-indexed element arrays.
+
+        The array-native construction path for regular builders (the
+        grid mesh): endpoints are rows into ``nodes`` with ground
+        encoded as :data:`~repro.pdn.network.GROUND_INDEX`, exactly as
+        in :class:`~repro.pdn.network.CompiledNetlist`, and no
+        per-element Python objects are ever created.
+        """
+
+        def ints(values: np.ndarray | None) -> np.ndarray:
+            if values is None:
+                return np.empty(0, dtype=np.int64)
+            return np.ascontiguousarray(values, dtype=np.int64)
+
+        def floats(values: np.ndarray | None) -> np.ndarray:
+            if values is None:
+                return np.empty(0)
+            return np.ascontiguousarray(values, dtype=float)
+
+        self = object.__new__(cls)
+        self._init_arrays(
+            nodes=tuple(nodes),
+            res_a=ints(res_a),
+            res_b=ints(res_b),
+            res_ohm=floats(res_ohm),
+            ind_a=ints(ind_a),
+            ind_b=ints(ind_b),
+            ind_h=floats(ind_h),
+            cap_a=ints(cap_a),
+            cap_b=ints(cap_b),
+            cap_f=floats(cap_f),
+            vs_plus=ints(vs_plus),
+            vs_minus=ints(vs_minus),
+            vs_volt=floats(vs_volt),
+            cs_from=ints(cs_from),
+            cs_to=ints(cs_to),
+            cs_amp=floats(cs_amp),
+        )
+        return self
+
+    def _init_arrays(
+        self,
+        *,
+        nodes: tuple[NodeId, ...],
+        res_a: np.ndarray,
+        res_b: np.ndarray,
+        res_ohm: np.ndarray,
+        ind_a: np.ndarray,
+        ind_b: np.ndarray,
+        ind_h: np.ndarray,
+        cap_a: np.ndarray,
+        cap_b: np.ndarray,
+        cap_f: np.ndarray,
+        vs_plus: np.ndarray,
+        vs_minus: np.ndarray,
+        vs_volt: np.ndarray,
+        cs_from: np.ndarray,
+        cs_to: np.ndarray,
+        cs_amp: np.ndarray,
+    ) -> None:
+        n = len(nodes)
+        m = len(vs_volt)
+        self.nodes: tuple[NodeId, ...] = nodes
+        self.n_nodes = n
+        self.size = n + m
+
+        for label, a, b, values, positive in (
+            ("resistor", res_a, res_b, res_ohm, True),
+            ("inductor", ind_a, ind_b, ind_h, True),
+            ("capacitor", cap_a, cap_b, cap_f, True),
+            ("voltage source", vs_plus, vs_minus, vs_volt, False),
+            ("current source", cs_from, cs_to, cs_amp, False),
+        ):
+            if not (len(a) == len(b) == len(values)):
+                raise ConfigError(f"{label} arrays have mismatched lengths")
+            for endpoint in (a, b):
+                if endpoint.size and (
+                    endpoint.min() < GROUND_INDEX or endpoint.max() >= n
+                ):
+                    raise ConfigError(f"{label} endpoint index out of range")
+            if positive and values.size and np.any(values <= 0):
+                raise ConfigError(f"compiled {label} values must be positive")
+        if not len(res_ohm) and not len(vs_volt) and not len(ind_h) and not len(cap_f):
+            raise ConfigError("netlist has no elements")
+
+        g_rows, g_cols, g_vals = admittance_stamp_entries(
+            res_a, res_b, 1.0 / res_ohm
+        )
+        l_rows, l_cols, l_vals = admittance_stamp_entries(
+            ind_a, ind_b, 1.0 / ind_h
+        )
+        c_rows, c_cols, c_vals = admittance_stamp_entries(
+            cap_a, cap_b, cap_f
+        )
+
+        kp = np.nonzero(vs_plus != GROUND_INDEX)[0]
+        km = np.nonzero(vs_minus != GROUND_INDEX)[0]
+        b_rows = np.concatenate([vs_plus[kp], n + kp, vs_minus[km], n + km])
+        b_cols = np.concatenate([n + kp, vs_plus[kp], n + km, vs_minus[km]])
         b_vals = np.concatenate(
             [np.ones(len(kp)), np.ones(len(kp)),
              -np.ones(len(km)), -np.ones(len(km))]
@@ -377,36 +523,26 @@ class CompiledACNetlist:
         self._rows = rows
         self._cols = cols
 
-        # One shared CSC pattern: sort entries column-major once, find
-        # duplicate groups, and keep the reduceat boundaries so any
-        # frequency's values map onto the pattern with one fancy-index
-        # plus one reduceat.
-        order = np.lexsort((rows, cols))
-        r_sorted = rows[order]
-        c_sorted = cols[order]
-        boundary = np.ones(nnz, dtype=bool)
-        boundary[1:] = (r_sorted[1:] != r_sorted[:-1]) | (
-            c_sorted[1:] != c_sorted[:-1]
-        )
-        starts = np.nonzero(boundary)[0]
-        self._order = order
-        self._starts = starts
-        self._csc_rows = r_sorted[starts]
-        self._csc_cols = c_sorted[starts]
-        counts = np.bincount(self._csc_cols, minlength=self.size)
-        self._indptr = np.concatenate(
-            [[0], np.cumsum(counts)]
-        ).astype(np.int64)
+        (
+            self._order,
+            self._starts,
+            self._csc_rows,
+            self._csc_cols,
+            self._indptr,
+        ) = shared_csc_pattern(rows, cols, self.size)
 
         # Frequency-independent RHS: source magnitudes at phase 0.
         rhs = np.zeros(self.size, dtype=complex)
-        for s in netlist.current_sources:
-            if s.node_from != netlist.GROUND:
-                rhs[index[s.node_from]] -= s.current_a
-            if s.node_to != netlist.GROUND:
-                rhs[index[s.node_to]] += s.current_a
-        for k, v in enumerate(netlist.voltage_sources):
-            rhs[n + k] = v.voltage_v
+        if cs_amp.size:
+            out_of = cs_from != GROUND_INDEX
+            into = cs_to != GROUND_INDEX
+            rhs[:n] += np.bincount(
+                cs_to[into], weights=cs_amp[into], minlength=n
+            )
+            rhs[:n] -= np.bincount(
+                cs_from[out_of], weights=cs_amp[out_of], minlength=n
+            )
+        rhs[n:] = vs_volt
         self.rhs = rhs
 
     # -- per-frequency values -------------------------------------------------

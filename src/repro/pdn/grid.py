@@ -23,14 +23,56 @@ transparently refactorizes.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from ..errors import ConfigError, SolverError
-from .mna import DCSolution, FactorizedPDN
-from .network import GROUND_INDEX, CompiledNetlist, Netlist
+from .ac import (
+    DENSE_SWEEP_CUTOFF,
+    _DENSE_BATCH_ENTRIES,
+    ACSweepSolution,
+    CompiledACNetlist,
+    check_frequencies,
+    shared_csc_pattern,
+)
+from .impedance import ImpedanceProfile
+from .mna import (
+    SINGULARITY_PROBE_TOL,
+    DCSolution,
+    FactorizedPDN,
+    singularity_probe,
+)
+from .network import (
+    GROUND_INDEX,
+    CompiledNetlist,
+    Netlist,
+    admittance_stamp_entries,
+)
 from .powermap import PowerMap
+
+
+def mesh_edge_rows(nx: int, ny: int) -> tuple[np.ndarray, ...]:
+    """Endpoint row indices of a rectangular mesh's edges.
+
+    Grid node ``(ix, iy)`` occupies row ``iy * nx + ix``; returns
+    ``(x_a, x_b, y_a, y_b)`` — the endpoint arrays of the x-direction
+    and y-direction edges.  Degenerate axes (``nx == 1`` or
+    ``ny == 1``, the 1-D chains the AC ladder cross-checks use) simply
+    produce empty edge arrays.  Shared by the DC and AC mesh
+    assemblers so both stamp the identical lateral topology.
+    """
+    rows = np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+    return (
+        rows[:, :-1].ravel(),
+        rows[:, 1:].ravel(),
+        rows[:-1, :].ravel(),
+        rows[1:, :].ravel(),
+    )
 
 
 @dataclass(frozen=True)
@@ -311,15 +353,7 @@ class GridPDN:
         depend only on (nx, ny) and are computed once per grid.
         """
         if self._mesh_edges_cache is None:
-            rows = np.arange(
-                self.nx * self.ny, dtype=np.int64
-            ).reshape(self.ny, self.nx)
-            self._mesh_edges_cache = (
-                rows[:, :-1].ravel(),
-                rows[:, 1:].ravel(),
-                rows[:-1, :].ravel(),
-                rows[1:, :].ravel(),
-            )
+            self._mesh_edges_cache = mesh_edge_rows(self.nx, self.ny)
         return self._mesh_edges_cache
 
     def _ring_segments(self) -> list[tuple[int, int, int]]:
@@ -470,11 +504,7 @@ class GridPDN:
         (``"auto"`` falls back to refactorization when the correction
         is ill-conditioned).
         """
-        indices = tuple(int(i) for i in disabled_sources)
-        if any(i < 0 or i >= len(self._sources) for i in indices):
-            raise ConfigError("disabled source index out of range")
-        if len(set(indices)) >= len(self._sources):
-            raise ConfigError("cannot disable every source")
+        indices = self._normalize_disabled(disabled_sources)
         structure, sinks, volts = self._solve_inputs()
         dc = structure.solver.solve_modified(
             disable_sources=indices,
@@ -483,6 +513,56 @@ class GridPDN:
             check=check,
             method=method,
         )
+        return self._package_disabled(structure, dc, sinks, indices)
+
+    def solve_disabled_many(
+        self,
+        scenarios: "list | tuple",
+        check: bool = True,
+        method: str = "auto",
+    ) -> list[GridSolution]:
+        """Solve a whole failure sweep with batched back-substitutions.
+
+        Each scenario is a tuple of source indices to disable
+        (:meth:`solve_disabled` semantics).  All scenarios share one
+        factorization, and the influence columns, modified right-hand
+        sides, and refinement round are stacked through
+        :meth:`~repro.pdn.mna.FactorizedPDN.solve_modified_many`, so
+        an exhaustive N−k enumeration pays three batched solves for
+        the entire sweep.
+        """
+        normalized = [
+            self._normalize_disabled(scenario) for scenario in scenarios
+        ]
+        structure, sinks, volts = self._solve_inputs()
+        solved = structure.solver.solve_modified_many(
+            [(indices, ()) for indices in normalized],
+            cs_amp=sinks,
+            vs_volt=volts,
+            check=check,
+            method=method,
+        )
+        return [
+            self._package_disabled(structure, dc, sinks, indices)
+            for indices, dc in zip(normalized, solved)
+        ]
+
+    def _normalize_disabled(self, disabled_sources) -> tuple[int, ...]:
+        """Validate one disable scenario's source indices."""
+        indices = tuple(int(i) for i in disabled_sources)
+        if any(i < 0 or i >= len(self._sources) for i in indices):
+            raise ConfigError("disabled source index out of range")
+        if len(set(indices)) >= len(self._sources):
+            raise ConfigError("cannot disable every source")
+        return indices
+
+    def _package_disabled(
+        self,
+        structure: _GridStructure,
+        dc: DCSolution,
+        sinks: np.ndarray,
+        indices: tuple[int, ...],
+    ) -> GridSolution:
         solution = self._package_solution(structure, dc, sinks)
         # The dead rout branches carry only O(eps) numerical residue.
         solution.source_currents_a[list(set(indices))] = 0.0
@@ -547,3 +627,1024 @@ class GridPDN:
             voltage_map=voltage_map,
             grid_edge_currents_a=branch_currents[: structure.grid_edge_count],
         )
+
+
+# -- grid-level AC ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridImpedanceMap:
+    """Per-node die-seen impedance Z(f) over the mesh.
+
+    Attributes:
+        frequencies_hz: the sweep grid.
+        z_ohm: complex self-impedance per node, shape
+            ``(n_nodes, n_freqs)`` with node ``(ix, iy)`` in row
+            ``iy * nx + ix``.
+        nx, ny: mesh dimensions.
+    """
+
+    frequencies_hz: np.ndarray
+    z_ohm: np.ndarray
+    nx: int
+    ny: int
+
+    @property
+    def impedance_ohm(self) -> np.ndarray:
+        """|Z| per node, shape ``(n_nodes, n_freqs)``."""
+        return np.abs(self.z_ohm)
+
+    def node_profile(self, ix: int, iy: int) -> ImpedanceProfile:
+        """The |Z(f)| profile seen at one mesh node."""
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise ConfigError("node index outside the mesh")
+        return ImpedanceProfile(
+            frequencies_hz=self.frequencies_hz,
+            impedance_ohm=np.abs(self.z_ohm[iy * self.nx + ix]),
+        )
+
+    def peak_map(self) -> np.ndarray:
+        """Per-node worst |Z| over the sweep as an (ny, nx) array."""
+        return (
+            np.abs(self.z_ohm).max(axis=1).reshape(self.ny, self.nx)
+        )
+
+    @property
+    def peak_impedance_ohm(self) -> float:
+        """The worst |Z| over all nodes and frequencies."""
+        return float(np.abs(self.z_ohm).max())
+
+    @property
+    def peak_frequency_hz(self) -> float:
+        """Frequency of the overall worst |Z|."""
+        return float(
+            self.frequencies_hz[
+                int(np.argmax(np.abs(self.z_ohm).max(axis=0)))
+            ]
+        )
+
+    def worst_node(self) -> tuple[int, int]:
+        """``(ix, iy)`` of the node with the largest peak |Z|."""
+        flat = int(np.argmax(np.abs(self.z_ohm).max(axis=1)))
+        return flat % self.nx, flat // self.nx
+
+    def worst_profile(self) -> ImpedanceProfile:
+        """The |Z(f)| profile of the worst node."""
+        return self.node_profile(*self.worst_node())
+
+    def meets_target(self, target_ohm: float) -> bool:
+        """True if every node stays at or below the target everywhere."""
+        if target_ohm <= 0:
+            raise ConfigError("target impedance must be positive")
+        return bool(
+            np.all(np.abs(self.z_ohm) <= target_ohm * (1 + 1e-12))
+        )
+
+    def violating_node_fraction(self, target_ohm: float) -> float:
+        """Fraction of mesh nodes whose peak |Z| exceeds the target.
+
+        Uses the same rounding tolerance as :meth:`meets_target`, so a
+        map that "meets target" always reports zero violating nodes.
+        """
+        if target_ohm <= 0:
+            raise ConfigError("target impedance must be positive")
+        peaks = np.abs(self.z_ohm).max(axis=1)
+        violating = peaks > target_ohm * (1 + 1e-12)
+        return float(np.count_nonzero(violating) / peaks.size)
+
+
+@dataclass(frozen=True)
+class GridACSweepSolution:
+    """Driven phasor sweep of the mesh (sources live, sinks as AC loads).
+
+    Attributes:
+        sweep: the underlying node-voltage sweep (mesh nodes first in
+            row order, then internal branch nodes).
+        nx, ny: mesh dimensions.
+    """
+
+    sweep: ACSweepSolution
+    nx: int
+    ny: int
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        return self.sweep.frequencies_hz
+
+    @property
+    def voltage_maps(self) -> np.ndarray:
+        """Complex mesh node voltages, shape ``(n_freqs, ny, nx)``."""
+        cells = self.nx * self.ny
+        return self.sweep.voltage_matrix[:, :cells].reshape(
+            -1, self.ny, self.nx
+        )
+
+    def magnitude_map(self, index: int) -> np.ndarray:
+        """|V| over the mesh at sweep point ``index``."""
+        return np.abs(self.voltage_maps[index])
+
+
+@dataclass
+class _ReducedACStructure:
+    """Compile-once pattern of the reduced (node-only) AC system.
+
+    Decap chains and source output branches are folded analytically
+    into per-node shunt admittances and series edges into complex edge
+    admittances, so the matrix is ``n_cells`` square at any frequency.
+    ``rev`` tags the topology revision this structure was built for.
+    """
+
+    rev: int
+    edge_r: np.ndarray  # per-edge series resistance (mesh + ring)
+    edge_l: np.ndarray  # per-edge series inductance
+    entry_rows: np.ndarray
+    entry_cols: np.ndarray
+    entry_edge: np.ndarray  # edge index per off/diagonal edge entry
+    entry_sign: np.ndarray
+    order: np.ndarray
+    starts: np.ndarray
+    csc_rows: np.ndarray
+    csc_cols: np.ndarray
+    indptr: np.ndarray
+
+
+@dataclass
+class _SpectralACStructure:
+    """Eigenbasis of ``G x = λ D_α x`` for the fast impedance map.
+
+    Valid when the mesh metal is purely resistive and the decap model
+    is a positive per-node *density* of one unit cell: the system is
+    ``A(ω) = G + y_u(ω) D_α + U Y(ω) Uᵀ`` with ``G`` constant, so one
+    generalized eigendecomposition turns every frequency into diagonal
+    updates plus a rank-s (source-branch) Woodbury correction.
+    """
+
+    rev: int
+    lam: np.ndarray  # generalized eigenvalues (n,)
+    q: np.ndarray  # eigenvectors, Qᵀ D_α Q = I
+    q_sq: np.ndarray  # Q ∘ Q, for diag(M⁻¹) gathers
+    p: np.ndarray  # Qᵀ U, shape (n, s)
+    attach: np.ndarray  # source attach rows (s,)
+    rout: np.ndarray  # per-source output resistance (s,)
+    l_src: np.ndarray  # per-source series inductance (s,)
+    unit_c: float
+    unit_esr: float
+    unit_esl: float
+
+
+class GridACPDN:
+    """Grid-level AC impedance analysis of the die/interposer mesh.
+
+    The AC counterpart of :class:`GridPDN`: the same rectangular
+    one-polarity mesh, extended with per-node decoupling capacitors
+    (C + ESR + ESL), per-edge metal inductance, and VR output branches
+    (Thevenin source + output resistance + bump/TSV inductance).  Two
+    analysis surfaces:
+
+    * :meth:`impedance_map` — the die-seen self-impedance Z(f) at
+      *every* mesh node (sources zeroed, 1 A probe per node), the
+      frequency-domain companion of the DC IR-drop map.
+    * :meth:`solve` — the driven phasor sweep (sources live, sink map
+      as AC load magnitudes), whose low-frequency limit converges to
+      the :class:`GridPDN` DC solution.
+
+    Everything is compiled once per topology and revalued per
+    frequency: the driven path stamps straight into a
+    :class:`~repro.pdn.ac.CompiledACNetlist` (array assembly, shared
+    CSC pattern, batched solves), and the impedance map runs on a
+    *reduced* node-only system — decap chains and source branches fold
+    into per-node shunt admittances — solved either spectrally (one
+    generalized eigendecomposition; per-frequency work is a few small
+    GEMMs) or directly (batched dense / shared-pattern sparse solves).
+
+    Unlike the DC grid, degenerate 1-D chains (``nx == 1`` or
+    ``ny == 1``) are allowed: they are the lattice the analytic ladder
+    model collapses onto, which the cross-validation tests exploit.
+    """
+
+    def __init__(
+        self,
+        width_m: float,
+        height_m: float,
+        sheet_ohm_sq: float,
+        nx: int = 24,
+        ny: int = 24,
+        edge_inductance_x_h: float = 0.0,
+        edge_inductance_y_h: float = 0.0,
+    ) -> None:
+        if width_m <= 0 or height_m <= 0:
+            raise ConfigError("grid extents must be positive")
+        if sheet_ohm_sq <= 0:
+            raise ConfigError("sheet resistance must be positive")
+        if nx < 1 or ny < 1 or nx * ny < 2:
+            raise ConfigError("grid needs at least two nodes")
+        if edge_inductance_x_h < 0 or edge_inductance_y_h < 0:
+            raise ConfigError("edge inductance must be non-negative")
+        self.width_m = width_m
+        self.height_m = height_m
+        self.sheet_ohm_sq = sheet_ohm_sq
+        self.nx = nx
+        self.ny = ny
+        self.edge_inductance_x_h = edge_inductance_x_h
+        self.edge_inductance_y_h = edge_inductance_y_h
+        # (name, ix, iy, voltage, r_out, l_src)
+        self._sources: list[tuple[str, int, int, float, float, float]] = []
+        self._sink_map: np.ndarray | None = None
+        self._ring_bus_ohm: float | None = None
+        self._decap: tuple | None = None
+        self._rev = 0  # matrix-shaping topology revision
+        self._sink_rev = 0
+        self._reduced: _ReducedACStructure | None = None
+        self._spectral: _SpectralACStructure | None = None
+        self._compiled: tuple[int, int, CompiledACNetlist] | None = None
+
+    @classmethod
+    def from_grid(
+        cls, grid: GridPDN, source_inductance_h: float = 0.0
+    ) -> "GridACPDN":
+        """Mirror a DC grid's mesh, sinks, sources, and ring bus.
+
+        ``source_inductance_h`` adds the vertical bump/TSV loop
+        inductance in series with every copied VR output (the DC model
+        has no use for it).  Decap maps are attached separately.
+        """
+        pdn = cls(
+            grid.width_m,
+            grid.height_m,
+            grid.sheet_ohm_sq,
+            nx=grid.nx,
+            ny=grid.ny,
+        )
+        if grid._sink_map is not None:
+            pdn.set_sink_array(grid._sink_map)
+        for name, ix, iy, voltage, r_out in grid._sources:
+            pdn._add_source_at(
+                name, ix, iy, voltage, r_out, source_inductance_h
+            )
+        if grid._ring_bus_ohm is not None:
+            pdn._ring_bus_ohm = grid._ring_bus_ohm
+            pdn._rev += 1
+        return pdn
+
+    # -- construction -----------------------------------------------------------
+
+    def set_sinks(self, power_map: PowerMap, total_current_a: float) -> None:
+        """Attach AC load magnitudes from a power map (phase 0)."""
+        self._sink_map = power_map.cell_currents(
+            self.nx, self.ny, total_current_a
+        )
+        self._sink_rev += 1
+
+    def set_sink_array(self, cell_currents: np.ndarray) -> None:
+        """Attach AC load magnitudes from an explicit (ny, nx) array."""
+        arr = np.asarray(cell_currents, dtype=float)
+        if arr.shape != (self.ny, self.nx):
+            raise ConfigError(
+                f"sink array must be shaped ({self.ny}, {self.nx})"
+            )
+        if np.any(arr < 0):
+            raise ConfigError("sink currents must be non-negative")
+        self._sink_map = arr
+        self._sink_rev += 1
+
+    def _add_source_at(
+        self,
+        name: str,
+        ix: int,
+        iy: int,
+        voltage_v: float,
+        output_resistance_ohm: float,
+        inductance_h: float,
+    ) -> None:
+        if output_resistance_ohm <= 0:
+            raise ConfigError("source output resistance must be positive")
+        if inductance_h < 0:
+            raise ConfigError("source inductance must be non-negative")
+        if any(existing == name for existing, *_ in self._sources):
+            raise ConfigError(f"duplicate source name: {name!r}")
+        self._sources.append(
+            (name, ix, iy, voltage_v, output_resistance_ohm, inductance_h)
+        )
+        self._rev += 1
+
+    def add_source(
+        self,
+        name: str,
+        x_frac: float,
+        y_frac: float,
+        voltage_v: float,
+        output_resistance_ohm: float,
+        inductance_h: float = 0.0,
+    ) -> None:
+        """Attach a VR output at fractional die coordinates.
+
+        As in :class:`GridPDN`, but with an optional series
+        ``inductance_h`` modeling the vertical bump/TSV loop between
+        the converter output and the mesh.
+        """
+        if not 0.0 <= x_frac <= 1.0 or not 0.0 <= y_frac <= 1.0:
+            raise ConfigError("source position must be inside the die")
+        ix = min(int(round(x_frac * (self.nx - 1))), self.nx - 1)
+        iy = min(int(round(y_frac * (self.ny - 1))), self.ny - 1)
+        self._add_source_at(
+            name, ix, iy, voltage_v, output_resistance_ohm, inductance_h
+        )
+
+    def clear_sources(self) -> None:
+        """Remove all attached sources (and any ring bus)."""
+        self._sources.clear()
+        self._ring_bus_ohm = None
+        self._rev += 1
+
+    def connect_sources_with_ring_bus(
+        self, segment_resistance_ohm: float
+    ) -> None:
+        """Join consecutive sources with a dedicated ring bus
+        (:meth:`GridPDN.connect_sources_with_ring_bus` semantics)."""
+        if segment_resistance_ohm <= 0:
+            raise ConfigError("ring segment resistance must be positive")
+        if len(self._sources) < 3:
+            raise ConfigError("a ring bus needs at least three sources")
+        self._ring_bus_ohm = segment_resistance_ohm
+        self._rev += 1
+
+    @property
+    def source_names(self) -> list[str]:
+        """Names of attached sources in attachment order."""
+        return [s[0] for s in self._sources]
+
+    # -- decap maps -------------------------------------------------------------
+
+    def set_decap_density(
+        self,
+        density,
+        cap_per_unit_f: float,
+        esr_per_unit_ohm: float = 0.0,
+        esl_per_unit_h: float = 0.0,
+    ) -> None:
+        """Attach decaps as a per-node *density* of one unit cell.
+
+        ``density`` (scalar or (ny, nx) array, >= 0) counts identical
+        unit cells — C with series ESR and ESL — in parallel at each
+        node, the way MIM/deep-trench decap budgets are allocated per
+        tile.  A strictly positive density map (plus purely resistive
+        mesh metal) unlocks the spectral impedance-map engine.
+        """
+        if cap_per_unit_f <= 0:
+            raise ConfigError("unit decap capacitance must be positive")
+        if esr_per_unit_ohm < 0 or esl_per_unit_h < 0:
+            raise ConfigError("unit decap ESR/ESL must be non-negative")
+        alpha = np.asarray(density, dtype=float)
+        if alpha.ndim == 0:
+            alpha = np.full((self.ny, self.nx), float(alpha))
+        if alpha.shape != (self.ny, self.nx):
+            raise ConfigError(
+                f"density map must be shaped ({self.ny}, {self.nx})"
+            )
+        if np.any(alpha < 0):
+            raise ConfigError("decap density must be non-negative")
+        if not np.any(alpha > 0):
+            raise ConfigError("decap density map is all zero")
+        self._decap = (
+            "density",
+            alpha.copy(),
+            float(cap_per_unit_f),
+            float(esr_per_unit_ohm),
+            float(esl_per_unit_h),
+        )
+        self._rev += 1
+
+    def set_decap_map(self, cap_f, esr_ohm=0.0, esl_h=0.0) -> None:
+        """Attach arbitrary per-node decap maps.
+
+        ``cap_f``/``esr_ohm``/``esl_h`` are scalars or (ny, nx)
+        arrays; a node with zero capacitance carries no decap branch.
+        All-scalar arguments are equivalent to a uniform unit density
+        of one cell per node (and are stored that way, keeping the
+        spectral engine available); array arguments go through the
+        general direct engine.
+        """
+        if np.ndim(cap_f) == 0 and np.ndim(esr_ohm) == 0 and np.ndim(esl_h) == 0:
+            self.set_decap_density(
+                1.0, float(cap_f), float(esr_ohm), float(esl_h)
+            )
+            return
+
+        def as_map(value, label: str) -> np.ndarray:
+            arr = np.asarray(value, dtype=float)
+            if arr.ndim == 0:
+                arr = np.full((self.ny, self.nx), float(arr))
+            if arr.shape != (self.ny, self.nx):
+                raise ConfigError(
+                    f"{label} map must be shaped ({self.ny}, {self.nx})"
+                )
+            if np.any(arr < 0):
+                raise ConfigError(f"{label} map must be non-negative")
+            return arr.copy()
+
+        c = as_map(cap_f, "capacitance")
+        if not np.any(c > 0):
+            raise ConfigError("capacitance map is all zero")
+        self._decap = ("map", c, as_map(esr_ohm, "ESR"), as_map(esl_h, "ESL"))
+        self._rev += 1
+
+    def scale_decap(self, factor: float) -> None:
+        """Multiply the attached decap allocation by ``factor``.
+
+        Semantically "add more unit cells in parallel": capacitance
+        scales up while ESR and ESL scale down, for either decap
+        representation.  The decap sizing search is built on this.
+        """
+        if factor <= 0:
+            raise ConfigError("decap scale factor must be positive")
+        if self._decap is None:
+            raise ConfigError("no decaps attached; set a decap map first")
+        if self._decap[0] == "density":
+            _, alpha, c, esr, esl = self._decap
+            self._decap = ("density", alpha * factor, c, esr, esl)
+        else:
+            _, c, esr, esl = self._decap
+            self._decap = ("map", c * factor, esr / factor, esl / factor)
+        self._rev += 1
+
+    @property
+    def total_decap_farad(self) -> float:
+        """Total attached decoupling capacitance over the mesh."""
+        if self._decap is None:
+            return 0.0
+        return float(self._decap_arrays()[0].sum())
+
+    def _decap_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened per-node (C, ESR, ESL) arrays; zero C = no decap."""
+        cells = self.nx * self.ny
+        if self._decap is None:
+            zero = np.zeros(cells)
+            return zero, zero.copy(), zero.copy()
+        if self._decap[0] == "density":
+            _, alpha, c_u, esr_u, esl_u = self._decap
+            alpha = alpha.ravel()
+            live = alpha > 0
+            c = np.where(live, alpha * c_u, 0.0)
+            with np.errstate(divide="ignore"):
+                esr = np.where(live, esr_u / np.where(live, alpha, 1.0), 0.0)
+                esl = np.where(live, esl_u / np.where(live, alpha, 1.0), 0.0)
+            return c, esr, esl
+        _, c, esr, esl = self._decap
+        return c.ravel().copy(), esr.ravel().copy(), esl.ravel().copy()
+
+    # -- edge parameters --------------------------------------------------------
+
+    @property
+    def edge_resistance_x_ohm(self) -> float:
+        """Resistance of one x-direction edge (R_sq * dx / dy_strip)."""
+        if self.nx < 2:
+            raise ConfigError("a 1-wide grid has no x edges")
+        dx = self.width_m / (self.nx - 1)
+        strip = self.height_m / self.ny
+        return self.sheet_ohm_sq * dx / strip
+
+    @property
+    def edge_resistance_y_ohm(self) -> float:
+        """Resistance of one y-direction edge."""
+        if self.ny < 2:
+            raise ConfigError("a 1-tall grid has no y edges")
+        dy = self.height_m / (self.ny - 1)
+        strip = self.width_m / self.nx
+        return self.sheet_ohm_sq * dy / strip
+
+    def _edge_arrays(self) -> tuple[np.ndarray, ...]:
+        """All constant-topology edges: mesh x, mesh y, ring segments.
+
+        Returns ``(a, b, r, l)`` — endpoint rows plus per-edge series
+        resistance and inductance.
+        """
+        x_a, x_b, y_a, y_b = mesh_edge_rows(self.nx, self.ny)
+        ring = self._ring_segments()
+        ring_a = np.array([a for a, _ in ring], dtype=np.int64)
+        ring_b = np.array([b for _, b in ring], dtype=np.int64)
+        a = np.concatenate([x_a, y_a, ring_a])
+        b = np.concatenate([x_b, y_b, ring_b])
+        r = np.concatenate(
+            [
+                np.full(x_a.size, self.edge_resistance_x_ohm if x_a.size else 0.0),
+                np.full(y_a.size, self.edge_resistance_y_ohm if y_a.size else 0.0),
+                np.full(len(ring), self._ring_bus_ohm or 0.0),
+            ]
+        )
+        l = np.concatenate(
+            [
+                np.full(x_a.size, self.edge_inductance_x_h),
+                np.full(y_a.size, self.edge_inductance_y_h),
+                np.zeros(len(ring)),
+            ]
+        )
+        return a, b, r, l
+
+    def _ring_segments(self) -> list[tuple[int, int]]:
+        """Ring-bus segments as (row_a, row_b), degenerates skipped."""
+        if self._ring_bus_ohm is None:
+            return []
+        segments: list[tuple[int, int]] = []
+        count = len(self._sources)
+        for k in range(count):
+            _, ix_a, iy_a, *_ = self._sources[k]
+            _, ix_b, iy_b, *_ = self._sources[(k + 1) % count]
+            if (ix_a, iy_a) == (ix_b, iy_b):
+                continue
+            segments.append(
+                (iy_a * self.nx + ix_a, iy_b * self.nx + ix_b)
+            )
+        return segments
+
+    # -- shunt admittances ------------------------------------------------------
+
+    def _decap_admittance(self, omega: np.ndarray) -> np.ndarray:
+        """Per-node decap branch admittance, shape (n_freqs, cells).
+
+        The series C + ESR + ESL chain folds exactly into
+        ``y = 1 / (ESR + j(ω·ESL − 1/(ω·C)))``; nodes without decap
+        contribute zero.
+        """
+        c, esr, esl = self._decap_arrays()
+        live = c > 0
+        y = np.zeros((omega.size, c.size), dtype=complex)
+        if np.any(live):
+            w = omega[:, None]
+            reactance = w * esl[None, live] - 1.0 / (w * c[None, live])
+            y[:, live] = 1.0 / (esr[None, live] + 1j * reactance)
+        return y
+
+    def _source_admittance(self, omega: np.ndarray) -> np.ndarray:
+        """Per-source zeroed-EMF branch admittance, (n_freqs, s)."""
+        rout = np.array([s[4] for s in self._sources])
+        l_src = np.array([s[5] for s in self._sources])
+        return 1.0 / (rout[None, :] + 1j * omega[:, None] * l_src[None, :])
+
+    def _source_attach_rows(self) -> np.ndarray:
+        return np.array(
+            [iy * self.nx + ix for _, ix, iy, *_ in self._sources],
+            dtype=np.int64,
+        )
+
+    # -- impedance map ----------------------------------------------------------
+
+    def impedance_map(
+        self, frequencies_hz: np.ndarray, method: str = "auto"
+    ) -> GridImpedanceMap:
+        """Die-seen self-impedance Z(f) at every mesh node.
+
+        Sources are zeroed (their output branch stays in the metal)
+        and each node is probed with 1 A, exactly the per-node version
+        of :func:`repro.pdn.ac.impedance_at`.  ``method`` selects the
+        engine: ``"spectral"`` (density-model decaps, resistive mesh;
+        one eigendecomposition, then O(n·s) work per frequency),
+        ``"direct"`` (general: batched dense solves up to the dense
+        cutoff, shared-pattern sparse LU above), or ``"auto"`` to use
+        spectral whenever the topology allows it.
+
+        Raises:
+            ConfigError: no sources attached, bad frequencies, or
+                ``method="spectral"`` on an ineligible topology.
+            SolverError: singular/resonant system at a sweep point.
+        """
+        freqs = check_frequencies(frequencies_hz)
+        if not self._sources:
+            raise ConfigError("no sources attached; call add_source first")
+        if method not in ("auto", "spectral", "direct"):
+            raise ConfigError(f"unknown impedance-map method: {method!r}")
+        if method == "spectral" and not self._spectral_eligible():
+            raise ConfigError(
+                "spectral impedance map needs a strictly positive decap "
+                "density map and a purely resistive mesh"
+            )
+        use_spectral = method == "spectral" or (
+            method == "auto" and self._spectral_eligible()
+        )
+        omega = 2.0 * math.pi * freqs
+        if use_spectral:
+            z = self._impedance_spectral(omega)
+        else:
+            z = self._impedance_direct(omega, freqs)
+        if not np.all(np.isfinite(z)):
+            bad = freqs[np.nonzero(~np.all(np.isfinite(z), axis=0))[0][0]]
+            raise SolverError(
+                f"grid impedance is singular or non-finite at {bad:.6g} Hz "
+                "(resonant singularity or floating mesh)"
+            )
+        return GridImpedanceMap(
+            frequencies_hz=freqs, z_ohm=z, nx=self.nx, ny=self.ny
+        )
+
+    def _spectral_eligible(self) -> bool:
+        return (
+            self._decap is not None
+            and self._decap[0] == "density"
+            and bool(np.all(self._decap[1] > 0))
+            and self.edge_inductance_x_h == 0.0
+            and self.edge_inductance_y_h == 0.0
+        )
+
+    def _ensure_spectral(self) -> _SpectralACStructure:
+        if self._spectral is not None and self._spectral.rev == self._rev:
+            return self._spectral
+        cells = self.nx * self.ny
+        a, b, r, _ = self._edge_arrays()
+        rows, cols, vals = admittance_stamp_entries(a, b, 1.0 / r)
+        g = np.zeros((cells, cells))
+        np.add.at(g, (rows, cols), vals)
+        _, alpha, c_u, esr_u, esl_u = self._decap
+        alpha = alpha.ravel()
+        # Symmetrized generalized eigenproblem G q = λ D_α q: scale by
+        # D_α^(-1/2), take the ordinary symmetric eigendecomposition,
+        # and unscale — Qᵀ D_α Q = I, Qᵀ G Q = Λ by construction.
+        dinv = 1.0 / np.sqrt(alpha)
+        lam, v = np.linalg.eigh(g * dinv[:, None] * dinv[None, :])
+        q = dinv[:, None] * v
+        attach = self._source_attach_rows()
+        self._spectral = _SpectralACStructure(
+            rev=self._rev,
+            lam=lam,
+            q=q,
+            q_sq=q * q,
+            p=q[attach, :].T.copy(),
+            attach=attach,
+            rout=np.array([s[4] for s in self._sources]),
+            l_src=np.array([s[5] for s in self._sources]),
+            unit_c=c_u,
+            unit_esr=esr_u,
+            unit_esl=esl_u,
+        )
+        return self._spectral
+
+    def _impedance_spectral(self, omega: np.ndarray) -> np.ndarray:
+        """diag(A⁻¹) via the cached eigenbasis, shape (cells, n_freqs).
+
+        ``A(ω) = M(ω) + U Y(ω) Uᵀ`` with ``M = G + y_u(ω) D_α``
+        diagonal in the eigenbasis, so ``diag(M⁻¹)`` is one GEMM over
+        the whole sweep and the source branches enter as a rank-s
+        Sherman–Morrison–Woodbury correction whose capacitance matrix
+        inverts per frequency at s×s cost.
+        """
+        structure = self._ensure_spectral()
+        reactance = omega * structure.unit_esl - 1.0 / (
+            omega * structure.unit_c
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            y_u = 1.0 / (structure.unit_esr + 1j * reactance)
+            w = 1.0 / (structure.lam[None, :] + y_u[:, None])  # (F, n)
+        diag = w @ structure.q_sq.T  # (F, cells)
+        s_count = len(structure.rout)
+        if s_count:
+            tmp = w[:, :, None] * structure.p[None, :, :]  # (F, n, s)
+            influence = structure.q[None, :, :] @ tmp  # M⁻¹U, (F, cells, s)
+            t = structure.p.T[None, :, :] @ tmp  # UᵀM⁻¹U, (F, s, s)
+            y_branch_inv = (
+                structure.rout[None, :]
+                + 1j * omega[:, None] * structure.l_src[None, :]
+            )
+            capacitance = t + (
+                y_branch_inv[:, :, None] * np.eye(s_count)[None, :, :]
+            )
+            try:
+                with np.errstate(all="ignore"):
+                    k = np.linalg.inv(capacitance)
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(
+                    f"grid impedance source correction is singular: {exc}"
+                ) from exc
+            diag = diag - np.einsum(
+                "fks,fst,fkt->fk", influence, k, influence, optimize=True
+            )
+        return diag.T
+
+    def _ensure_reduced(self) -> _ReducedACStructure:
+        if self._reduced is not None and self._reduced.rev == self._rev:
+            return self._reduced
+        cells = self.nx * self.ny
+        a, b, r, l = self._edge_arrays()
+        rows, cols, edge, sign = _admittance_entry_map(a, b)
+        diag = np.arange(cells, dtype=np.int64)
+        all_rows = np.concatenate([rows, diag])
+        all_cols = np.concatenate([cols, diag])
+        order, starts, csc_rows, csc_cols, indptr = shared_csc_pattern(
+            all_rows, all_cols, cells
+        )
+        self._reduced = _ReducedACStructure(
+            rev=self._rev,
+            edge_r=r,
+            edge_l=l,
+            entry_rows=all_rows,
+            entry_cols=all_cols,
+            entry_edge=edge,
+            entry_sign=sign,
+            order=order,
+            starts=starts,
+            csc_rows=csc_rows,
+            csc_cols=csc_cols,
+            indptr=indptr,
+        )
+        return self._reduced
+
+    def _reduced_csc_data(
+        self, structure: _ReducedACStructure, omega: np.ndarray
+    ) -> np.ndarray:
+        """Reduced-system CSC values for a frequency chunk."""
+        cells = self.nx * self.ny
+        edge_y = 1.0 / (
+            structure.edge_r[None, :]
+            + 1j * omega[:, None] * structure.edge_l[None, :]
+        )
+        shunt = self._decap_admittance(omega)
+        y_src = self._source_admittance(omega)
+        attach = self._source_attach_rows()
+        np.add.at(shunt, (slice(None), attach), y_src)
+        vals = np.concatenate(
+            [
+                structure.entry_sign[None, :]
+                * edge_y[:, structure.entry_edge],
+                shunt,
+            ],
+            axis=1,
+        )
+        return np.add.reduceat(
+            vals[:, structure.order], structure.starts, axis=1
+        )
+
+    def _impedance_direct(
+        self, omega: np.ndarray, freqs: np.ndarray
+    ) -> np.ndarray:
+        """diag(A⁻¹) by explicit per-frequency inversion of the
+        reduced system: batched dense LAPACK up to the dense cutoff,
+        shared-pattern sparse LU above it.  General (arbitrary decap
+        maps, inductive mesh metal) but O(n³) per frequency."""
+        structure = self._ensure_reduced()
+        cells = self.nx * self.ny
+        count = omega.size
+        z = np.empty((cells, count), dtype=complex)
+        identity = np.eye(cells, dtype=complex)
+        # Known-solution probe (see repro.pdn.mna.singularity_probe):
+        # the computed inverse must recover w from A @ w, so an
+        # exactly singular sweep point that LU slid through on a
+        # rounded pivot fails loudly.
+        probe = singularity_probe(cells)
+        probe_error = np.empty(count)
+        use_dense = cells <= DENSE_SWEEP_CUTOFF
+        chunk = max(1, _DENSE_BATCH_ENTRIES // (cells * cells))
+        for lo in range(0, count, chunk):
+            hi = min(lo + chunk, count)
+            data = self._reduced_csc_data(structure, omega[lo:hi])
+            if use_dense:
+                flat = structure.csc_rows * cells + structure.csc_cols
+                dense = np.zeros(
+                    (hi - lo, cells * cells), dtype=complex
+                )
+                dense[:, flat] = data
+                dense = dense.reshape(hi - lo, cells, cells)
+                try:
+                    with np.errstate(all="ignore"):
+                        inverse = np.linalg.solve(dense, identity)
+                except np.linalg.LinAlgError as exc:
+                    raise SolverError(
+                        f"grid impedance solve failed: {exc}"
+                    ) from exc
+                z[:, lo:hi] = np.diagonal(
+                    inverse, axis1=1, axis2=2
+                ).T
+                with np.errstate(all="ignore"):
+                    recovered = inverse @ (dense @ probe)[:, :, None]
+                    probe_error[lo:hi] = np.abs(
+                        recovered[:, :, 0] - probe
+                    ).max(axis=1, initial=0.0)
+            else:
+                for k in range(lo, hi):
+                    matrix = sp.csc_matrix(
+                        (data[k - lo], structure.csc_rows, structure.indptr),
+                        shape=(cells, cells),
+                    )
+                    with np.errstate(all="ignore"), warnings.catch_warnings():
+                        warnings.simplefilter(
+                            "ignore", spla.MatrixRankWarning
+                        )
+                        try:
+                            solved = spla.splu(matrix).solve(identity)
+                        except RuntimeError as exc:
+                            raise SolverError(
+                                "grid impedance solve failed at "
+                                f"{freqs[k]:.6g} Hz: {exc}"
+                            ) from exc
+                    z[:, k] = np.diagonal(solved)
+                    with np.errstate(all="ignore"):
+                        probe_error[k] = float(
+                            np.abs(
+                                solved @ (matrix @ probe) - probe
+                            ).max(initial=0.0)
+                        )
+        bad = ~(np.isfinite(probe_error) & (probe_error <= SINGULARITY_PROBE_TOL))
+        if bad.any():
+            raise SolverError(
+                "grid impedance is singular at "
+                f"{freqs[np.nonzero(bad)[0][0]]:.6g} Hz "
+                "(resonant singularity or floating mesh)"
+            )
+        return z
+
+    # -- driven sweep -----------------------------------------------------------
+
+    def compile_ac(self) -> CompiledACNetlist:
+        """The full driven mesh as a compiled AC netlist.
+
+        Stamps the mesh edges (with internal nodes where the metal is
+        inductive), every decap chain, the ring bus, the sink map as
+        AC load magnitudes, and each source as an ideal EMF behind its
+        output resistance and bump/TSV inductance — array assembly
+        straight into :meth:`CompiledACNetlist.from_arrays`, no
+        per-element Python objects.
+        """
+        if self._sink_map is None:
+            raise ConfigError("no sinks attached; call set_sinks first")
+        if not self._sources:
+            raise ConfigError("no sources attached; call add_source first")
+        if (
+            self._compiled is not None
+            and self._compiled[0] == self._rev
+            and self._compiled[1] == self._sink_rev
+        ):
+            return self._compiled[2]
+
+        nx, ny = self.nx, self.ny
+        cells = nx * ny
+        x_a, x_b, y_a, y_b = mesh_edge_rows(nx, ny)
+        ring = self._ring_segments()
+        c_map, esr_map, esl_map = self._decap_arrays()
+        has_c = c_map > 0
+        has_r = has_c & (esr_map > 0)
+        has_l = has_c & (esl_map > 0)
+        first = has_c & (has_r | has_l)
+        second = has_r & has_l
+
+        nodes: list = [("g", ix, iy) for iy in range(ny) for ix in range(nx)]
+        res_a: list[np.ndarray] = []
+        res_b: list[np.ndarray] = []
+        res_v: list[np.ndarray] = []
+        ind_a: list[np.ndarray] = []
+        ind_b: list[np.ndarray] = []
+        ind_v: list[np.ndarray] = []
+
+        def mesh_edges(
+            a: np.ndarray, b: np.ndarray, r: float, l: float, axis: str
+        ) -> None:
+            """One mesh axis: plain resistors, or R + L via internal
+            nodes when the metal is inductive."""
+            if not a.size:
+                return
+            if l > 0:
+                mid = len(nodes) + np.arange(a.size, dtype=np.int64)
+                nodes.extend(
+                    (f"edge.{axis}", int(k)) for k in range(a.size)
+                )
+                res_a.append(a)
+                res_b.append(mid)
+                res_v.append(np.full(a.size, r))
+                ind_a.append(mid)
+                ind_b.append(b)
+                ind_v.append(np.full(a.size, l))
+            else:
+                res_a.append(a)
+                res_b.append(b)
+                res_v.append(np.full(a.size, r))
+
+        mesh_edges(
+            x_a,
+            x_b,
+            self.edge_resistance_x_ohm if x_a.size else 0.0,
+            self.edge_inductance_x_h,
+            "x",
+        )
+        mesh_edges(
+            y_a,
+            y_b,
+            self.edge_resistance_y_ohm if y_a.size else 0.0,
+            self.edge_inductance_y_h,
+            "y",
+        )
+        if ring:
+            res_a.append(np.array([a for a, _ in ring], dtype=np.int64))
+            res_b.append(np.array([b for _, b in ring], dtype=np.int64))
+            res_v.append(np.full(len(ring), self._ring_bus_ohm))
+
+        # Decap chains: node —C→ [first] —ESR→ [second] —ESL→ ground,
+        # with stages collapsing away wherever ESR/ESL are zero.
+        mesh_rows = np.arange(cells, dtype=np.int64)
+        first_row = np.full(cells, GROUND_INDEX, dtype=np.int64)
+        first_row[first] = len(nodes) + np.arange(int(first.sum()))
+        nodes.extend(("decap", int(k), "a") for k in np.nonzero(first)[0])
+        second_row = np.full(cells, GROUND_INDEX, dtype=np.int64)
+        second_row[second] = len(nodes) + np.arange(int(second.sum()))
+        nodes.extend(("decap", int(k), "b") for k in np.nonzero(second)[0])
+
+        cap_a = mesh_rows[has_c]
+        cap_b = first_row[has_c]  # GROUND_INDEX where the chain is bare C
+        cap_v = c_map[has_c]
+        if np.any(has_r):
+            res_a.append(first_row[has_r])
+            res_b.append(np.where(has_l, second_row, GROUND_INDEX)[has_r])
+            res_v.append(esr_map[has_r])
+        if np.any(has_l):
+            esl_start = np.where(has_r, second_row, first_row)
+            ind_a.append(esl_start[has_l])
+            ind_b.append(np.full(int(has_l.sum()), GROUND_INDEX, np.int64))
+            ind_v.append(esl_map[has_l])
+
+        # Source branches: emf —rout→ [mid —L→] attach node.
+        vs_plus = []
+        vs_volt = []
+        for name, ix, iy, voltage, r_out, l_src in self._sources:
+            attach = iy * nx + ix
+            emf = len(nodes)
+            nodes.append(("src", name, "emf"))
+            if l_src > 0:
+                mid = len(nodes)
+                nodes.append(("src", name, "mid"))
+                res_a.append(np.array([emf], dtype=np.int64))
+                res_b.append(np.array([mid], dtype=np.int64))
+                res_v.append(np.array([r_out]))
+                ind_a.append(np.array([mid], dtype=np.int64))
+                ind_b.append(np.array([attach], dtype=np.int64))
+                ind_v.append(np.array([l_src]))
+            else:
+                res_a.append(np.array([emf], dtype=np.int64))
+                res_b.append(np.array([attach], dtype=np.int64))
+                res_v.append(np.array([r_out]))
+            vs_plus.append(emf)
+            vs_volt.append(voltage)
+
+        def cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+            if not parts:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(parts).astype(dtype, copy=False)
+
+        compiled = CompiledACNetlist.from_arrays(
+            nodes=tuple(nodes),
+            res_a=cat(res_a, np.int64),
+            res_b=cat(res_b, np.int64),
+            res_ohm=cat(res_v, float),
+            ind_a=cat(ind_a, np.int64),
+            ind_b=cat(ind_b, np.int64),
+            ind_h=cat(ind_v, float),
+            cap_a=cap_a,
+            cap_b=cap_b,
+            cap_f=cap_v,
+            vs_plus=np.array(vs_plus, dtype=np.int64),
+            vs_minus=np.full(len(vs_plus), GROUND_INDEX, dtype=np.int64),
+            vs_volt=np.array(vs_volt),
+            cs_from=mesh_rows,
+            cs_to=np.full(cells, GROUND_INDEX, dtype=np.int64),
+            cs_amp=np.ascontiguousarray(self._sink_map, dtype=float).ravel(),
+        )
+        self._compiled = (self._rev, self._sink_rev, compiled)
+        return compiled
+
+    def solve(self, frequencies_hz: np.ndarray) -> GridACSweepSolution:
+        """Driven phasor sweep: sources at their EMFs, sinks as AC
+        load magnitudes (phase 0).
+
+        As the frequency approaches zero the decaps open and the
+        series inductances short, so the voltage maps converge to the
+        :class:`GridPDN` DC IR-drop solution of the same mesh — the
+        regression the grid tests pin down.
+        """
+        freqs = check_frequencies(frequencies_hz)
+        return GridACSweepSolution(
+            sweep=self.compile_ac().solve(freqs), nx=self.nx, ny=self.ny
+        )
+
+
+def _admittance_entry_map(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """COO positions of two-terminal admittance stamps, value-free.
+
+    The per-entry layout of
+    :func:`repro.pdn.network.admittance_stamp_entries` with the values
+    replaced by ``(element index, sign)`` pairs, so frequency-varying
+    element admittances can be scattered onto a fixed pattern with one
+    fancy-index per sweep chunk.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    index = np.arange(len(a))
+    in_a = a != GROUND_INDEX
+    in_b = b != GROUND_INDEX
+    in_ab = in_a & in_b
+    rows = np.concatenate([a[in_a], b[in_b], a[in_ab], b[in_ab]])
+    cols = np.concatenate([a[in_a], b[in_b], b[in_ab], a[in_ab]])
+    edge = np.concatenate([index[in_a], index[in_b], index[in_ab], index[in_ab]])
+    sign = np.concatenate(
+        [
+            np.ones(int(in_a.sum())),
+            np.ones(int(in_b.sum())),
+            -np.ones(int(in_ab.sum())),
+            -np.ones(int(in_ab.sum())),
+        ]
+    )
+    return rows, cols, edge, sign

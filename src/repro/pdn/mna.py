@@ -400,6 +400,15 @@ class FactorizedPDN:
             w[:, col] = -self._conductance[i] * u[:, col]
         return u, w
 
+    @staticmethod
+    def _modification_keys(
+        disabled: np.ndarray, removed: np.ndarray
+    ) -> list[tuple[str, int]]:
+        """Memoization keys of one scenario's update columns."""
+        return [("vs", int(j)) for j in disabled] + [
+            ("res", int(i)) for i in removed
+        ]
+
     def _influence_solve(
         self,
         u: np.ndarray,
@@ -412,9 +421,7 @@ class FactorizedPDN:
         cached, so a sweep touching m distinct elements performs m
         influence solves total, not m per scenario.
         """
-        keys = [("vs", int(j)) for j in disabled] + [
-            ("res", int(i)) for i in removed
-        ]
+        keys = self._modification_keys(disabled, removed)
         missing = [t for t, key in enumerate(keys) if key not in self._influence]
         if missing:
             solved = self._lu.solve(u[:, missing])
@@ -438,14 +445,14 @@ class FactorizedPDN:
         wanted = sorted({int(j) for j in indices})
         if wanted and (wanted[0] < 0 or wanted[-1] >= m):
             raise SolverError("source index out of range")
-        missing = [j for j in wanted if ("vs", j) not in self._influence]
-        if not missing:
-            return
-        u = np.zeros((self._size, len(missing)))
-        u[self._n + np.asarray(missing), np.arange(len(missing))] = 1.0
-        solved = self._lu.solve(u)
-        for column, j in enumerate(missing):
-            self._influence[("vs", j)] = solved[:, column]
+        self._preload_modification_influence(
+            [
+                (
+                    np.asarray(wanted, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+            ]
+        )
 
     def _refactorize_modified(
         self, u: np.ndarray, w: np.ndarray
@@ -593,6 +600,200 @@ class FactorizedPDN:
             conductance = conductance.copy()
             conductance[removed] = 0.0
         return self._package(x, amp, volt, conductance, check, disabled)
+
+    def _preload_modification_influence(
+        self, scenarios: list[tuple[np.ndarray, np.ndarray]]
+    ) -> None:
+        """Back-substitute every influence column a sweep needs, once.
+
+        Collects the union of uncached update columns over all
+        scenarios and solves them in a single stacked call, so a
+        sweep touching m distinct elements pays one batched
+        back-substitution instead of one per scenario.
+        """
+        compiled = self.compiled
+        missing: list[tuple[str, int]] = []
+        seen: set[tuple[str, int]] = set()
+        for disabled, removed in scenarios:
+            for key in self._modification_keys(disabled, removed):
+                if key not in self._influence and key not in seen:
+                    seen.add(key)
+                    missing.append(key)
+        if not missing:
+            return
+        u = np.zeros((self._size, len(missing)))
+        for t, (kind, j) in enumerate(missing):
+            if kind == "vs":
+                u[self._n + j, t] = 1.0
+            else:
+                a = compiled.res_a[j]
+                b = compiled.res_b[j]
+                if a != GROUND_INDEX:
+                    u[a, t] = 1.0
+                if b != GROUND_INDEX:
+                    u[b, t] = -1.0
+        solved = self._lu.solve(u)
+        for column, key in enumerate(missing):
+            self._influence[key] = solved[:, column]
+
+    def solve_modified_many(
+        self,
+        scenarios: "list[tuple] | tuple[tuple, ...]",
+        cs_amp: np.ndarray | None = None,
+        vs_volt: np.ndarray | None = None,
+        check: bool = True,
+        method: str = "auto",
+        cond_limit: float = 1e10,
+    ) -> list[DCSolution]:
+        """Solve many modified scenarios with batched back-substitutions.
+
+        The batched form of :meth:`solve_modified`: every scenario is
+        a ``(disable_sources, remove_resistors)`` pair sharing the same
+        load/source overrides.  Where a per-scenario loop performs
+        ``O(k)`` separate back-substitutions per scenario, this path
+        batches the whole sweep through three stacked
+        :meth:`solve_many`-style calls on the cached factorization —
+        the union of influence columns ``Z = A⁻¹U``, the modified
+        right-hand sides, and one iterative-refinement round — leaving
+        only k×k algebra per scenario.  Exhaustive N−k enumerations
+        are the intended workload.
+
+        ``method`` follows :meth:`solve_modified`: ``"auto"`` falls
+        back to per-scenario refactorization for ill-conditioned
+        corrections, ``"woodbury"`` raises instead, and ``"refactor"``
+        solves every scenario explicitly (the parity oracle).
+
+        Returns one :class:`DCSolution` per scenario, in order.
+        """
+        if method not in ("auto", "woodbury", "refactor"):
+            raise SolverError(f"unknown solve_modified method: {method!r}")
+        compiled = self.compiled
+        normalized: list[tuple[np.ndarray, np.ndarray]] = []
+        for scenario in scenarios:
+            try:
+                disable_sources, remove_resistors = scenario
+            except (TypeError, ValueError):
+                raise SolverError(
+                    "each scenario must be a (disable_sources, "
+                    "remove_resistors) pair"
+                ) from None
+            disabled = np.unique(np.asarray(disable_sources, dtype=np.int64))
+            removed = np.unique(np.asarray(remove_resistors, dtype=np.int64))
+            if disabled.size and (
+                disabled.min() < 0 or disabled.max() >= compiled.n_vsources
+            ):
+                raise SolverError("disable_sources index out of range")
+            if removed.size and (
+                removed.min() < 0 or removed.max() >= len(compiled.res_ohm)
+            ):
+                raise SolverError("remove_resistors index out of range")
+            normalized.append((disabled, removed))
+        amp, volt = self._scenario_values(cs_amp, vs_volt)
+        if not normalized:
+            return []
+        if method == "refactor":
+            return [
+                self.solve_modified(
+                    disable_sources=disabled,
+                    remove_resistors=removed,
+                    cs_amp=amp,
+                    vs_volt=volt,
+                    check=check,
+                    method="refactor",
+                )
+                for disabled, removed in normalized
+            ]
+
+        self._preload_modification_influence(normalized)
+        count = len(normalized)
+        rhs_matrix = np.repeat(self.rhs(amp, volt)[:, None], count, axis=1)
+        for i, (disabled, _) in enumerate(normalized):
+            rhs_matrix[self._n + disabled, i] = 0.0
+        y = self.solve_many(rhs_matrix)
+
+        x = np.empty_like(y)
+        factors: list[tuple | None] = []
+        conds: list[float] = []
+        fallback: set[int] = set()
+
+        def ill_conditioned(index: int, cond: float) -> None:
+            if method == "woodbury":
+                raise SolverError(
+                    "Woodbury correction is ill-conditioned "
+                    f"(cond(S) = {cond:.3e}) in scenario {index}; the "
+                    "scenario likely disconnects the network"
+                )
+            fallback.add(index)
+
+        for i, (disabled, removed) in enumerate(normalized):
+            if not disabled.size and not removed.size:
+                x[:, i] = y[:, i]
+                factors.append(None)
+                conds.append(1.0)
+                continue
+            u, w = self._modification_factors(disabled, removed)
+            z = self._influence_solve(u, disabled, removed)
+            s = np.eye(u.shape[1]) + w.T @ z
+            with np.errstate(all="ignore"):
+                singular_values = np.linalg.svd(s, compute_uv=False)
+            sigma_max = float(singular_values[0])
+            sigma_min = float(singular_values[-1])
+            cond = sigma_max / sigma_min if sigma_min > 0 else np.inf
+            factors.append((u, w, z, s))
+            conds.append(cond)
+            if not (
+                np.all(np.isfinite(singular_values))
+                and sigma_min > max(1.0, sigma_max) / cond_limit
+            ):
+                ill_conditioned(i, cond)
+                continue
+            x[:, i] = y[:, i] - z @ np.linalg.solve(s, w.T @ y[:, i])
+            if not np.all(np.isfinite(x[:, i])):
+                ill_conditioned(i, cond)
+
+        # One batched refinement round over the Woodbury-solved columns
+        # (the same +1 step solve_modified applies per scenario).
+        live = [
+            i
+            for i in range(count)
+            if i not in fallback and factors[i] is not None
+        ]
+        if live:
+            residual = rhs_matrix[:, live] - self._matrix @ x[:, live]
+            for column, i in enumerate(live):
+                u, w, _, _ = factors[i]
+                residual[:, column] -= u @ (w.T @ x[:, i])
+            refined = self.solve_many(residual)
+            for column, i in enumerate(live):
+                u, w, z, s = factors[i]
+                x[:, i] += refined[:, column] - z @ np.linalg.solve(
+                    s, w.T @ refined[:, column]
+                )
+                if not np.all(np.isfinite(x[:, i])):
+                    ill_conditioned(i, conds[i])
+
+        solutions: list[DCSolution] = []
+        for i, (disabled, removed) in enumerate(normalized):
+            if i in fallback:
+                solutions.append(
+                    self.solve_modified(
+                        disable_sources=disabled,
+                        remove_resistors=removed,
+                        cs_amp=amp,
+                        vs_volt=volt,
+                        check=check,
+                        method="refactor",
+                    )
+                )
+                continue
+            conductance = self._conductance
+            if removed.size:
+                conductance = conductance.copy()
+                conductance[removed] = 0.0
+            solutions.append(
+                self._package(x[:, i], amp, volt, conductance, check, disabled)
+            )
+        return solutions
 
 
 def solve_dc(netlist: Netlist | CompiledNetlist, check: bool = True) -> DCSolution:

@@ -171,3 +171,39 @@ class TestIntermediateSweepModes:
         )
         assert len(points) == 2
         assert all(not math.isnan(p.total_loss_w) for p in points)
+
+
+class TestDecapDensitySweep:
+    """Worst-node Z(f) vs per-node decap allocation (grid-level AC)."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        import numpy as np
+
+        from repro.core.exploration import decap_density_sweep
+
+        return decap_density_sweep(
+            densities=(0.5, 1.0, 4.0),
+            grid_nodes=8,
+            frequencies_hz=np.logspace(4, 9, 41),
+        )
+
+    def test_labels_and_order(self, points):
+        assert [p.density for p in points] == [0.5, 1.0, 4.0]
+        assert points[0].label == "0.5 cells/node"
+
+    def test_more_decap_never_raises_the_peak(self, points):
+        peaks = [p.peak_impedance_ohm for p in points]
+        assert all(b <= a * (1 + 1e-9) for a, b in zip(peaks, peaks[1:]))
+
+    def test_peaks_positive_and_in_band(self, points):
+        for p in points:
+            assert p.peak_impedance_ohm > 0
+            assert 1e4 <= p.peak_frequency_hz <= 1e9
+
+    def test_rejects_empty_densities(self):
+        from repro.core.exploration import decap_density_sweep
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            decap_density_sweep(densities=())

@@ -338,3 +338,120 @@ class TestSolveDisabled:
             grid.solve_disabled((5,))
         with pytest.raises(ConfigError):
             grid.solve_disabled((0, 1))
+
+
+class TestGridACDCLimit:
+    """Grid-AC driven sweeps must converge to the DC grid solution."""
+
+    def pair(self):
+        from repro.pdn.grid import GridACPDN
+
+        grid = make_grid(nx=6, ny=6)
+        grid.set_sinks(PowerMap.hotspot_mixture(), 40.0)
+        grid.add_source("a", 0.0, 0.0, 1.0, 1e-3)
+        grid.add_source("b", 1.0, 1.0, 1.02, 2e-3)
+        ac = GridACPDN.from_grid(grid, source_inductance_h=1e-11)
+        ac.set_decap_density(1.0, 1e-6, 2e-3, 1e-10)
+        return grid, ac
+
+    def test_low_frequency_limit_matches_dc(self):
+        """As f drops the decaps open and the inductors short, so the
+        voltage maps must converge to the DC IR-drop solution."""
+        grid, ac = self.pair()
+        dc_map = grid.solve().voltage_map
+        freqs = np.array([1.0, 1e3, 1e6])
+        sweep = ac.solve(freqs)
+        errors = [
+            float(np.abs(np.abs(sweep.voltage_maps[k]) - dc_map).max())
+            for k in range(len(freqs))
+        ]
+        assert errors[0] <= 1e-9
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_from_grid_mirrors_topology(self):
+        grid, ac = self.pair()
+        assert ac.source_names == grid.source_names
+        assert (ac.nx, ac.ny) == (grid.nx, grid.ny)
+        assert ac.edge_resistance_x_ohm == pytest.approx(
+            grid.edge_resistance_x_ohm
+        )
+
+    def test_impedance_map_rejects_nonpositive_frequencies(self):
+        _, ac = self.pair()
+        for bad in (np.array([0.0]), np.array([-1.0, 1e6]), np.array([])):
+            with pytest.raises(ConfigError):
+                ac.impedance_map(bad)
+
+    def test_driven_solve_rejects_nonpositive_frequencies(self):
+        _, ac = self.pair()
+        for bad in (np.array([0.0]), np.array([1e3, -5.0]), np.array([])):
+            with pytest.raises(ConfigError):
+                ac.solve(bad)
+
+    def test_impedance_map_requires_sources(self):
+        from repro.pdn.grid import GridACPDN
+
+        bare = GridACPDN(0.02, 0.02, 1e-3, nx=4, ny=4)
+        bare.set_decap_density(1.0, 1e-6)
+        with pytest.raises(ConfigError):
+            bare.impedance_map(np.array([1e6]))
+
+    def test_spectral_requires_eligible_topology(self):
+        from repro.pdn.grid import GridACPDN
+
+        pdn = GridACPDN(
+            0.02, 0.02, 1e-3, nx=4, ny=4, edge_inductance_x_h=1e-11
+        )
+        pdn.set_decap_density(1.0, 1e-6)
+        pdn.add_source("s", 0.5, 0.5, 1.0, 1e-3)
+        with pytest.raises(ConfigError):
+            pdn.impedance_map(np.array([1e6]), method="spectral")
+        # "auto" silently falls back to the direct engine.
+        assert np.all(
+            np.isfinite(pdn.impedance_map(np.array([1e6])).z_ohm)
+        )
+
+
+class TestSolveDisabledMany:
+    def powered_grid(self) -> GridPDN:
+        grid = make_grid()
+        grid.set_sinks(PowerMap.hotspot_mixture(), 120.0)
+        for k in range(5):
+            t = k / 4
+            grid.add_source(f"s{k}", t, t, 1.0, 1e-3)
+        return grid
+
+    def test_batched_matches_single_scenario_solves(self):
+        grid = self.powered_grid()
+        scenarios = [(0,), (1, 3), (4,), ()]
+        batched = grid.solve_disabled_many(scenarios)
+        for failed, got in zip(scenarios, batched):
+            want = (
+                grid.solve_disabled(failed) if failed else grid.solve()
+            )
+            assert got.voltage_map == pytest.approx(
+                want.voltage_map, rel=1e-9
+            )
+            assert got.source_currents_a[list(failed)] == pytest.approx(0.0)
+
+    def test_empty_sweep(self):
+        grid = self.powered_grid()
+        assert grid.solve_disabled_many([]) == []
+
+    def test_preload_failure_sweep_warms_influence_cache(self):
+        grid = self.powered_grid()
+        grid.preload_failure_sweep()
+        solver = grid._structure.solver
+        assert all(("vs", j) in solver._influence for j in range(5))
+        fast = grid.solve_disabled((2,))
+        oracle = grid.solve_disabled((2,), method="refactor")
+        assert fast.voltage_map == pytest.approx(
+            oracle.voltage_map, rel=1e-9
+        )
+
+    def test_validation(self):
+        grid = self.powered_grid()
+        with pytest.raises(ConfigError):
+            grid.solve_disabled_many([(9,)])
+        with pytest.raises(ConfigError):
+            grid.solve_disabled_many([(0, 1, 2, 3, 4)])

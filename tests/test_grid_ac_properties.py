@@ -1,0 +1,388 @@
+"""Property-based parity of the grid-level AC engine (hypothesis).
+
+:class:`repro.pdn.grid.GridACPDN` folds decap chains (C + ESR + ESL)
+and source output branches into per-node shunt admittances and solves
+the reduced mesh directly or spectrally.  On small random meshes both
+engines must match building the equivalent lumped
+:class:`~repro.pdn.ac.ACNetlist` *by hand* and solving it with the
+retained scalar oracle :func:`~repro.pdn.ac.solve_ac` — per node, per
+frequency, to 1e-9 relative — across random decap/ESL maps, source
+placements, and frequencies.  The driven sweep (compiled full
+structure, internal chain nodes and all) is held to the same oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdn.ac import ACNetlist, probe_netlist, solve_ac
+from repro.pdn.grid import GridACPDN
+
+RTOL = 1e-9
+
+sheets = st.floats(min_value=1e-3, max_value=1e-1)
+caps = st.floats(min_value=1e-8, max_value=1e-6)
+esrs = st.floats(min_value=1e-3, max_value=1e-1)
+esls = st.floats(min_value=1e-12, max_value=1e-10)
+routs = st.floats(min_value=1e-3, max_value=1e-1)
+frequencies = st.floats(min_value=1e4, max_value=1e9)
+densities = st.floats(min_value=0.2, max_value=5.0)
+positions = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+def node_name(ix: int, iy: int) -> str:
+    return f"n{ix},{iy}"
+
+
+def lumped_equivalent(
+    nx: int,
+    ny: int,
+    rx: float,
+    ry: float,
+    c_map: np.ndarray,
+    esr_map: np.ndarray,
+    esl_map: np.ndarray,
+    sources: list[tuple[int, int, float, float, float]],
+    sinks: np.ndarray | None = None,
+    edge_lx: float = 0.0,
+    edge_ly: float = 0.0,
+) -> ACNetlist:
+    """The grid's circuit, built element by element (the oracle side).
+
+    Deliberately independent of the array assemblers: plain
+    ``add_*`` calls, one per element, so a stamping bug in the
+    compiled paths cannot hide in a shared helper.
+    """
+    net = ACNetlist()
+    for iy in range(ny):
+        for ix in range(nx):
+            if ix + 1 < nx:
+                if edge_lx > 0:
+                    net.add_resistor(
+                        f"x{ix},{iy}",
+                        node_name(ix, iy),
+                        f"xm{ix},{iy}",
+                        rx,
+                    )
+                    net.add_inductor(
+                        f"xl{ix},{iy}",
+                        f"xm{ix},{iy}",
+                        node_name(ix + 1, iy),
+                        edge_lx,
+                    )
+                else:
+                    net.add_resistor(
+                        f"x{ix},{iy}",
+                        node_name(ix, iy),
+                        node_name(ix + 1, iy),
+                        rx,
+                    )
+            if iy + 1 < ny:
+                if edge_ly > 0:
+                    net.add_resistor(
+                        f"y{ix},{iy}",
+                        node_name(ix, iy),
+                        f"ym{ix},{iy}",
+                        ry,
+                    )
+                    net.add_inductor(
+                        f"yl{ix},{iy}",
+                        f"ym{ix},{iy}",
+                        node_name(ix, iy + 1),
+                        edge_ly,
+                    )
+                else:
+                    net.add_resistor(
+                        f"y{ix},{iy}",
+                        node_name(ix, iy),
+                        node_name(ix, iy + 1),
+                        ry,
+                    )
+            c = float(c_map[iy, ix])
+            if c > 0:
+                esr = float(esr_map[iy, ix])
+                esl = float(esl_map[iy, ix])
+                chain = node_name(ix, iy)
+                if esr > 0 or esl > 0:
+                    net.add_capacitor(f"c{ix},{iy}", chain, f"d{ix},{iy}", c)
+                    chain = f"d{ix},{iy}"
+                    if esr > 0 and esl > 0:
+                        net.add_resistor(
+                            f"cr{ix},{iy}", chain, f"e{ix},{iy}", esr
+                        )
+                        net.add_inductor(
+                            f"cl{ix},{iy}", f"e{ix},{iy}", net.GROUND, esl
+                        )
+                    elif esr > 0:
+                        net.add_resistor(f"cr{ix},{iy}", chain, net.GROUND, esr)
+                    else:
+                        net.add_inductor(f"cl{ix},{iy}", chain, net.GROUND, esl)
+                else:
+                    net.add_capacitor(
+                        f"c{ix},{iy}", chain, net.GROUND, c
+                    )
+            if sinks is not None and sinks[iy, ix] > 0:
+                net.add_current_source(
+                    f"sink{ix},{iy}",
+                    node_name(ix, iy),
+                    net.GROUND,
+                    float(sinks[iy, ix]),
+                )
+    for k, (ix, iy, voltage, rout, l_src) in enumerate(sources):
+        net.add_voltage_source(f"v{k}", f"emf{k}", voltage)
+        if l_src > 0:
+            net.add_resistor(f"r{k}", f"emf{k}", f"mid{k}", rout)
+            net.add_inductor(f"l{k}", f"mid{k}", node_name(ix, iy), l_src)
+        else:
+            net.add_resistor(f"r{k}", f"emf{k}", node_name(ix, iy), rout)
+    return net
+
+
+def snap(pdn: GridACPDN, x: float, y: float) -> tuple[int, int]:
+    ix = min(int(round(x * (pdn.nx - 1))), pdn.nx - 1)
+    iy = min(int(round(y * (pdn.ny - 1))), pdn.ny - 1)
+    return ix, iy
+
+
+def attach_sources(
+    pdn: GridACPDN, draws: list[tuple]
+) -> list[tuple[int, int, float, float, float]]:
+    """Attach drawn sources to the grid, dropping position collisions,
+    and return the (ix, iy, V, rout, L) list for the lumped oracle."""
+    attached: list[tuple[int, int, float, float, float]] = []
+    taken: set[tuple[int, int]] = set()
+    for k, ((x, y), rout, l_src) in enumerate(draws):
+        ix, iy = snap(pdn, x, y)
+        if (ix, iy) in taken:
+            continue
+        taken.add((ix, iy))
+        pdn.add_source(f"s{k}", x, y, 1.0, rout, l_src)
+        attached.append((ix, iy, 1.0, rout, l_src))
+    return attached
+
+
+def assert_impedance_parity(
+    pdn: GridACPDN,
+    net: ACNetlist,
+    freqs: np.ndarray,
+    method: str,
+) -> None:
+    """Grid impedance map vs a per-node scalar probe loop."""
+    impedance = pdn.impedance_map(freqs, method=method)
+    for k, frequency in enumerate(freqs):
+        oracle = np.empty(pdn.nx * pdn.ny, dtype=complex)
+        for iy in range(pdn.ny):
+            for ix in range(pdn.nx):
+                name = node_name(ix, iy)
+                probe = probe_netlist(net, name)
+                oracle[iy * pdn.nx + ix] = solve_ac(
+                    probe, float(frequency)
+                ).voltage(name)
+        scale = max(float(np.abs(oracle).max()), 1e-12)
+        delta = np.abs(impedance.z_ohm[:, k] - oracle)
+        assert delta.max() <= RTOL * scale, (
+            f"{method} impedance map off by {delta.max():.3e} "
+            f"(scale {scale:.3e}) at {frequency:.4g} Hz"
+        )
+
+
+@given(
+    nx=st.integers(min_value=2, max_value=4),
+    ny=st.integers(min_value=2, max_value=4),
+    sheet=sheets,
+    data=st.data(),
+)
+@settings(max_examples=20, deadline=None)
+def test_direct_impedance_map_matches_scalar_oracle(nx, ny, sheet, data):
+    """Arbitrary per-node decap/ESL maps: direct engine vs solve_ac."""
+    cells = nx * ny
+    c_flat = data.draw(
+        st.lists(
+            st.one_of(st.just(0.0), caps), min_size=cells, max_size=cells
+        )
+    )
+    esr_flat = data.draw(st.lists(esrs, min_size=cells, max_size=cells))
+    esl_flat = data.draw(st.lists(esls, min_size=cells, max_size=cells))
+    source_draws = data.draw(
+        st.lists(
+            st.tuples(positions, routs, st.one_of(st.just(0.0), esls)),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    freqs = np.array(
+        sorted(
+            data.draw(
+                st.lists(frequencies, min_size=1, max_size=3, unique=True)
+            )
+        )
+    )
+
+    pdn = GridACPDN(1e-2, 1e-2, sheet, nx=nx, ny=ny)
+    c_map = np.array(c_flat).reshape(ny, nx)
+    esr_map = np.array(esr_flat).reshape(ny, nx)
+    esl_map = np.array(esl_flat).reshape(ny, nx)
+    if not np.any(c_map > 0):
+        c_map[0, 0] = 1e-7
+    pdn.set_decap_map(c_map, esr_map, esl_map)
+    sources = attach_sources(pdn, source_draws)
+    net = lumped_equivalent(
+        nx,
+        ny,
+        pdn.edge_resistance_x_ohm,
+        pdn.edge_resistance_y_ohm,
+        c_map,
+        esr_map,
+        esl_map,
+        sources,
+    )
+    assert_impedance_parity(pdn, net, freqs, method="direct")
+
+
+@given(
+    nx=st.integers(min_value=2, max_value=4),
+    ny=st.integers(min_value=2, max_value=4),
+    sheet=sheets,
+    unit_c=caps,
+    unit_esr=esrs,
+    unit_esl=esls,
+    data=st.data(),
+)
+@settings(max_examples=20, deadline=None)
+def test_spectral_impedance_map_matches_scalar_oracle(
+    nx, ny, sheet, unit_c, unit_esr, unit_esl, data
+):
+    """Density-model decaps: the spectral engine vs solve_ac.
+
+    The per-node maps the oracle sees are the folded parallel
+    combination: α·C with ESR/α and ESL/α.
+    """
+    cells = nx * ny
+    density = np.array(
+        data.draw(st.lists(densities, min_size=cells, max_size=cells))
+    ).reshape(ny, nx)
+    source_draws = data.draw(
+        st.lists(
+            st.tuples(positions, routs, st.one_of(st.just(0.0), esls)),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    freqs = np.array(
+        sorted(
+            data.draw(
+                st.lists(frequencies, min_size=1, max_size=3, unique=True)
+            )
+        )
+    )
+
+    pdn = GridACPDN(1e-2, 1e-2, sheet, nx=nx, ny=ny)
+    pdn.set_decap_density(density, unit_c, unit_esr, unit_esl)
+    sources = attach_sources(pdn, source_draws)
+    net = lumped_equivalent(
+        nx,
+        ny,
+        pdn.edge_resistance_x_ohm,
+        pdn.edge_resistance_y_ohm,
+        density * unit_c,
+        unit_esr / density,
+        unit_esl / density,
+        sources,
+    )
+    assert_impedance_parity(pdn, net, freqs, method="spectral")
+    # And the two engines against each other on the identical topology.
+    direct = pdn.impedance_map(freqs, method="direct")
+    spectral = pdn.impedance_map(freqs, method="spectral")
+    scale = max(float(np.abs(direct.z_ohm).max()), 1e-12)
+    assert np.abs(spectral.z_ohm - direct.z_ohm).max() <= RTOL * scale
+
+
+@given(
+    nx=st.integers(min_value=2, max_value=4),
+    ny=st.integers(min_value=2, max_value=3),
+    sheet=sheets,
+    unit_c=caps,
+    unit_esr=esrs,
+    edge_l=st.one_of(st.just(0.0), esls),
+    data=st.data(),
+)
+@settings(max_examples=15, deadline=None)
+def test_driven_sweep_matches_scalar_oracle(
+    nx, ny, sheet, unit_c, unit_esr, edge_l, data
+):
+    """The compiled driven path (sources live, sinks as AC loads)
+    reproduces solve_ac on the hand-built equivalent — including
+    inductive mesh metal and every internal chain node."""
+    cells = nx * ny
+    sinks = np.array(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=5.0),
+                min_size=cells,
+                max_size=cells,
+            )
+        )
+    ).reshape(ny, nx)
+    source_draws = data.draw(
+        st.lists(
+            st.tuples(positions, routs, st.one_of(st.just(0.0), esls)),
+            min_size=1,
+            max_size=2,
+        )
+    )
+    freqs = np.array(
+        sorted(
+            data.draw(
+                st.lists(frequencies, min_size=1, max_size=3, unique=True)
+            )
+        )
+    )
+
+    pdn = GridACPDN(
+        1e-2,
+        1e-2,
+        sheet,
+        nx=nx,
+        ny=ny,
+        edge_inductance_x_h=edge_l,
+        edge_inductance_y_h=edge_l,
+    )
+    pdn.set_decap_map(np.full((ny, nx), unit_c), unit_esr, 0.0)
+    pdn.set_sink_array(sinks)
+    sources = attach_sources(pdn, source_draws)
+    net = lumped_equivalent(
+        nx,
+        ny,
+        pdn.edge_resistance_x_ohm,
+        pdn.edge_resistance_y_ohm,
+        np.full((ny, nx), unit_c),
+        np.full((ny, nx), unit_esr),
+        np.zeros((ny, nx)),
+        sources,
+        sinks=sinks,
+        edge_lx=edge_l,
+        edge_ly=edge_l,
+    )
+
+    solution = pdn.solve(freqs)
+    maps = solution.voltage_maps
+    for k, frequency in enumerate(freqs):
+        reference = solve_ac(net, float(frequency))
+        oracle = np.array(
+            [
+                reference.voltage(node_name(ix, iy))
+                for iy in range(ny)
+                for ix in range(nx)
+            ]
+        ).reshape(ny, nx)
+        scale = max(float(np.abs(oracle).max()), 1e-12)
+        delta = np.abs(maps[k] - oracle)
+        assert delta.max() <= RTOL * scale, (
+            f"driven sweep off by {delta.max():.3e} "
+            f"(scale {scale:.3e}) at {frequency:.4g} Hz"
+        )

@@ -167,3 +167,166 @@ class TestDecapSizing:
     def test_rejects_bad_target(self):
         with pytest.raises(ConfigError):
             size_die_decap_for_target(simple_stages(), 0.0)
+
+
+class TestGridLadderCollapse:
+    """A 1xN chain grid with uniform decap IS the analytic ladder.
+
+    Each chain edge (R + jwL) followed by a node decap (C + ESR)
+    matches one :class:`PDNStage`, and the source's output resistance
+    plays the ladder's source impedance — so the grid-level AC engine
+    must collapse onto both closed forms (`pdn_impedance`) and the
+    compiled lumped path (`pdn_impedance_mna`) exactly.
+    """
+
+    N_STAGES = 4
+    EDGE_R = 1.2e-3
+    EDGE_L = 1e-10
+    DECAP_C = 2e-6
+    DECAP_ESR = 1.5e-3
+    SOURCE_R = 1e-4
+
+    @pytest.fixture(scope="class")
+    def collapse(self):
+        import numpy as np
+
+        from repro.pdn.grid import GridACPDN
+
+        nx = self.N_STAGES + 1
+        stages = [
+            PDNStage(
+                f"seg{k}",
+                self.EDGE_R,
+                self.EDGE_L,
+                self.DECAP_C,
+                self.DECAP_ESR,
+            )
+            for k in range(self.N_STAGES)
+        ]
+        # width = nx - 1, height = 1, sheet = R  ==>  each x edge is
+        # exactly R ohms; ny = 1 makes the mesh the ladder's chain.
+        pdn = GridACPDN(
+            width_m=float(nx - 1),
+            height_m=1.0,
+            sheet_ohm_sq=self.EDGE_R,
+            nx=nx,
+            ny=1,
+            edge_inductance_x_h=self.EDGE_L,
+        )
+        c_map = np.full((1, nx), self.DECAP_C)
+        c_map[0, 0] = 0.0  # the ladder has no shunt at the source node
+        esr_map = np.full((1, nx), self.DECAP_ESR)
+        esr_map[0, 0] = 0.0
+        pdn.set_decap_map(c_map, esr_map, 0.0)
+        pdn.add_source("vrm", 0.0, 0.0, 1.0, self.SOURCE_R)
+        freqs = np.logspace(4, 9, 61)
+        return pdn, stages, freqs
+
+    def test_edge_resistance_matches_stage(self, collapse):
+        pdn, _, _ = collapse
+        assert pdn.edge_resistance_x_ohm == pytest.approx(self.EDGE_R)
+
+    def test_die_node_matches_closed_form(self, collapse):
+        import numpy as np
+
+        pdn, stages, freqs = collapse
+        grid_z = pdn.impedance_map(freqs).node_profile(self.N_STAGES, 0)
+        ladder = pdn_impedance(
+            stages, freqs, source_impedance_ohm=self.SOURCE_R
+        )
+        np.testing.assert_allclose(
+            grid_z.impedance_ohm, ladder.impedance_ohm, rtol=1e-9
+        )
+
+    def test_die_node_matches_compiled_mna_ladder(self, collapse):
+        import numpy as np
+
+        from repro.pdn.impedance import pdn_impedance_mna
+
+        pdn, stages, freqs = collapse
+        grid_z = pdn.impedance_map(freqs).node_profile(self.N_STAGES, 0)
+        mna = pdn_impedance_mna(
+            stages, freqs, source_impedance_ohm=self.SOURCE_R
+        )
+        np.testing.assert_allclose(
+            grid_z.impedance_ohm, mna.impedance_ohm, rtol=1e-9
+        )
+
+    def test_low_frequency_impedance_grows_along_chain(self, collapse):
+        """At the resistive plateau, Z accumulates edge resistance
+        with distance from the source."""
+        pdn, _, freqs = collapse
+        impedance = pdn.impedance_map(freqs)
+        plateau = impedance.impedance_ohm[:, 0]
+        assert all(
+            later >= earlier * (1 - 1e-9)
+            for earlier, later in zip(plateau, plateau[1:])
+        )
+        assert impedance.worst_node()[0] == self.N_STAGES
+
+
+class TestGridDecapSizing:
+    """`size_grid_decap_for_target` against the real mesh Z(f)."""
+
+    def make_pdn(self):
+        import numpy as np
+
+        from repro.pdn.grid import GridACPDN
+
+        # Deliberately inductance-dominated (large bump L, light mesh)
+        # so the anti-resonant peak — the part decap can fix — is the
+        # worst point, not the resistive plateau.
+        pdn = GridACPDN(0.02, 0.02, 1e-4, nx=6, ny=6)
+        pdn.set_decap_density(1.0, 50e-9, 2e-3, 1e-12)
+        pdn.add_source("a", 0.0, 0.0, 1.0, 1e-4, 2e-9)
+        pdn.add_source("b", 1.0, 1.0, 1.0, 1e-4, 2e-9)
+        return pdn, np.logspace(4, 9, 61)
+
+    def test_sizing_reaches_reachable_target(self):
+        from repro.pdn.impedance import size_grid_decap_for_target
+
+        pdn, freqs = self.make_pdn()
+        baseline = pdn.impedance_map(freqs).peak_impedance_ohm
+        original_total = pdn.total_decap_farad
+        rec = size_grid_decap_for_target(
+            pdn, baseline * 0.5, frequencies_hz=freqs
+        )
+        assert rec.meets_target
+        assert rec.recommended_farad > rec.original_farad
+        assert rec.original_farad == pytest.approx(original_total)
+        # The search restores the caller's decap allocation.
+        assert pdn.total_decap_farad == pytest.approx(original_total)
+
+    def test_sizing_noop_when_already_passing(self):
+        from repro.pdn.impedance import size_grid_decap_for_target
+
+        pdn, freqs = self.make_pdn()
+        baseline = pdn.impedance_map(freqs).peak_impedance_ohm
+        rec = size_grid_decap_for_target(
+            pdn, baseline * 1.5, frequencies_hz=freqs
+        )
+        assert rec.meets_target
+        assert rec.recommended_farad == pytest.approx(rec.original_farad)
+
+    def test_sizing_reports_failure_at_scale_limit(self):
+        from repro.pdn.impedance import size_grid_decap_for_target
+
+        pdn, freqs = self.make_pdn()
+        rec = size_grid_decap_for_target(
+            pdn, 1e-12, max_scale=4.0, frequencies_hz=freqs
+        )
+        assert not rec.meets_target
+
+    def test_rejects_bad_target_and_missing_decap(self):
+        import numpy as np
+
+        from repro.pdn.grid import GridACPDN
+        from repro.pdn.impedance import size_grid_decap_for_target
+
+        pdn, _ = self.make_pdn()
+        with pytest.raises(ConfigError):
+            size_grid_decap_for_target(pdn, 0.0)
+        bare = GridACPDN(0.02, 0.02, 1e-3, nx=4, ny=4)
+        bare.add_source("a", 0.5, 0.5, 1.0, 1e-3)
+        with pytest.raises(ConfigError):
+            size_grid_decap_for_target(bare, 1e-3)

@@ -112,3 +112,94 @@ class TestValidation:
     def test_empty_comparison_rejected(self):
         with pytest.raises(ConfigError):
             compare_architectures([], DSCH)
+
+
+class TestImpedanceMap:
+    """Grid-level AC impedance maps on the same die grid."""
+
+    @pytest.fixture(scope="class")
+    def a2_impedance(self):
+        import numpy as np
+
+        from repro.core.ir_drop import analyze_impedance_map
+
+        return analyze_impedance_map(
+            single_stage_a2(),
+            DSCH,
+            grid_nodes=10,
+            frequencies_hz=np.logspace(4, 9, 61),
+        )
+
+    def test_report_shape(self, a2_impedance):
+        report = a2_impedance
+        assert report.architecture == "A2"
+        assert report.peak_impedance_ohm > 0
+        assert 1e4 <= report.peak_frequency_hz <= 1e9
+        x, y = report.worst_node
+        assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+        assert report.impedance.impedance_ohm.shape == (100, 61)
+
+    def test_margin_is_target_over_peak(self, a2_impedance):
+        assert a2_impedance.margin == pytest.approx(
+            a2_impedance.target_ohm / a2_impedance.peak_impedance_ohm
+        )
+
+    def test_target_follows_standard_rule(self, a2_impedance):
+        from repro.config import SystemSpec
+        from repro.pdn.impedance import target_impedance_ohm
+
+        spec = SystemSpec()
+        assert a2_impedance.target_ohm == pytest.approx(
+            target_impedance_ohm(
+                spec.pol_voltage_v, 0.05, 0.5 * spec.pol_current_a
+            )
+        )
+
+    def test_meets_target_consistent_with_map(self, a2_impedance):
+        assert a2_impedance.meets_target == a2_impedance.impedance.meets_target(
+            a2_impedance.target_ohm
+        )
+
+    def test_more_decap_lowers_peak(self):
+        import numpy as np
+
+        from repro.core.ir_drop import analyze_impedance_map
+
+        freqs = np.logspace(4, 9, 41)
+        sparse = analyze_impedance_map(
+            single_stage_a2(),
+            DSCH,
+            grid_nodes=8,
+            decap_density=0.25,
+            frequencies_hz=freqs,
+        )
+        dense = analyze_impedance_map(
+            single_stage_a2(),
+            DSCH,
+            grid_nodes=8,
+            decap_density=8.0,
+            frequencies_hz=freqs,
+        )
+        assert dense.peak_impedance_ohm < sparse.peak_impedance_ohm
+
+    def test_rejects_non_vertical(self):
+        from repro.core.ir_drop import analyze_impedance_map
+
+        with pytest.raises(ConfigError):
+            analyze_impedance_map(reference_a0(), DSCH)
+
+    def test_rejects_bad_transient_fraction(self):
+        from repro.core.ir_drop import analyze_impedance_map
+
+        with pytest.raises(ConfigError):
+            analyze_impedance_map(
+                single_stage_a2(), DSCH, transient_fraction=0.0
+            )
+
+    def test_rejects_bad_density(self):
+        from repro.core.ir_drop import analyze_impedance_map
+
+        with pytest.raises(ConfigError):
+            analyze_impedance_map(
+                single_stage_a2(), DSCH, decap_density=-1.0
+            )

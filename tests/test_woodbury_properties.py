@@ -207,3 +207,80 @@ def test_removed_resistor_matches_rebuilt_netlist(feeds, load):
     ) <= 1e-9 * max(1.0, abs(oracle.voltage("pol")))
     assert modified.resistor_currents["feed[0]"] == 0.0
     assert modified.resistor_losses["feed[0]"] == 0.0
+
+
+@given(
+    n=grids,
+    sheet=sheets,
+    sources=st.lists(positions, min_size=3, max_size=5),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_batched_scenarios_match_refactorized(n, sheet, sources, data):
+    """solve_modified_many (batched Woodbury) equals per-scenario
+    refactorized solves, across mixed disable/removal sweeps."""
+    grid = build_grid(n, sheet, sources, 1.0, 1e-3, 0.1)
+    solver = FactorizedPDN(grid.compile())
+    mesh_edges = 2 * n * (n - 1)
+    scenario_count = data.draw(st.integers(min_value=1, max_value=4))
+    scenarios = []
+    for _ in range(scenario_count):
+        failed = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(sources) - 1),
+                min_size=0,
+                max_size=len(sources) - 1,
+                unique=True,
+            )
+        )
+        removed = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=mesh_edges - 1),
+                min_size=0,
+                max_size=2,
+                unique=True,
+            )
+        )
+        assume(stays_powered(grid, removed, failed))
+        scenarios.append((tuple(failed), tuple(removed)))
+
+    batched = solver.solve_modified_many(scenarios, method="woodbury")
+    assert len(batched) == len(scenarios)
+    for (failed, removed), fast in zip(scenarios, batched):
+        oracle = solver.solve_modified(
+            disable_sources=failed,
+            remove_resistors=removed,
+            method="refactor",
+        )
+        scale = max(float(np.abs(oracle.node_voltage_array).max()), 1e-12)
+        delta = np.abs(fast.node_voltage_array - oracle.node_voltage_array)
+        assert delta.max() <= 1e-9 * scale
+
+
+@given(
+    n=grids,
+    sheet=sheets,
+    sources=st.lists(positions, min_size=2, max_size=4),
+    data=st.data(),
+)
+@settings(max_examples=15, deadline=None)
+def test_batched_refactor_method_matches_woodbury_batch(n, sheet, sources, data):
+    """The method="refactor" oracle path of the batched API agrees
+    with the batched Woodbury path on the same sweep."""
+    grid = build_grid(n, sheet, sources, 1.0, 1e-3, 0.1)
+    solver = FactorizedPDN(grid.compile())
+    failed = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(sources) - 1),
+            min_size=1,
+            max_size=len(sources) - 1,
+            unique=True,
+        )
+    )
+    scenarios = [(tuple(failed), ()), ((), ())]
+    fast = solver.solve_modified_many(scenarios, method="woodbury")
+    oracle = solver.solve_modified_many(scenarios, method="refactor")
+    for got, want in zip(fast, oracle):
+        scale = max(float(np.abs(want.node_voltage_array).max()), 1e-12)
+        delta = np.abs(got.node_voltage_array - want.node_voltage_array)
+        assert delta.max() <= 1e-9 * scale
