@@ -22,7 +22,17 @@ shapes the system-level sweeps rely on:
   ``solve_modified_many`` (three batched back-substitutions total),
 * ``test_grid_ac_impedance_map`` — the grid-level AC engine: die-seen
   per-node Z(f) over a 200-point sweep at mesh sizes 8/16/24
-  (``GridACPDN.impedance_map``, compile once / revalue per frequency).
+  (``GridACPDN.impedance_map``, compile once / revalue per frequency),
+* ``test_grid_solve_structured`` / ``test_grid_solve_factorized_large``
+  / ``test_grid_solve_structured_warm`` — the fast-Poisson DC engine
+  at 128/192/256 meshes against the sparse-LU path, plus the 256×256
+  warm hot loop (<50 ms target),
+* ``test_grid_ac_impedance_map_spectral`` / ``..._structured`` — the
+  modal AC engines head to head at 16/32/96 meshes.
+
+Rows marked ``large_mesh`` take hundreds of milliseconds each; skip
+them with ``run_benchmarks.py --skip-large`` (or ``-m "not
+large_mesh"``) when iterating.
 
 Run ``python benchmarks/run_benchmarks.py`` to record the results in
 ``BENCH_solver.json``; ``--check`` compares a fresh run against that
@@ -40,8 +50,8 @@ from repro.pdn.mna import FactorizedPDN
 from repro.pdn.powermap import PowerMap
 
 
-def make_grid(n: int) -> GridPDN:
-    grid = GridPDN(0.0224, 0.0224, 0.62e-3, nx=n, ny=n)
+def make_grid(n: int, engine: str = "auto") -> GridPDN:
+    grid = GridPDN(0.0224, 0.0224, 0.62e-3, nx=n, ny=n, engine=engine)
     grid.set_sinks(PowerMap.hotspot_mixture(), 1000.0)
     for k in range(8):
         t = k / 8.0
@@ -49,13 +59,58 @@ def make_grid(n: int) -> GridPDN:
     return grid
 
 
-def solve_grid(n: int) -> float:
-    return make_grid(n).solve().lateral_loss_w
+def solve_grid(n: int, engine: str = "auto") -> float:
+    return make_grid(n, engine).solve().lateral_loss_w
 
 
 @pytest.mark.parametrize("n", [16, 32, 48, 64, 96])
 def test_grid_solve_scaling(benchmark, n):
     loss = benchmark(solve_grid, n)
+    assert loss > 0
+
+
+# -- structured large-mesh DC solves ------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "n",
+    [
+        128,
+        pytest.param(192, marks=pytest.mark.large_mesh),
+        pytest.param(256, marks=pytest.mark.large_mesh),
+    ],
+)
+def test_grid_solve_structured(benchmark, n):
+    """Cold solves through the fast-Poisson engine at signoff meshes."""
+    loss = benchmark(solve_grid, n, "structured")
+    assert loss > 0
+
+
+@pytest.mark.large_mesh
+@pytest.mark.parametrize("n", [128, 256])
+def test_grid_solve_factorized_large(benchmark, n):
+    """The sparse-LU engine on the same meshes — the old-path rows the
+    structured speedup is measured against."""
+    loss = benchmark(solve_grid, n, "factorized")
+    assert loss > 0
+
+
+@pytest.mark.large_mesh
+def test_grid_solve_structured_warm(benchmark):
+    """256×256 varying-sink solves on a cached structured operator:
+    the interactive signoff hot loop (<50 ms target)."""
+    n = 256
+    grid = make_grid(n, engine="structured")
+    base = PowerMap.hotspot_mixture().cell_currents(n, n, 1000.0)
+    grid.solve()  # warm the DCT structure
+    step = {"i": 0}
+
+    def rescale_and_solve() -> float:
+        step["i"] += 1
+        grid.set_sink_array(base * (0.5 + (step["i"] % 16) / 16.0))
+        return grid.solve().lateral_loss_w
+
+    loss = benchmark(rescale_and_solve)
     assert loss > 0
 
 
@@ -235,5 +290,33 @@ def test_grid_ac_impedance_map(benchmark, n):
     pdn.impedance_map(freqs)  # compile + eigendecomposition, once
 
     impedance = benchmark(pdn.impedance_map, freqs)
+    assert impedance.peak_impedance_ohm > 0
+    assert np.all(np.isfinite(impedance.z_ohm))
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_grid_ac_impedance_map_spectral(benchmark, n):
+    """The previous-generation modal engine, pinned explicitly so the
+    old-vs-new engine gap stays visible in the record."""
+    pdn = make_grid_ac(n)
+    freqs = np.logspace(4, 9, GRID_AC_POINTS)
+    pdn.impedance_map(freqs, method="spectral")
+
+    impedance = benchmark(pdn.impedance_map, freqs, method="spectral")
+    assert impedance.peak_impedance_ohm > 0
+    assert np.all(np.isfinite(impedance.z_ohm))
+
+
+@pytest.mark.parametrize(
+    "n", [32, pytest.param(96, marks=pytest.mark.large_mesh)]
+)
+def test_grid_ac_impedance_map_structured(benchmark, n):
+    """The DCT-diagonalized engine at meshes the dense/spectral paths
+    cannot reach interactively."""
+    pdn = make_grid_ac(n)
+    freqs = np.logspace(4, 9, GRID_AC_POINTS)
+    pdn.impedance_map(freqs, method="structured")
+
+    impedance = benchmark(pdn.impedance_map, freqs, method="structured")
     assert impedance.peak_impedance_ohm > 0
     assert np.all(np.isfinite(impedance.z_ohm))

@@ -10,6 +10,14 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "large_mesh: hundreds-of-ms solver rows; excluded by "
+        'run_benchmarks.py --skip-large / -m "not large_mesh"',
+    )
+
+
 def print_header(title: str) -> None:
     """Uniform banner for bench reports."""
     print()

@@ -32,6 +32,15 @@ from .network import (
     VoltageSource,
 )
 from .mna import DCSolution, FactorizedPDN, solve_dc
+from .backend import ArrayBackend, active_backend, resolve_backend
+from .fast_poisson import (
+    FastPoissonOperator,
+    StructuredGridPDN,
+    StructuredSolveError,
+    dct2_basis,
+    poisson_mode_eigenvalues,
+)
+from .pcg import PCGResult, pcg_solve
 from .planes import (
     annular_spreading_resistance,
     disk_edge_feed_resistance,
@@ -86,6 +95,16 @@ __all__ = [
     "solve_dc",
     "DCSolution",
     "FactorizedPDN",
+    "ArrayBackend",
+    "active_backend",
+    "resolve_backend",
+    "FastPoissonOperator",
+    "StructuredGridPDN",
+    "StructuredSolveError",
+    "dct2_basis",
+    "poisson_mode_eigenvalues",
+    "PCGResult",
+    "pcg_solve",
     "sheet_resistance",
     "plane_resistance",
     "annular_spreading_resistance",

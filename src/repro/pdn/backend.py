@@ -1,0 +1,213 @@
+"""Minimal pluggable array backend for the numerical kernels.
+
+The compiled stamps and the structured (fast-Poisson / PCG) solver
+kernels do their array work through an :class:`ArrayBackend` instead
+of importing numpy directly, so the same code can run on a GPU array
+library later.  Selection is by name:
+
+* ``"numpy"`` — the default; ``xp`` is numpy and the DCT/DST
+  transforms come from ``scipy.fft``.
+* ``"cupy"`` — GPU arrays via CuPy (transforms from
+  ``cupyx.scipy.fft`` when present, else a host round-trip).
+* ``"torch"`` — PyTorch tensors for the dense algebra; transforms
+  round-trip through scipy on the host.
+
+The active backend is chosen by the ``REPRO_BACKEND`` environment
+variable (checked per call, cached per name).  A requested library
+that is not importable degrades to numpy with a *single* warning per
+process — an absent GPU stack must never break a CPU run.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+import scipy.fft as sfft
+
+from ..errors import ConfigError
+
+#: Environment variable naming the requested backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Recognized backend names.
+KNOWN_BACKENDS = ("numpy", "cupy", "torch")
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One array library behind a numpy-flavoured namespace.
+
+    Attributes:
+        name: resolved backend name ("numpy" after a fallback).
+        requested: the name that was asked for (differs from ``name``
+            only when the requested library was missing).
+        xp: the array namespace (numpy, cupy, or a torch adapter).
+        is_gpu: True when arrays live off-host.
+    """
+
+    name: str
+    requested: str
+    xp: Any
+    is_gpu: bool = False
+    _to_numpy: Callable[[Any], np.ndarray] = field(
+        default=np.asarray, repr=False
+    )
+    _from_numpy: Callable[[np.ndarray], Any] = field(
+        default=np.asarray, repr=False
+    )
+    _dctn: Callable[..., Any] | None = field(default=None, repr=False)
+    _idctn: Callable[..., Any] | None = field(default=None, repr=False)
+
+    def asarray(self, values, dtype=None):
+        """``xp.asarray`` with an optional dtype."""
+        if dtype is None:
+            return self.xp.asarray(values)
+        return self.xp.asarray(values, dtype=dtype)
+
+    def to_numpy(self, values) -> np.ndarray:
+        """Bring an array back to host numpy (identity on numpy)."""
+        return self._to_numpy(values)
+
+    def from_numpy(self, values: np.ndarray):
+        """Move a host array onto the backend."""
+        return self._from_numpy(values)
+
+    def dctn(self, values, axes, type: int = 2, norm: str = "ortho"):
+        """N-D DCT on the backend (host round-trip when unsupported)."""
+        if self._dctn is not None:
+            return self._dctn(values, type=type, axes=axes, norm=norm)
+        host = sfft.dctn(self.to_numpy(values), type=type, axes=axes, norm=norm)
+        return self.from_numpy(host)
+
+    def idctn(self, values, axes, type: int = 2, norm: str = "ortho"):
+        """Inverse of :meth:`dctn` with matching type and norm."""
+        if self._idctn is not None:
+            return self._idctn(values, type=type, axes=axes, norm=norm)
+        host = sfft.idctn(
+            self.to_numpy(values), type=type, axes=axes, norm=norm
+        )
+        return self.from_numpy(host)
+
+
+def _numpy_backend(requested: str = "numpy") -> ArrayBackend:
+    return ArrayBackend(
+        name="numpy",
+        requested=requested,
+        xp=np,
+        is_gpu=False,
+        _to_numpy=np.asarray,
+        _from_numpy=np.asarray,
+        _dctn=sfft.dctn,
+        _idctn=sfft.idctn,
+    )
+
+
+def _cupy_backend() -> ArrayBackend:
+    import cupy  # noqa: F401 — availability probe
+
+    try:
+        from cupyx.scipy.fft import dctn as cp_dctn
+        from cupyx.scipy.fft import idctn as cp_idctn
+    except ImportError:  # pragma: no cover - depends on cupy build
+        cp_dctn = cp_idctn = None
+    return ArrayBackend(
+        name="cupy",
+        requested="cupy",
+        xp=cupy,
+        is_gpu=True,
+        _to_numpy=cupy.asnumpy,
+        _from_numpy=cupy.asarray,
+        _dctn=cp_dctn,
+        _idctn=cp_idctn,
+    )
+
+
+class _TorchNamespace:
+    """The thin numpy-flavoured face of torch the kernels rely on."""
+
+    def __init__(self, torch) -> None:  # pragma: no cover - needs torch
+        self._torch = torch
+
+    def __getattr__(self, item):  # pragma: no cover - needs torch
+        return getattr(self._torch, item)
+
+    def asarray(self, values, dtype=None):  # pragma: no cover
+        tensor = self._torch.as_tensor(values)
+        if dtype is not None:
+            tensor = tensor.to(getattr(self._torch, np.dtype(dtype).name))
+        return tensor
+
+
+def _torch_backend() -> ArrayBackend:  # pragma: no cover - needs torch
+    import torch
+
+    return ArrayBackend(
+        name="torch",
+        requested="torch",
+        xp=_TorchNamespace(torch),
+        is_gpu=torch.cuda.is_available(),
+        _to_numpy=lambda t: t.detach().cpu().numpy(),
+        _from_numpy=torch.as_tensor,
+    )
+
+
+_LOADERS: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": _numpy_backend,
+    "cupy": _cupy_backend,
+    "torch": _torch_backend,
+}
+
+_CACHE: dict[str, ArrayBackend] = {}
+
+
+def resolve_backend(name: str | None = None) -> ArrayBackend:
+    """The backend for ``name`` (default: ``REPRO_BACKEND`` or numpy).
+
+    Unknown names raise :class:`~repro.errors.ConfigError`; a known
+    but unimportable library warns once and falls back to numpy.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "").strip() or "numpy"
+    name = name.lower()
+    if name not in _LOADERS:
+        raise ConfigError(
+            f"unknown array backend {name!r}; expected one of "
+            f"{', '.join(KNOWN_BACKENDS)}"
+        )
+    cached = _CACHE.get(name)
+    if cached is not None:
+        return cached
+    try:
+        backend = _LOADERS[name]()
+    except ImportError:
+        warnings.warn(
+            f"{BACKEND_ENV_VAR}={name} requested but {name!r} is not "
+            "importable; falling back to the numpy backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        backend = ArrayBackend(
+            name="numpy",
+            requested=name,
+            xp=np,
+            _to_numpy=np.asarray,
+            _from_numpy=np.asarray,
+            _dctn=sfft.dctn,
+            _idctn=sfft.idctn,
+        )
+    _CACHE[name] = backend
+    return backend
+
+
+def active_backend() -> ArrayBackend:
+    """The backend selected by the environment (numpy by default)."""
+    return resolve_backend(None)
+
+
+def _reset_backend_cache() -> None:
+    """Drop cached backends (tests re-trigger the fallback warning)."""
+    _CACHE.clear()

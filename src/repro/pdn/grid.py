@@ -33,12 +33,18 @@ import scipy.sparse.linalg as spla
 
 from ..errors import ConfigError, SolverError
 from .ac import (
-    DENSE_SWEEP_CUTOFF,
     _DENSE_BATCH_ENTRIES,
     ACSweepSolution,
     CompiledACNetlist,
     check_frequencies,
+    grid_direct_mode,
     shared_csc_pattern,
+)
+from .fast_poisson import (
+    StructuredGridPDN,
+    StructuredSolveError,
+    dct2_basis,
+    poisson_mode_eigenvalues,
 )
 from .impedance import ImpedanceProfile
 from .mna import (
@@ -132,29 +138,49 @@ class GridSolution:
         }
 
 
+#: ``engine="auto"`` meshes at or above this cell count solve through
+#: the structured (fast-Poisson) engine; smaller meshes stay on the
+#: cached sparse LU, whose warm back-substitutions are already cheap
+#: and whose cold factorization only starts to hurt past this size.
+STRUCTURED_AUTO_MIN_CELLS = 4096
+
+
 @dataclass
 class _GridStructure:
     """Cached assembly (and, lazily, factorization) of one topology.
 
     ``key`` captures everything that shapes the MNA matrix (mesh
     resistances, source attachment points and output resistances, ring
-    bus).  Sink currents and source voltages are RHS-only and do not
-    participate.  The factorization is created on first solve so that
+    bus, per-edge variation).  Sink currents and source voltages are
+    RHS-only and do not participate.  Both engines are created on
+    first use: the sparse LU factorization so that
     :meth:`GridPDN.compile` can hand out the array form without paying
-    for (or duplicating) an LU decomposition.
+    for (or duplicating) an LU decomposition, and the structured
+    fast-Poisson engine so that factorized-only workloads never pay
+    for transforms.
     """
 
     key: tuple
     compiled: CompiledNetlist
     grid_edge_count: int
     lateral_count: int  # grid edges + ring segments
+    fast_spec: dict | None = None
     _solver: FactorizedPDN | None = None
+    _fast: StructuredGridPDN | None = None
 
     @property
     def solver(self) -> FactorizedPDN:
         if self._solver is None:
             self._solver = FactorizedPDN(self.compiled)
         return self._solver
+
+    @property
+    def fast(self) -> StructuredGridPDN:
+        if self._fast is None:
+            self._fast = StructuredGridPDN(
+                compiled=self.compiled, **self.fast_spec
+            )
+        return self._fast
 
 
 class GridPDN:
@@ -168,7 +194,16 @@ class GridPDN:
         rail_pair_factor: multiply lateral loss by this factor to
             account for the return (ground) network; 2.0 assumes a
             symmetric ground grid.
+        engine: DC solve engine — ``"auto"`` (structured fast-Poisson
+            at or above :data:`STRUCTURED_AUTO_MIN_CELLS` cells with a
+            transparent sparse-LU fallback, cached LU below),
+            ``"structured"`` (force the fast path; raises
+            :class:`~repro.pdn.fast_poisson.StructuredSolveError` when
+            it cannot converge), or ``"factorized"`` (force the exact
+            sparse-LU oracle).
     """
+
+    _ENGINES = ("auto", "structured", "factorized")
 
     def __init__(
         self,
@@ -178,6 +213,7 @@ class GridPDN:
         nx: int = 24,
         ny: int = 24,
         rail_pair_factor: float = 2.0,
+        engine: str = "auto",
     ) -> None:
         if width_m <= 0 or height_m <= 0:
             raise ConfigError("grid extents must be positive")
@@ -193,9 +229,17 @@ class GridPDN:
         self.nx = nx
         self.ny = ny
         self.rail_pair_factor = rail_pair_factor
+        if engine not in self._ENGINES:
+            raise ConfigError(
+                f"unknown solve engine {engine!r}; expected one of "
+                f"{', '.join(self._ENGINES)}"
+            )
+        self.engine = engine
         self._sources: list[tuple[str, int, int, float, float]] = []
         self._sink_map: np.ndarray | None = None
         self._ring_bus_ohm: float | None = None
+        self._edge_scale_x: np.ndarray | None = None
+        self._edge_scale_y: np.ndarray | None = None
         self._mesh_edges_cache: tuple[np.ndarray, ...] | None = None
         self._structure: _GridStructure | None = None
         self._topology_dirty = True
@@ -273,6 +317,43 @@ class GridPDN:
         """Names of attached sources in attachment order."""
         return [s[0] for s in self._sources]
 
+    def set_edge_resistance_scale(
+        self, x_scale=None, y_scale=None
+    ) -> None:
+        """Apply per-edge metal-variation multipliers to the mesh.
+
+        ``x_scale`` (shape ``(ny, nx-1)``) and ``y_scale`` (shape
+        ``(ny-1, nx)``) multiply the nominal per-edge resistances —
+        line-width/thickness variation, partially depopulated straps,
+        or localized metal cheese.  Factors must be positive; pass
+        ``None`` (the default) for either axis to restore uniform
+        metal.  Non-uniform meshes solve through fast-Poisson-
+        preconditioned CG on the structured engine, or exactly through
+        the factorized engine.
+        """
+
+        def as_scale(value, shape, label: str) -> np.ndarray | None:
+            if value is None:
+                return None
+            arr = np.asarray(value, dtype=float)
+            if arr.shape != shape:
+                raise ConfigError(
+                    f"{label} edge scale must be shaped {shape}"
+                )
+            if not np.all(arr > 0):
+                raise ConfigError(
+                    f"{label} edge scale factors must be positive"
+                )
+            return arr.copy()
+
+        self._edge_scale_x = as_scale(
+            x_scale, (self.ny, self.nx - 1), "x"
+        )
+        self._edge_scale_y = as_scale(
+            y_scale, (self.ny - 1, self.nx), "y"
+        )
+        self._topology_dirty = True
+
     # -- edge resistances -------------------------------------------------------
 
     @property
@@ -304,15 +385,23 @@ class GridPDN:
         def node(ix: int, iy: int) -> tuple[str, int, int]:
             return ("g", ix, iy)
 
+        sx = self._edge_scale_x
+        sy = self._edge_scale_y
         for iy in range(self.ny):
             for ix in range(self.nx):
                 if ix + 1 < self.nx:
                     netlist.add_resistor(
-                        f"grid.x[{ix},{iy}]", node(ix, iy), node(ix + 1, iy), rx
+                        f"grid.x[{ix},{iy}]",
+                        node(ix, iy),
+                        node(ix + 1, iy),
+                        rx if sx is None else rx * sx[iy, ix],
                     )
                 if iy + 1 < self.ny:
                     netlist.add_resistor(
-                        f"grid.y[{ix},{iy}]", node(ix, iy), node(ix, iy + 1), ry
+                        f"grid.y[{ix},{iy}]",
+                        node(ix, iy),
+                        node(ix, iy + 1),
+                        ry if sy is None else ry * sy[iy, ix],
                     )
 
         # Sinks: cell (i,j) current attached to its node.
@@ -376,6 +465,8 @@ class GridPDN:
             self.edge_resistance_y_ohm,
             tuple((name, ix, iy, r_out) for name, ix, iy, _, r_out in self._sources),
             self._ring_bus_ohm,
+            None if self._edge_scale_x is None else self._edge_scale_x.tobytes(),
+            None if self._edge_scale_y is None else self._edge_scale_y.tobytes(),
         )
 
     def _build_structure(self, key: tuple) -> _GridStructure:
@@ -396,10 +487,16 @@ class GridPDN:
 
         res_a = np.concatenate([x_a, y_a, ring_a, emf_rows])
         res_b = np.concatenate([x_b, y_b, ring_b, attach_rows])
+        r_x = np.full(x_a.size, rx)
+        r_y = np.full(y_a.size, ry)
+        if self._edge_scale_x is not None:
+            r_x *= self._edge_scale_x.ravel()
+        if self._edge_scale_y is not None:
+            r_y *= self._edge_scale_y.ravel()
         res_ohm = np.concatenate(
             [
-                np.full(x_a.size, rx),
-                np.full(y_a.size, ry),
+                r_x,
+                r_y,
                 np.full(len(segments), self._ring_bus_ohm or 0.0),
                 np.array([r_out for *_, r_out in sources]),
             ]
@@ -425,12 +522,14 @@ class GridPDN:
                 f"sink[{ix},{iy}]" for iy in range(ny) for ix in range(nx)
             ]
 
-        nodes = tuple(
-            ("g", ix, iy) for iy in range(ny) for ix in range(nx)
-        ) + tuple((f"src.{name}", "emf") for name, *_ in sources)
+        def node_ids() -> tuple:
+            return tuple(
+                ("g", ix, iy) for iy in range(ny) for ix in range(nx)
+            ) + tuple((f"src.{name}", "emf") for name, *_ in sources)
 
         compiled = CompiledNetlist(
-            nodes=nodes,
+            nodes=node_ids,
+            n_nodes=cells + len(sources),
             res_a=res_a,
             res_b=res_b,
             res_ohm=res_ohm,
@@ -445,11 +544,29 @@ class GridPDN:
             vs_names=tuple(f"src.{name}.v" for name, *_ in sources),
         )
         grid_edge_count = x_a.size + y_a.size
+        fast_spec = dict(
+            nx=nx,
+            ny=ny,
+            edge_conductance_x=1.0 / rx,
+            edge_conductance_y=1.0 / ry,
+            attach_rows=attach_rows,
+            source_conductance=np.array(
+                [1.0 / r_out for *_, r_out in sources]
+            ),
+            ring_a=ring_a,
+            ring_b=ring_b,
+            ring_conductance=np.full(
+                len(segments), 1.0 / (self._ring_bus_ohm or 1.0)
+            ),
+            edge_scale_x=self._edge_scale_x,
+            edge_scale_y=self._edge_scale_y,
+        )
         return _GridStructure(
             key=key,
             compiled=compiled,
             grid_edge_count=grid_edge_count,
             lateral_count=grid_edge_count + len(segments),
+            fast_spec=fast_spec,
         )
 
     def _ensure_structure(self) -> _GridStructure:
@@ -474,16 +591,101 @@ class GridPDN:
             vs_volt=np.array([s[3] for s in self._sources]),
         )
 
+    def _resolve_engine(self) -> str:
+        """The engine this solve will try first."""
+        if self.engine != "auto":
+            return self.engine
+        return (
+            "structured"
+            if self.nx * self.ny >= STRUCTURED_AUTO_MIN_CELLS
+            else "factorized"
+        )
+
+    def _structured_call(self, structure: _GridStructure, run, fallback):
+        """Run ``run`` on the structured engine, falling back to
+        ``fallback`` (the factorized path) under ``engine="auto"``
+        when the structured solve cannot converge."""
+        try:
+            return run(structure.fast)
+        except StructuredSolveError:
+            if self.engine == "structured":
+                raise
+            return fallback()
+
     def solve(self, check: bool = True) -> GridSolution:
         """Solve the grid and return per-source currents and losses.
 
-        The first solve of a topology assembles and factorizes the MNA
-        system; later solves with the same topology (possibly new sink
-        maps or source voltages) reuse the factorization.
+        The engine-selection layer (see the ``engine`` constructor
+        argument) picks between the structured fast-Poisson path and
+        the cached sparse LU.  Either way the first solve of a
+        topology pays the setup (transform columns or factorization);
+        later solves with the same topology (possibly new sink maps or
+        source voltages) reuse it.
         """
         structure, sinks, volts = self._solve_inputs()
-        dc = structure.solver.solve(cs_amp=sinks, vs_volt=volts, check=check)
+        if self._resolve_engine() == "structured":
+            dc = self._structured_call(
+                structure,
+                lambda fast: fast.solve(sinks, volts, check=check),
+                lambda: structure.solver.solve(
+                    cs_amp=sinks, vs_volt=volts, check=check
+                ),
+            )
+        else:
+            dc = structure.solver.solve(
+                cs_amp=sinks, vs_volt=volts, check=check
+            )
         return self._package_solution(structure, dc, sinks)
+
+    def solve_many(
+        self, sink_maps, check: bool = True
+    ) -> list[GridSolution]:
+        """Solve a stack of sink scenarios against one topology.
+
+        ``sink_maps`` is an iterable of ``(ny, nx)`` arrays (or an
+        ``(k, ny, nx)`` stack); source voltages stay as attached.  On
+        the structured engine the whole stack shares one batched
+        transform pair; on the factorized engine it shares the cached
+        LU.  Returns one :class:`GridSolution` per scenario.
+        """
+        if not self._sources:
+            raise ConfigError("no sources attached; call add_source first")
+        stack = np.asarray(sink_maps, dtype=float)
+        if stack.ndim == 2 and stack.shape == (self.ny, self.nx):
+            stack = stack[None]
+        if stack.ndim != 3 or stack.shape[1:] != (self.ny, self.nx):
+            raise ConfigError(
+                "sink maps must be a stack of "
+                f"({self.ny}, {self.nx}) arrays"
+            )
+        if np.any(stack < 0):
+            raise ConfigError("sink currents must be non-negative")
+        structure = self._ensure_structure()
+        volts = np.array([s[3] for s in self._sources])
+        flat = np.ascontiguousarray(stack).reshape(
+            stack.shape[0], self.nx * self.ny
+        )
+
+        def factorized() -> list[DCSolution]:
+            return [
+                structure.solver.solve(
+                    cs_amp=row, vs_volt=volts, check=check
+                )
+                for row in flat
+            ]
+
+        if self._resolve_engine() == "structured":
+            solved = self._structured_call(
+                structure,
+                lambda fast: fast.solve_many(flat, volts, check=check),
+                factorized,
+            )
+        else:
+            solved = factorized()
+        return [
+            self._package_solution(structure, dc, row)
+            for dc, row in zip(solved, flat)
+        ]
 
     def solve_disabled(
         self,
@@ -506,13 +708,26 @@ class GridPDN:
         """
         indices = self._normalize_disabled(disabled_sources)
         structure, sinks, volts = self._solve_inputs()
-        dc = structure.solver.solve_modified(
-            disable_sources=indices,
-            cs_amp=sinks,
-            vs_volt=volts,
-            check=check,
-            method=method,
-        )
+
+        def factorized() -> DCSolution:
+            return structure.solver.solve_modified(
+                disable_sources=indices,
+                cs_amp=sinks,
+                vs_volt=volts,
+                check=check,
+                method=method,
+            )
+
+        if self._resolve_engine() == "structured":
+            dc = self._structured_call(
+                structure,
+                lambda fast: fast.solve(
+                    sinks, volts, check=check, disable_sources=indices
+                ),
+                factorized,
+            )
+        else:
+            dc = factorized()
         return self._package_disabled(structure, dc, sinks, indices)
 
     def solve_disabled_many(
@@ -535,13 +750,26 @@ class GridPDN:
             self._normalize_disabled(scenario) for scenario in scenarios
         ]
         structure, sinks, volts = self._solve_inputs()
-        solved = structure.solver.solve_modified_many(
-            [(indices, ()) for indices in normalized],
-            cs_amp=sinks,
-            vs_volt=volts,
-            check=check,
-            method=method,
-        )
+
+        def factorized() -> list[DCSolution]:
+            return structure.solver.solve_modified_many(
+                [(indices, ()) for indices in normalized],
+                cs_amp=sinks,
+                vs_volt=volts,
+                check=check,
+                method=method,
+            )
+
+        if self._resolve_engine() == "structured":
+            solved = self._structured_call(
+                structure,
+                lambda fast: fast.solve_disabled_many(
+                    normalized, sinks, volts, check=check
+                ),
+                factorized,
+            )
+        else:
+            solved = factorized()
         return [
             self._package_disabled(structure, dc, sinks, indices)
             for indices, dc in zip(normalized, solved)
@@ -792,6 +1020,35 @@ class _SpectralACStructure:
     unit_esl: float
 
 
+@dataclass
+class _StructuredACStructure:
+    """DCT eigenstructure of the uniform-density reduced AC system.
+
+    Valid when the mesh metal is purely resistive and every node
+    carries the *same* positive decap density: the reduced system is
+    ``A(ω) = G_mesh + α·y_u(ω)·I + U Y(ω) Uᵀ`` with ``G_mesh`` the
+    uniform mesh Laplacian, diagonal in the 2-D DCT-II basis.  Then
+    ``diag(M⁻¹)`` is two small GEMMs over squared basis tables per
+    frequency chunk, and the source/ring branches are a rank-k
+    Woodbury correction whose influence columns come back through one
+    batched inverse transform — no eigendecomposition, no LU, ever.
+    """
+
+    rev: int
+    lam: np.ndarray  # mesh Laplacian modal eigenvalues, (cells,)
+    tau: float  # zero-mode deflation shift folded into lam[0]
+    bx_sq: np.ndarray  # squared DCT basis, (nx_modes, nx_nodes)
+    by_sq: np.ndarray
+    u_hat: np.ndarray  # DCT of the branch columns, (cells, k)
+    alpha: float  # uniform decap density
+    unit_c: float
+    unit_esr: float
+    unit_esl: float
+    rout: np.ndarray
+    l_src: np.ndarray
+    ring_g: np.ndarray  # ring segment conductances, appended to k
+
+
 class GridACPDN:
     """Grid-level AC impedance analysis of the die/interposer mesh.
 
@@ -856,6 +1113,7 @@ class GridACPDN:
         self._sink_rev = 0
         self._reduced: _ReducedACStructure | None = None
         self._spectral: _SpectralACStructure | None = None
+        self._structured: _StructuredACStructure | None = None
         self._compiled: tuple[int, int, CompiledACNetlist] | None = None
 
     @classmethod
@@ -1196,32 +1454,29 @@ class GridACPDN:
         Sources are zeroed (their output branch stays in the metal)
         and each node is probed with 1 A, exactly the per-node version
         of :func:`repro.pdn.ac.impedance_at`.  ``method`` selects the
-        engine: ``"spectral"`` (density-model decaps, resistive mesh;
-        one eigendecomposition, then O(n·s) work per frequency),
-        ``"direct"`` (general: batched dense solves up to the dense
-        cutoff, shared-pattern sparse LU above), or ``"auto"`` to use
-        spectral whenever the topology allows it.
+        engine: ``"structured"`` (uniform decap density, resistive
+        mesh; DCT-diagonalized mesh Laplacian, O(n² log n) setup and a
+        few GEMMs per frequency chunk), ``"spectral"`` (arbitrary
+        positive density maps, resistive mesh; one dense
+        eigendecomposition, then O(n·s) work per frequency),
+        ``"direct"`` (fully general: batched dense solves up to the
+        dense cell cutoff, shared-pattern sparse LU above), or
+        ``"auto"`` to use the fastest engine the topology allows, in
+        that order.
 
         Raises:
-            ConfigError: no sources attached, bad frequencies, or
-                ``method="spectral"`` on an ineligible topology.
+            ConfigError: no sources attached, bad frequencies, or an
+                explicit method on an ineligible topology.
             SolverError: singular/resonant system at a sweep point.
         """
         freqs = check_frequencies(frequencies_hz)
         if not self._sources:
             raise ConfigError("no sources attached; call add_source first")
-        if method not in ("auto", "spectral", "direct"):
-            raise ConfigError(f"unknown impedance-map method: {method!r}")
-        if method == "spectral" and not self._spectral_eligible():
-            raise ConfigError(
-                "spectral impedance map needs a strictly positive decap "
-                "density map and a purely resistive mesh"
-            )
-        use_spectral = method == "spectral" or (
-            method == "auto" and self._spectral_eligible()
-        )
+        engine = self.impedance_engine(method)
         omega = 2.0 * math.pi * freqs
-        if use_spectral:
+        if engine == "structured":
+            z = self._impedance_structured(omega)
+        elif engine == "spectral":
             z = self._impedance_spectral(omega)
         else:
             z = self._impedance_direct(omega, freqs)
@@ -1235,6 +1490,37 @@ class GridACPDN:
             frequencies_hz=freqs, z_ohm=z, nx=self.nx, ny=self.ny
         )
 
+    def impedance_engine(self, method: str = "auto") -> str:
+        """The impedance-map engine ``method`` resolves to.
+
+        Returns ``"structured"``, ``"spectral"``, ``"direct-dense"``,
+        or ``"direct-sparse"`` — the regression surface the engine-
+        selection tests assert against.  Raises
+        :class:`~repro.errors.ConfigError` for an explicit method the
+        current topology cannot run.
+        """
+        if method not in ("auto", "structured", "spectral", "direct"):
+            raise ConfigError(f"unknown impedance-map method: {method!r}")
+        if method == "structured" and not self._structured_eligible():
+            raise ConfigError(
+                "structured impedance map needs a uniform positive decap "
+                "density and a purely resistive mesh"
+            )
+        if method == "spectral" and not self._spectral_eligible():
+            raise ConfigError(
+                "spectral impedance map needs a strictly positive decap "
+                "density map and a purely resistive mesh"
+            )
+        if method == "structured" or (
+            method == "auto" and self._structured_eligible()
+        ):
+            return "structured"
+        if method == "spectral" or (
+            method == "auto" and self._spectral_eligible()
+        ):
+            return "spectral"
+        return f"direct-{grid_direct_mode(self.nx * self.ny)}"
+
     def _spectral_eligible(self) -> bool:
         return (
             self._decap is not None
@@ -1243,6 +1529,15 @@ class GridACPDN:
             and self.edge_inductance_x_h == 0.0
             and self.edge_inductance_y_h == 0.0
         )
+
+    def _structured_eligible(self) -> bool:
+        """Structured = spectral requirements plus a *uniform* density
+        (one shunt admittance per node keeps M diagonal in the DCT
+        basis)."""
+        if not self._spectral_eligible():
+            return False
+        alpha = self._decap[1]
+        return bool(np.all(alpha == alpha.flat[0]))
 
     def _ensure_spectral(self) -> _SpectralACStructure:
         if self._spectral is not None and self._spectral.rev == self._rev:
@@ -1317,6 +1612,154 @@ class GridACPDN:
             )
         return diag.T
 
+    def _ensure_structured(self) -> _StructuredACStructure:
+        if (
+            self._structured is not None
+            and self._structured.rev == self._rev
+        ):
+            return self._structured
+        import scipy.fft as sfft
+
+        nx, ny = self.nx, self.ny
+        cells = nx * ny
+        gx = 1.0 / self.edge_resistance_x_ohm if nx > 1 else 0.0
+        gy = 1.0 / self.edge_resistance_y_ohm if ny > 1 else 0.0
+        lam = (
+            gy * poisson_mode_eigenvalues(ny)[:, None]
+            + gx * poisson_mode_eigenvalues(nx)[None, :]
+        ).ravel()
+        attach = self._source_attach_rows()
+        ring = self._ring_segments()
+        # Deflate the mesh zero mode: at low frequency 1/(α·y_u) dwarfs
+        # every other modal weight and its near-exact cancellation by
+        # the source correction destroys ~5 digits.  Shift lam[0] by
+        # τ = gx + gy and reinstate the mode as a −τ rank-one branch in
+        # the Woodbury block, where the cancellation resolves inside a
+        # full-precision dense solve (same trick as the DC fast path).
+        tau = gx + gy
+        defl = 1 if tau > 0 else 0
+        if defl:
+            lam = lam.copy()
+            lam[0] += tau
+        k = defl + attach.size + len(ring)
+        u = np.zeros((cells, k))
+        if defl:
+            u[:, 0] = 1.0 / math.sqrt(cells)
+        for t, row in enumerate(attach, start=defl):
+            u[row, t] += 1.0
+        for t, (a, b) in enumerate(ring, start=defl + attach.size):
+            u[a, t] += 1.0
+            u[b, t] -= 1.0
+        u_hat = (
+            sfft.dctn(
+                u.T.reshape(k, ny, nx), type=2, axes=(1, 2), norm="ortho"
+            ).reshape(k, cells).T.copy()
+            if k
+            else u
+        )
+        _, alpha_map, c_u, esr_u, esl_u = self._decap
+        self._structured = _StructuredACStructure(
+            rev=self._rev,
+            lam=lam,
+            tau=tau if defl else 0.0,
+            bx_sq=dct2_basis(nx) ** 2,
+            by_sq=dct2_basis(ny) ** 2,
+            u_hat=u_hat,
+            alpha=float(alpha_map.flat[0]),
+            unit_c=c_u,
+            unit_esr=esr_u,
+            unit_esl=esl_u,
+            rout=np.array([s[4] for s in self._sources]),
+            l_src=np.array([s[5] for s in self._sources]),
+            ring_g=np.full(len(ring), 1.0 / (self._ring_bus_ohm or 1.0)),
+        )
+        return self._structured
+
+    def _impedance_structured(self, omega: np.ndarray) -> np.ndarray:
+        """diag(A⁻¹) via the DCT eigenstructure, shape (cells, F).
+
+        ``M(ω) = G_mesh + α·y_u(ω)·I`` shares the mesh Laplacian's DCT
+        eigenvectors at every frequency, so ``diag(M⁻¹)`` reduces to
+        two GEMMs against squared basis tables, and the source/ring
+        branches are a rank-k Woodbury correction whose per-frequency
+        influence columns come back through one batched inverse DCT.
+        Frequency-chunked to bound scratch memory, like the direct
+        engine.
+        """
+        import scipy.fft as sfft
+
+        structure = self._ensure_structured()
+        nx, ny = self.nx, self.ny
+        cells = nx * ny
+        k = structure.u_hat.shape[1]
+        reactance = omega * structure.unit_esl - 1.0 / (
+            omega * structure.unit_c
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            y_u = 1.0 / (structure.unit_esr + 1j * reactance)
+        y_src = 1.0 / (
+            structure.rout[None, :]
+            + 1j * omega[:, None] * structure.l_src[None, :]
+        )
+        z = np.empty((cells, omega.size), dtype=complex)
+        chunk = max(1, _DENSE_BATCH_ENTRIES // (max(k, 1) * cells))
+        for lo in range(0, omega.size, chunk):
+            hi = min(lo + chunk, omega.size)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                w = 1.0 / (
+                    structure.lam[None, :]
+                    + structure.alpha * y_u[lo:hi, None]
+                )  # (F, cells) modal weights
+            diag = (
+                structure.by_sq.T
+                @ w.reshape(-1, ny, nx)
+                @ structure.bx_sq
+            ).reshape(-1, cells)
+            if k:
+                fields = (
+                    w[:, None, :] * structure.u_hat.T[None, :, :]
+                )  # (F, k, cells) modal influence, transform-ready layout
+                influence = sfft.idctn(
+                    fields.reshape(-1, ny, nx),
+                    type=2,
+                    axes=(1, 2),
+                    norm="ortho",
+                    workers=-1,
+                ).reshape(hi - lo, k, cells)
+                t = fields @ structure.u_hat  # UᵀM⁻¹U, (F, k, k)
+                columns = [y_src[lo:hi]]
+                if structure.tau > 0:
+                    columns.insert(
+                        0, np.full((hi - lo, 1), -structure.tau, complex)
+                    )
+                columns.append(
+                    np.broadcast_to(
+                        structure.ring_g, (hi - lo, len(structure.ring_g))
+                    )
+                )
+                y_branch = np.concatenate(columns, axis=1)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    capacitance = t + (
+                        (1.0 / y_branch)[:, :, None] * np.eye(k)[None]
+                    )
+                try:
+                    with np.errstate(all="ignore"):
+                        correction = np.linalg.inv(capacitance)
+                except np.linalg.LinAlgError as exc:
+                    raise SolverError(
+                        "grid impedance source correction is singular: "
+                        f"{exc}"
+                    ) from exc
+                diag = diag - np.einsum(
+                    "faj,fab,fbj->fj",
+                    influence,
+                    correction,
+                    influence,
+                    optimize=True,
+                )
+            z[:, lo:hi] = diag.T
+        return z
+
     def _ensure_reduced(self) -> _ReducedACStructure:
         if self._reduced is not None and self._reduced.rev == self._rev:
             return self._reduced
@@ -1388,7 +1831,9 @@ class GridACPDN:
         # rounded pivot fails loudly.
         probe = singularity_probe(cells)
         probe_error = np.empty(count)
-        use_dense = cells <= DENSE_SWEEP_CUTOFF
+        # Full-inverse workload: the dense/sparse crossover sits far
+        # below the single-RHS DENSE_SWEEP_CUTOFF (see ac.py).
+        use_dense = grid_direct_mode(cells) == "dense"
         chunk = max(1, _DENSE_BATCH_ENTRIES // (cells * cells))
         for lo in range(0, count, chunk):
             hi = min(lo + chunk, count)

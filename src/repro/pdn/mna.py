@@ -332,31 +332,9 @@ class FactorizedPDN:
         currents — :meth:`solve_modified` passes a copy with removed
         elements zeroed so their reported currents and losses vanish.
         """
-        compiled = self.compiled
-        n = self._n
-        voltages = x[:n]
-        # Ground trick: append one 0.0 so GROUND_INDEX (-1) gathers 0 V.
-        v_full = np.concatenate([voltages, [0.0]])
-        drop = v_full[compiled.res_a] - v_full[compiled.res_b]
-        currents = drop * conductance
-        losses = currents * drop
-        source_currents = -x[n:]
-        if disabled_sources is not None and disabled_sources.size:
-            # The modified constraint row forces these branch currents
-            # to zero; snap away the O(eps) Woodbury residue.
-            source_currents = source_currents.copy()
-            source_currents[disabled_sources] = 0.0
-
-        solution = DCSolution(
-            compiled=compiled,
-            node_voltage_array=voltages,
-            resistor_current_array=currents,
-            resistor_loss_array=losses,
-            source_current_array=source_currents,
+        return package_dc_solution(
+            self.compiled, x, amp, volt, conductance, check, disabled_sources
         )
-        if check:
-            _verify(solution, amp, volt, v_full)
-        return solution
 
     # -- low-rank modified solves ---------------------------------------------------
 
@@ -794,6 +772,49 @@ class FactorizedPDN:
                 self._package(x[:, i], amp, volt, conductance, check, disabled)
             )
         return solutions
+
+
+def package_dc_solution(
+    compiled: CompiledNetlist,
+    x: np.ndarray,
+    amp: np.ndarray,
+    volt: np.ndarray,
+    conductance: np.ndarray,
+    check: bool,
+    disabled_sources: np.ndarray | None = None,
+) -> DCSolution:
+    """Turn a raw MNA solution vector into a verified :class:`DCSolution`.
+
+    Shared by every DC solve path — the cached-LU engine above and the
+    structured fast-Poisson engine
+    (:mod:`repro.pdn.fast_poisson`) — so branch-current extraction,
+    disabled-source snapping, and the KCL/power verification render
+    identical results regardless of how ``x`` was computed.
+    """
+    n = compiled.n_nodes
+    voltages = x[:n]
+    # Ground trick: append one 0.0 so GROUND_INDEX (-1) gathers 0 V.
+    v_full = np.concatenate([voltages, [0.0]])
+    drop = v_full[compiled.res_a] - v_full[compiled.res_b]
+    currents = drop * conductance
+    losses = currents * drop
+    source_currents = -x[n:]
+    if disabled_sources is not None and np.asarray(disabled_sources).size:
+        # The modified constraint row forces these branch currents
+        # to zero; snap away the O(eps) correction residue.
+        source_currents = source_currents.copy()
+        source_currents[np.asarray(disabled_sources, dtype=np.int64)] = 0.0
+
+    solution = DCSolution(
+        compiled=compiled,
+        node_voltage_array=voltages,
+        resistor_current_array=currents,
+        resistor_loss_array=losses,
+        source_current_array=source_currents,
+    )
+    if check:
+        _verify(solution, amp, volt, v_full)
+    return solution
 
 
 def solve_dc(netlist: Netlist | CompiledNetlist, check: bool = True) -> DCSolution:

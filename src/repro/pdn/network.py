@@ -33,7 +33,7 @@ GROUND_INDEX = -1
 
 
 def admittance_stamp_entries(
-    node_a: np.ndarray, node_b: np.ndarray, values: np.ndarray
+    node_a: np.ndarray, node_b: np.ndarray, values: np.ndarray, xp=np
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """COO entries for two-terminal admittance stamps (vectorized).
 
@@ -47,16 +47,18 @@ def admittance_stamp_entries(
     Shared by the DC MNA stamp (:meth:`CompiledNetlist.mna_coo`) and
     the AC stamp structure (:class:`repro.pdn.ac.CompiledACNetlist`),
     so both solvers agree on the stamp convention by construction.
+    ``xp`` selects the array namespace the stamps are built in (see
+    :mod:`repro.pdn.backend`); the default is host numpy.
     """
-    a = np.asarray(node_a)
-    b = np.asarray(node_b)
-    vals = np.asarray(values)
+    a = xp.asarray(node_a)
+    b = xp.asarray(node_b)
+    vals = xp.asarray(values)
     in_a = a != GROUND_INDEX
     in_b = b != GROUND_INDEX
     in_ab = in_a & in_b
-    rows = np.concatenate([a[in_a], b[in_b], a[in_ab], b[in_ab]])
-    cols = np.concatenate([a[in_a], b[in_b], b[in_ab], a[in_ab]])
-    entry_vals = np.concatenate(
+    rows = xp.concatenate([a[in_a], b[in_b], a[in_ab], b[in_ab]])
+    cols = xp.concatenate([a[in_a], b[in_b], b[in_ab], a[in_ab]])
+    entry_vals = xp.concatenate(
         [vals[in_a], vals[in_b], -vals[in_ab], -vals[in_ab]]
     )
     return rows, cols, entry_vals
@@ -318,7 +320,7 @@ class CompiledNetlist:
     def __init__(
         self,
         *,
-        nodes: tuple[NodeId, ...],
+        nodes: tuple[NodeId, ...] | Callable[[], Sequence[NodeId]],
         res_a: np.ndarray,
         res_b: np.ndarray,
         res_ohm: np.ndarray,
@@ -332,6 +334,7 @@ class CompiledNetlist:
         cs_names: NameSource = None,
         vs_names: NameSource = None,
         ground: NodeId = "0",
+        n_nodes: int | None = None,
     ) -> None:
         def ints(values: np.ndarray | None) -> np.ndarray:
             if values is None:
@@ -343,7 +346,21 @@ class CompiledNetlist:
                 return np.empty(0)
             return np.ascontiguousarray(values, dtype=float)
 
-        self.nodes = tuple(nodes)
+        # Node ids follow the lazy-names idiom: a callable defers
+        # materializing (possibly huge) id tuples until a name-keyed
+        # view needs them, at the price of an explicit row count.
+        if callable(nodes):
+            if n_nodes is None:
+                raise ConfigError(
+                    "lazy nodes require an explicit n_nodes count"
+                )
+            self._nodes: tuple[NodeId, ...] | Callable[
+                [], Sequence[NodeId]
+            ] = nodes
+            self._n_nodes = int(n_nodes)
+        else:
+            self._nodes = tuple(nodes)
+            self._n_nodes = len(self._nodes)
         self.ground = ground
         self.res_a = ints(res_a)
         self.res_b = ints(res_b)
@@ -366,7 +383,7 @@ class CompiledNetlist:
         self._vs_names = normalize(vs_names, len(self.vs_volt), "V")
         self._node_index: dict[NodeId, int] | None = None
 
-        n = len(self.nodes)
+        n = self._n_nodes
         for label, a, b, values in (
             ("resistor", self.res_a, self.res_b, self.res_ohm),
             ("current source", self.cs_from, self.cs_to, self.cs_amp),
@@ -387,9 +404,22 @@ class CompiledNetlist:
     # -- shape -------------------------------------------------------------------
 
     @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """Node ids in row order (resolved on first access when lazy)."""
+        if not isinstance(self._nodes, tuple):
+            resolved = tuple(self._nodes())
+            if len(resolved) != self._n_nodes:
+                raise ConfigError(
+                    f"expected {self._n_nodes} node ids, "
+                    f"got {len(resolved)}"
+                )
+            self._nodes = resolved
+        return self._nodes
+
+    @property
     def n_nodes(self) -> int:
         """Number of non-ground nodes (rows of the G block)."""
-        return len(self.nodes)
+        return self._n_nodes
 
     @property
     def n_vsources(self) -> int:
@@ -477,27 +507,28 @@ class CompiledNetlist:
 
     # -- MNA stamps -------------------------------------------------------------------
 
-    def mna_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def mna_coo(self, xp=np) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """COO stamps ``(rows, cols, vals)`` of the DC MNA matrix.
 
         The ``[G B; B^T 0]`` system over ``size`` rows: conductance
         stamps from the resistors plus the voltage-source incidence
         entries.  Duplicates are not summed (sparse constructors and
         :class:`repro.pdn.mna.FactorizedPDN` handle accumulation).
+        ``xp`` selects the array namespace (:mod:`repro.pdn.backend`).
         """
         n = self.n_nodes
         g_rows, g_cols, g_vals = admittance_stamp_entries(
-            self.res_a, self.res_b, 1.0 / self.res_ohm
+            self.res_a, self.res_b, 1.0 / self.res_ohm, xp=xp
         )
-        kp = np.nonzero(self.vs_plus != GROUND_INDEX)[0]
-        km = np.nonzero(self.vs_minus != GROUND_INDEX)[0]
-        plus = self.vs_plus[kp]
-        minus = self.vs_minus[km]
-        ones_p = np.ones(len(kp))
-        ones_m = np.ones(len(km))
-        rows = np.concatenate([g_rows, plus, n + kp, minus, n + km])
-        cols = np.concatenate([g_cols, n + kp, plus, n + km, minus])
-        vals = np.concatenate([g_vals, ones_p, ones_p, -ones_m, -ones_m])
+        kp = xp.nonzero(xp.asarray(self.vs_plus) != GROUND_INDEX)[0]
+        km = xp.nonzero(xp.asarray(self.vs_minus) != GROUND_INDEX)[0]
+        plus = xp.asarray(self.vs_plus)[kp]
+        minus = xp.asarray(self.vs_minus)[km]
+        ones_p = xp.ones(len(kp))
+        ones_m = xp.ones(len(km))
+        rows = xp.concatenate([g_rows, plus, n + kp, minus, n + km])
+        cols = xp.concatenate([g_cols, n + kp, plus, n + km, minus])
+        vals = xp.concatenate([g_vals, ones_p, ones_p, -ones_m, -ones_m])
         return rows, cols, vals
 
     # -- scenario values --------------------------------------------------------------

@@ -1,0 +1,106 @@
+"""The pluggable array backend and its graceful degradation.
+
+``REPRO_BACKEND=cupy`` / ``torch`` in an environment without those
+libraries must fall back to numpy with exactly one warning per
+process (per requested name), never an error — and solves routed
+through the backend must produce the same numbers as plain numpy.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn.backend import (
+    BACKEND_ENV_VAR,
+    _reset_backend_cache,
+    active_backend,
+    resolve_backend,
+)
+from repro.pdn.grid import GridPDN
+
+
+def gpu_library_missing(name: str) -> bool:
+    try:
+        __import__(name)
+    except ImportError:
+        return True
+    return False
+
+
+@pytest.fixture(autouse=True)
+def clean_backend_cache(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    _reset_backend_cache()
+    yield
+    _reset_backend_cache()
+
+
+def test_default_backend_is_numpy():
+    backend = active_backend()
+    assert backend.name == "numpy"
+    assert backend.requested == "numpy"
+    assert backend.xp is np
+    assert not backend.is_gpu
+
+
+def test_unknown_backend_is_rejected():
+    with pytest.raises(ConfigError):
+        resolve_backend("fortran")
+
+
+def test_numpy_transforms_round_trip():
+    backend = resolve_backend("numpy")
+    field = np.random.default_rng(0).standard_normal((2, 4, 6))
+    hat = backend.dctn(field, axes=(1, 2))
+    assert np.allclose(backend.idctn(hat, axes=(1, 2)), field, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ["cupy", "torch"])
+def test_missing_gpu_backend_degrades_with_single_warning(
+    name, monkeypatch
+):
+    if not gpu_library_missing(name):
+        pytest.skip(f"{name} is importable in this environment")
+    monkeypatch.setenv(BACKEND_ENV_VAR, name)
+    with pytest.warns(RuntimeWarning, match=name) as record:
+        backend = active_backend()
+    assert backend.name == "numpy"
+    assert backend.requested == name
+    assert len(record) == 1
+    # Cached: the second resolution is silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = active_backend()
+    assert again is backend
+
+
+def test_env_selection_is_case_insensitive(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "NumPy")
+    assert active_backend().name == "numpy"
+
+
+@pytest.mark.parametrize("name", ["cupy", "torch"])
+def test_solves_are_identical_after_fallback(name, monkeypatch):
+    """A structured solve under a missing GPU backend matches numpy."""
+    if not gpu_library_missing(name):
+        pytest.skip(f"{name} is importable in this environment")
+
+    def build() -> GridPDN:
+        grid = GridPDN(1e-2, 1e-2, 1e-2, nx=6, ny=6, engine="structured")
+        grid.set_sink_array(
+            np.random.default_rng(3).random((6, 6))
+        )
+        grid.add_source("s0", 0.0, 0.0, 1.0, 1e-3)
+        grid.add_source("s1", 1.0, 1.0, 1.0, 1e-3)
+        return grid
+
+    reference = build().solve().voltage_map
+    monkeypatch.setenv(BACKEND_ENV_VAR, name)
+    _reset_backend_cache()
+    with pytest.warns(RuntimeWarning, match=name):
+        fallback = build().solve().voltage_map
+    assert np.array_equal(reference, fallback)
