@@ -320,3 +320,56 @@ def test_grid_ac_impedance_map_structured(benchmark, n):
     impedance = benchmark(pdn.impedance_map, freqs, method="structured")
     assert impedance.peak_impedance_ohm > 0
     assert np.all(np.isfinite(impedance.z_ohm))
+
+
+# -- parallel sweep executor --------------------------------------------------
+#
+# The system-level sweeps through repro.parallel: a 512-draw
+# Monte-Carlo and a 48-scenario N-2 fault sweep, at jobs=1 (the
+# serial in-process path) and jobs=4 (process-pool sharding).  The
+# jobs=4 rows are marked ``multiproc``: on a single-CPU box pool
+# overhead dominates and --skip-large CI excludes them; on a
+# multi-core box they are the speedup evidence.  --check compares
+# each row against its own recorded baseline, so the serial and
+# parallel rows gate independently.
+
+MC_DRAWS = 512
+NK_SCENARIOS = 48
+
+JOBS_PARAMS = [1, pytest.param(4, marks=pytest.mark.multiproc)]
+
+
+@pytest.mark.parametrize("jobs", JOBS_PARAMS)
+def test_parallel_monte_carlo(benchmark, jobs):
+    """512-draw Monte-Carlo loss sweep through the executor."""
+    from repro.converters.catalog import DSCH
+    from repro.core.architectures import single_stage_a1
+    from repro.core.variation import monte_carlo_loss
+
+    arch = single_stage_a1()
+
+    def sweep() -> float:
+        result = monte_carlo_loss(arch, DSCH, samples=MC_DRAWS, jobs=jobs)
+        return result.mean_loss_w
+
+    mean = benchmark(sweep)
+    assert mean > 0
+
+
+@pytest.mark.parametrize("jobs", JOBS_PARAMS)
+def test_parallel_nk_sweep(benchmark, jobs):
+    """48-scenario N-2 fault sweep on the 48-VR A1 bank."""
+    from repro.converters.catalog import DSCH
+    from repro.core.architectures import single_stage_a1
+    from repro.core.redundancy import multi_failure_samples
+
+    arch = single_stage_a1()
+
+    def sweep() -> int:
+        results = multi_failure_samples(
+            arch, DSCH, 2, max_scenarios=NK_SCENARIOS, jobs=jobs
+        )
+        return sum(1 for r in results if r.survives)
+
+    survivors = benchmark(sweep)
+    assert survivors >= 0

@@ -16,6 +16,11 @@ def pytest_configure(config):
         "large_mesh: hundreds-of-ms solver rows; excluded by "
         'run_benchmarks.py --skip-large / -m "not large_mesh"',
     )
+    config.addinivalue_line(
+        "markers",
+        "multiproc: rows that spawn worker processes (jobs>1); excluded "
+        "by run_benchmarks.py --skip-large so single-CPU CI stays fast",
+    )
 
 
 def print_header(title: str) -> None:

@@ -19,8 +19,10 @@ benchmark's mean against the baseline by name, and exits non-zero if
 any is more than ``REGRESSION_FACTOR`` times slower.  It is the
 opt-in performance verify step to run alongside the tier-1 test
 suite.  ``--skip-large`` deselects the ``large_mesh``-marked rows
-(the hundreds-of-ms 192/256-mesh solves); with ``--check`` the
-skipped rows are then exempt from the missing-from-baseline failure.
+(the hundreds-of-ms 192/256-mesh solves) and the ``multiproc``-marked
+rows (parallel-sweep runs at jobs>1, which spawn worker processes);
+with ``--check`` the skipped rows are then exempt from the
+missing-from-baseline failure.
 """
 
 from __future__ import annotations
@@ -129,7 +131,7 @@ def main(argv: list[str]) -> int:
     skip_large = "--skip-large" in argv
     argv = [a for a in argv if a not in ("--check", "--skip-large")]
     if skip_large:
-        argv = ["-m", "not large_mesh", *argv]
+        argv = ["-m", "not (large_mesh or multiproc)", *argv]
     output = CHECK_OUTPUT if check else OUTPUT
     status = run_pytest_benchmark(output, argv)
     if status != 0:

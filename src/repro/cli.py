@@ -8,7 +8,15 @@ Usage::
     python -m repro sharing             # per-VR current distribution
     python -m repro utilization         # interconnect utilization
     python -m repro optimize --power 750
+    python -m repro montecarlo --samples 512 --jobs auto
+    python -m repro redundancy --jobs 4
+    python -m repro decap --jobs auto
     python -m repro report              # everything above in one go
+
+Sweep commands (``montecarlo``, ``redundancy``, ``decap``) accept
+``--jobs`` (an integer or ``auto`` for the available CPUs) and
+``--chunk-size`` to shard their scenario lists across worker processes
+via :mod:`repro.parallel`; results are identical for any worker count.
 
 All output is plain text (the offline environment has no plotting
 backend); exit status is non-zero if any claim check fails.
@@ -30,6 +38,8 @@ from .reporting.experiments import run_all
 from .reporting.figures import render_fig1, render_fig2, render_fig3, render_fig7
 from .reporting.tables import table_i_text, table_ii_text
 
+CommandHandler = Callable[[SystemSpec, argparse.Namespace], int]
+
 
 def _spec_from_args(args: argparse.Namespace) -> SystemSpec:
     return SystemSpec(
@@ -40,27 +50,27 @@ def _spec_from_args(args: argparse.Namespace) -> SystemSpec:
     )
 
 
-def cmd_fig1(_spec: SystemSpec) -> int:
+def cmd_fig1(_spec: SystemSpec, _args: argparse.Namespace) -> int:
     print(render_fig1())
     return 0
 
 
-def cmd_fig2(_spec: SystemSpec) -> int:
+def cmd_fig2(_spec: SystemSpec, _args: argparse.Namespace) -> int:
     print(render_fig2())
     return 0
 
 
-def cmd_fig3(spec: SystemSpec) -> int:
+def cmd_fig3(spec: SystemSpec, _args: argparse.Namespace) -> int:
     print(render_fig3(spec))
     return 0
 
 
-def cmd_fig7(spec: SystemSpec) -> int:
+def cmd_fig7(spec: SystemSpec, _args: argparse.Namespace) -> int:
     print(render_fig7(spec))
     return 0
 
 
-def cmd_tables(_spec: SystemSpec) -> int:
+def cmd_tables(_spec: SystemSpec, _args: argparse.Namespace) -> int:
     print("Table I — vertical interconnect characteristics")
     print(table_i_text())
     print()
@@ -69,7 +79,7 @@ def cmd_tables(_spec: SystemSpec) -> int:
     return 0
 
 
-def cmd_sharing(spec: SystemSpec) -> int:
+def cmd_sharing(spec: SystemSpec, _args: argparse.Namespace) -> int:
     for arch in (single_stage_a1(), single_stage_a2()):
         result = analyze_current_sharing(arch, DSCH, spec=spec)
         print(
@@ -81,7 +91,7 @@ def cmd_sharing(spec: SystemSpec) -> int:
     return 0
 
 
-def cmd_utilization(spec: SystemSpec) -> int:
+def cmd_utilization(spec: SystemSpec, _args: argparse.Namespace) -> int:
     report = vertical_utilization(single_stage_a2(), spec=spec)
     for row in report.rows:
         print(
@@ -97,7 +107,7 @@ def cmd_utilization(spec: SystemSpec) -> int:
     return 0
 
 
-def cmd_experiments(spec: SystemSpec) -> int:
+def cmd_experiments(spec: SystemSpec, _args: argparse.Namespace) -> int:
     failures = 0
     for result in run_all(spec):
         flag = "OK " if result.holds else "FAIL"
@@ -113,7 +123,7 @@ def cmd_experiments(spec: SystemSpec) -> int:
     return 0 if failures == 0 else 1
 
 
-def cmd_optimize(spec: SystemSpec) -> int:
+def cmd_optimize(spec: SystemSpec, _args: argparse.Namespace) -> int:
     result = optimize_design(spec=spec, constraints=DesignConstraints())
     print(f"design space for {spec.pol_power_w:.0f} W at "
           f"{spec.pol_voltage_v:g} V:")
@@ -133,7 +143,7 @@ def cmd_optimize(spec: SystemSpec) -> int:
     return 0
 
 
-def cmd_export(spec: SystemSpec) -> int:
+def cmd_export(spec: SystemSpec, _args: argparse.Namespace) -> int:
     from .reporting.export import export_all
 
     paths = export_all("repro_csv", spec)
@@ -142,7 +152,7 @@ def cmd_export(spec: SystemSpec) -> int:
     return 0
 
 
-def cmd_floorplan(spec: SystemSpec) -> int:
+def cmd_floorplan(spec: SystemSpec, _args: argparse.Namespace) -> int:
     from .converters.catalog import DSCH as dsch_spec
     from .placement.floorplan import build_floorplan
     from .placement.planner import plan_placement
@@ -160,8 +170,72 @@ def cmd_floorplan(spec: SystemSpec) -> int:
     return 0
 
 
-def cmd_report(spec: SystemSpec) -> int:
-    sections: list[tuple[str, Callable[[SystemSpec], int]]] = [
+def cmd_montecarlo(spec: SystemSpec, args: argparse.Namespace) -> int:
+    from .core.variation import monte_carlo_loss
+
+    result = monte_carlo_loss(
+        single_stage_a1(),
+        DSCH,
+        spec=spec,
+        samples=args.samples,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+    )
+    print(
+        f"Monte-Carlo loss (A1, {DSCH.name}, "
+        f"{len(result.samples_w) + result.infeasible_count} samples, "
+        f"jobs={args.jobs}):"
+    )
+    print(f"  nominal  {result.nominal_loss_w:8.2f} W")
+    print(f"  mean     {result.mean_loss_w:8.2f} W")
+    print(f"  std      {result.std_loss_w:8.2f} W")
+    print(f"  p95      {result.percentile_w(95):8.2f} W")
+    print(f"  infeasible samples: {result.infeasible_count}")
+    return 0
+
+
+def cmd_redundancy(spec: SystemSpec, args: argparse.Namespace) -> int:
+    from .core.redundancy import failure_tolerance
+
+    report = failure_tolerance(
+        single_stage_a1(),
+        DSCH,
+        spec=spec,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+    )
+    verdict = "yes" if report.tolerates_any_single_failure else "NO"
+    print(
+        f"N-1 failure tolerance ({report.architecture}, {report.topology}, "
+        f"{report.vr_count} VRs, jobs={args.jobs}):"
+    )
+    print(f"  tolerates any single failure: {verdict}")
+    print(
+        f"  worst failure: VR {report.worst_single_failure_index} "
+        f"({report.worst_single_overload_fraction:.1%} of rating)"
+    )
+    return 0 if report.tolerates_any_single_failure else 1
+
+
+def cmd_decap(spec: SystemSpec, args: argparse.Namespace) -> int:
+    from .core.exploration import decap_density_sweep
+
+    points = decap_density_sweep(
+        spec=spec, jobs=args.jobs, chunk_size=args.chunk_size
+    )
+    print(f"decap density sweep (A2, {DSCH.name}, jobs={args.jobs}):")
+    for point in points:
+        flag = "ok  " if point.meets_target else "FAIL"
+        print(
+            f"  [{flag}] {point.label:16s} peak "
+            f"{point.peak_impedance_ohm * 1e3:7.3f} mOhm "
+            f"at {point.peak_frequency_hz / 1e6:8.2f} MHz"
+        )
+    return 0
+
+
+def cmd_report(spec: SystemSpec, args: argparse.Namespace) -> int:
+    sections: list[tuple[str, CommandHandler]] = [
         ("Fig. 1", cmd_fig1),
         ("Fig. 2", cmd_fig2),
         ("Fig. 3", cmd_fig3),
@@ -176,12 +250,12 @@ def cmd_report(spec: SystemSpec) -> int:
         print("=" * 72)
         print(title)
         print("=" * 72)
-        status |= command(spec)
+        status |= command(spec, args)
         print()
     return status
 
 
-COMMANDS: dict[str, Callable[[SystemSpec], int]] = {
+COMMANDS: dict[str, CommandHandler] = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
     "fig3": cmd_fig3,
@@ -193,6 +267,9 @@ COMMANDS: dict[str, Callable[[SystemSpec], int]] = {
     "optimize": cmd_optimize,
     "floorplan": cmd_floorplan,
     "export": cmd_export,
+    "montecarlo": cmd_montecarlo,
+    "redundancy": cmd_redundancy,
+    "decap": cmd_decap,
     "report": cmd_report,
 }
 
@@ -224,6 +301,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="for 'report': also write a markdown report to this path",
     )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes for sweep commands (integer or 'auto')",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="scenarios per executor chunk for sweep commands",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=512,
+        help="for 'montecarlo': number of Monte-Carlo draws",
+    )
     return parser
 
 
@@ -231,7 +325,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     spec = _spec_from_args(args)
-    status = COMMANDS[args.command](spec)
+    status = COMMANDS[args.command](spec, args)
     if args.command == "report" and args.output:
         from .reporting.markdown import write_markdown_report
 

@@ -27,6 +27,7 @@ from ..converters.devices import Capacitor, Inductor, PowerSwitch
 from ..converters.topologies.buck import SynchronousBuck
 from ..errors import ConfigError, InfeasibleError
 from ..materials import GAN_100V, SI_POWER_MOSFET, TransistorTechnology
+from ..parallel import Scenario, SweepPlan, run_sweep_collect
 from ..pdn.powermap import PowerMap
 from .architectures import (
     dual_stage_a3,
@@ -51,44 +52,87 @@ class SweepPoint:
     detail: str = ""
 
 
+#: Fig. 3 sweep locations in presentation order (label -> x value).
+_LOCATION_ORDER: tuple[tuple[str, float], ...] = (
+    ("PCB", 0.0),
+    ("package", 1.0),
+    ("interposer-periphery", 2.0),
+    ("below-die", 3.0),
+)
+
+
+def _location_chunk(payload: tuple, scenarios: tuple) -> list:
+    """Evaluate conversion-location points (one analyzer per chunk)."""
+    spec, topology = payload
+    analyzer = LossAnalyzer(spec=spec)
+    points: list[SweepPoint] = []
+    for scenario in scenarios:
+        label, value = scenario.params
+        if label == "PCB":
+            points.append(
+                _sweep_point(label, value, analyzer.analyze(reference_a0(), topology))
+            )
+        elif label == "package":
+            # Package-level conversion: A0 minus the PCB lateral run at
+            # 1 V, with the board planes recomputed at 48 V.
+            a0 = analyzer.analyze(reference_a0(), topology)
+            pkg_loss = a0.total_loss_w - a0.component_loss_w("pcb-planes")
+            i_input = (spec.pol_power_w + pkg_loss) / spec.input_voltage_v
+            pcb_at_48v = i_input**2 * analyzer._pcb_resistance_pair()
+            pkg_total = pkg_loss + pcb_at_48v
+            points.append(
+                SweepPoint(
+                    label=label,
+                    value=value,
+                    total_loss_w=pkg_total,
+                    loss_pct=100.0 * pkg_total / spec.pol_power_w,
+                    efficiency=spec.pol_power_w
+                    / (spec.pol_power_w + pkg_total),
+                    detail="A0 with the board lateral run at 48 V",
+                )
+            )
+        elif label == "interposer-periphery":
+            points.append(
+                _sweep_point(
+                    label, value, analyzer.analyze(single_stage_a1(), topology)
+                )
+            )
+        elif label == "below-die":
+            points.append(
+                _sweep_point(
+                    label, value, analyzer.analyze(single_stage_a2(), topology)
+                )
+            )
+        else:
+            raise ConfigError(f"unknown conversion location {label!r}")
+    return points
+
+
 def conversion_location_sweep(
     spec: SystemSpec | None = None,
     topology: ConverterSpec = DSCH,
+    jobs: "int | str | None" = 1,
 ) -> list[SweepPoint]:
     """Total loss vs conversion location (Fig. 3 quantified).
 
     "PCB" is A0; "interposer-periphery" is A1; "below-die" is A2.
     "package" approximates package-level conversion by removing the
     PCB lateral run from A0's 1 V path (conversion after the board
-    planes, before the BGA field).
+    planes, before the BGA field).  ``jobs`` shards the four points
+    across worker processes; results are identical for any value.
     """
     spec = spec or SystemSpec()
-    analyzer = LossAnalyzer(spec=spec)
-    points: list[SweepPoint] = []
-
-    a0 = analyzer.analyze(reference_a0(), topology)
-    points.append(_sweep_point("PCB", 0.0, a0))
-
-    pkg_loss = a0.total_loss_w - a0.component_loss_w("pcb-planes")
-    i_input = (spec.pol_power_w + pkg_loss) / spec.input_voltage_v
-    pcb_at_48v = i_input**2 * analyzer._pcb_resistance_pair()
-    pkg_total = pkg_loss + pcb_at_48v
-    points.append(
-        SweepPoint(
-            label="package",
-            value=1.0,
-            total_loss_w=pkg_total,
-            loss_pct=100.0 * pkg_total / spec.pol_power_w,
-            efficiency=spec.pol_power_w / (spec.pol_power_w + pkg_total),
-            detail="A0 with the board lateral run at 48 V",
-        )
+    plan = SweepPlan(
+        scenarios=tuple(
+            Scenario(key=label, params=(label, value))
+            for label, value in _LOCATION_ORDER
+        ),
+        runner=_location_chunk,
+        payload=(spec, topology),
+        chunk_size=1,
+        label="conversion-location sweep",
     )
-
-    a1 = analyzer.analyze(single_stage_a1(), topology)
-    points.append(_sweep_point("interposer-periphery", 2.0, a1))
-    a2 = analyzer.analyze(single_stage_a2(), topology)
-    points.append(_sweep_point("below-die", 3.0, a2))
-    return points
+    return run_sweep_collect(plan, jobs=jobs)
 
 
 def _sweep_point(
@@ -297,30 +341,12 @@ class DecapDensityPoint:
     meets_target: bool
 
 
-def decap_density_sweep(
-    densities: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
-    spec: SystemSpec | None = None,
-    topology: ConverterSpec = DSCH,
-    arch=None,
-    grid_nodes: int = 12,
-    **kwargs,
-) -> list[DecapDensityPoint]:
-    """Worst-node die-seen Z(f) vs per-node decap allocation.
-
-    The AC ablation the grid-level engine enables: each point re-sweeps
-    the full per-node impedance map of the architecture (default A2)
-    with ``density`` decap unit cells per mesh node.  More cells in
-    parallel push the anti-resonant peak down — the knob a designer
-    turns when :class:`~repro.core.ir_drop.ImpedanceMapReport` fails
-    its target.  Extra keyword arguments are forwarded to
-    :func:`~repro.core.ir_drop.analyze_impedance_map`.
-    """
-    if not densities:
-        raise ConfigError("at least one density required")
-    spec = spec or SystemSpec()
-    arch = arch or single_stage_a2()
+def _decap_chunk(payload: tuple, scenarios: tuple) -> list:
+    """Evaluate decap-density points (full impedance map per point)."""
+    spec, topology, arch, grid_nodes, kwargs = payload
     points: list[DecapDensityPoint] = []
-    for density in densities:
+    for scenario in scenarios:
+        density = scenario.params
         report: ImpedanceMapReport = analyze_impedance_map(
             arch,
             topology,
@@ -339,3 +365,43 @@ def decap_density_sweep(
             )
         )
     return points
+
+
+def decap_density_sweep(
+    densities: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+    arch=None,
+    grid_nodes: int = 12,
+    jobs: "int | str | None" = 1,
+    chunk_size: int | None = None,
+    **kwargs,
+) -> list[DecapDensityPoint]:
+    """Worst-node die-seen Z(f) vs per-node decap allocation.
+
+    The AC ablation the grid-level engine enables: each point re-sweeps
+    the full per-node impedance map of the architecture (default A2)
+    with ``density`` decap unit cells per mesh node.  More cells in
+    parallel push the anti-resonant peak down — the knob a designer
+    turns when :class:`~repro.core.ir_drop.ImpedanceMapReport` fails
+    its target.  Extra keyword arguments are forwarded to
+    :func:`~repro.core.ir_drop.analyze_impedance_map`.
+
+    Each point is a full AC map solve, so the executor defaults to one
+    density per chunk; ``jobs`` fans the points across processes with
+    identical results for any worker count.
+    """
+    if not densities:
+        raise ConfigError("at least one density required")
+    spec = spec or SystemSpec()
+    arch = arch or single_stage_a2()
+    plan = SweepPlan(
+        scenarios=tuple(
+            Scenario(key=float(d), params=float(d)) for d in densities
+        ),
+        runner=_decap_chunk,
+        payload=(spec, topology, arch, grid_nodes, kwargs),
+        chunk_size=1 if chunk_size is None else chunk_size,
+        label="decap-density sweep",
+    )
+    return run_sweep_collect(plan, jobs=jobs)

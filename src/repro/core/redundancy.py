@@ -25,6 +25,14 @@ sweep, and each failure set is solved with a Sherman–Morrison–Woodbury
 update (:meth:`repro.pdn.mna.FactorizedPDN.solve_modified` via
 :meth:`repro.pdn.grid.GridPDN.solve_disabled`) instead of
 refactorizing the grid per scenario.
+
+Sweeps (``failure_tolerance``, ``multi_failure_samples``) route their
+scenario lists through the chunked executor (:mod:`repro.parallel`).
+Each chunk rebuilds the shared grid from a picklable payload (spec +
+sampled sink currents + placement plan) and solves its scenarios
+through the batched Woodbury path; the process-wide factorization
+cache makes the rebuild cheap, and fixed chunk boundaries make
+``jobs=N`` results bit-identical to ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import numpy as np
 from ..config import SystemSpec
 from ..converters.catalog import ConverterSpec
 from ..errors import ConfigError
+from ..parallel import Scenario, SweepPlan, run_sweep_collect
 from ..pdn.grid import GridPDN
 from ..pdn.powermap import PowerMap
 from ..pdn.stackup import default_stack
@@ -190,6 +199,80 @@ def _solve_scenarios(
     ]
 
 
+def _grid_from_cells(
+    spec: SystemSpec, sink_cells: np.ndarray, grid_nodes: int
+) -> GridPDN:
+    """Rebuild the sweep grid from an explicit sink-current array.
+
+    The picklable twin of :func:`_base_grid`: power maps carry density
+    closures that cannot cross a process boundary, so sweep payloads
+    ship the sampled ``(ny, nx)`` cell currents instead.
+    """
+    stack = default_stack(spec)
+    sheet = stack.level("Interposer").lateral.sheet_ohm_sq
+    grid = GridPDN(
+        width_m=spec.die_side_m,
+        height_m=spec.die_side_m,
+        sheet_ohm_sq=sheet,
+        nx=grid_nodes,
+        ny=grid_nodes,
+    )
+    grid.set_sink_array(sink_cells)
+    return grid
+
+
+def _failure_chunk(payload: tuple, scenarios: tuple) -> list:
+    """Evaluate one chunk of fault scenarios on a rebuilt sweep grid.
+
+    The grid assembly is repeated per chunk, but its factorization is
+    shared through the process-wide content-hashed cache
+    (:mod:`repro.parallel.cache`), so each worker pays one LU per
+    topology across its whole lifetime.
+    """
+    spec, sink_cells, plan, topology, grid_nodes, output_resistance_ohm = (
+        payload
+    )
+    grid = _grid_from_cells(spec, sink_cells, grid_nodes)
+    _attach_bank(grid, plan, spec, output_resistance_ohm)
+    return _solve_scenarios(
+        grid, plan, topology, [scenario.params for scenario in scenarios]
+    )
+
+
+def _run_failure_sweep(
+    spec: SystemSpec,
+    sink_cells: np.ndarray,
+    plan,
+    topology: ConverterSpec,
+    grid_nodes: int,
+    output_resistance_ohm: float,
+    scenarios: list[tuple[int, ...]],
+    label: str,
+    jobs: "int | str | None",
+    chunk_size: int | None,
+) -> list[FailureResult]:
+    """Route a fault-scenario list through the sweep executor."""
+    for failed in scenarios:
+        _check_failed(plan, failed)
+    plan_obj = SweepPlan(
+        scenarios=tuple(
+            Scenario(key=failed, params=failed) for failed in scenarios
+        ),
+        runner=_failure_chunk,
+        payload=(
+            spec,
+            sink_cells,
+            plan,
+            topology,
+            grid_nodes,
+            output_resistance_ohm,
+        ),
+        chunk_size=chunk_size,
+        label=label,
+    )
+    return run_sweep_collect(plan_obj, jobs=jobs, chunk_size=chunk_size)
+
+
 def _solve_with_failures(
     arch: ArchitectureSpec,
     topology: ConverterSpec,
@@ -254,12 +337,18 @@ def failure_tolerance(
     power_map: PowerMap | None = None,
     grid_nodes: int = DEFAULT_GRID_NODES,
     sample_limit: int | None = None,
+    jobs: "int | str | None" = 1,
+    chunk_size: int | None = None,
 ) -> ToleranceReport:
     """Exhaustive N−1 sweep: fail each VR in turn, find the worst.
 
     Args:
         sample_limit: optionally only test the first k single-failure
             scenarios (for quick checks on large banks).
+        jobs: worker processes for the scenario sweep (``1`` = serial,
+            ``"auto"`` = available CPUs); results are identical for
+            any value.
+        chunk_size: scenarios per executor chunk.
     """
     if not arch.is_vertical:
         raise ConfigError("fault injection applies to on-package VR banks")
@@ -277,16 +366,27 @@ def failure_tolerance(
             raise ConfigError("sample limit must be >= 1")
         indices = indices[:sample_limit]
 
-    # One shared grid, ONE factorization, and batched scenarios: the
-    # whole N−1 enumeration goes through three stacked
-    # back-substitutions on the full attached bank.
-    grid = _base_grid(spec, power_map, grid_nodes)
-    _attach_bank(grid, plan, spec, DEFAULT_OUTPUT_RESISTANCE_OHM)
+    # One shared topology, one cached factorization, and batched
+    # scenarios: the N−1 enumeration goes through stacked
+    # back-substitutions, chunked and optionally sharded across
+    # processes by the sweep executor.
+    sink_cells = power_map.cell_currents(
+        grid_nodes, grid_nodes, spec.pol_current_a
+    )
     worst_fraction = 0.0
     worst_index = -1
     all_survive = True
-    results = _solve_scenarios(
-        grid, plan, topology, [(index,) for index in indices]
+    results = _run_failure_sweep(
+        spec,
+        sink_cells,
+        plan,
+        topology,
+        grid_nodes,
+        DEFAULT_OUTPUT_RESISTANCE_OHM,
+        [(index,) for index in indices],
+        "N-1 failure tolerance",
+        jobs,
+        chunk_size,
     )
     for index, result in zip(indices, results):
         if result.worst_overload_fraction > worst_fraction:
@@ -310,9 +410,16 @@ def multi_failure_samples(
     failure_count: int,
     spec: SystemSpec | None = None,
     max_scenarios: int = 20,
+    jobs: "int | str | None" = 1,
+    chunk_size: int | None = None,
 ) -> list[FailureResult]:
     """A deterministic sample of k-failure scenarios (first
-    ``max_scenarios`` index combinations)."""
+    ``max_scenarios`` index combinations).
+
+    ``jobs``/``chunk_size`` shard the scenario list across worker
+    processes through the sweep executor; results are identical for
+    any worker count.
+    """
     if failure_count < 1:
         raise ConfigError("failure count must be >= 1")
     if max_scenarios < 1:
@@ -331,6 +438,18 @@ def multi_failure_samples(
         scenarios.append(combo)
         if len(scenarios) >= max_scenarios:
             break
-    grid = _base_grid(spec, PowerMap.hotspot_mixture(), DEFAULT_GRID_NODES)
-    _attach_bank(grid, plan, spec, DEFAULT_OUTPUT_RESISTANCE_OHM)
-    return _solve_scenarios(grid, plan, topology, scenarios)
+    sink_cells = PowerMap.hotspot_mixture().cell_currents(
+        DEFAULT_GRID_NODES, DEFAULT_GRID_NODES, spec.pol_current_a
+    )
+    return _run_failure_sweep(
+        spec,
+        sink_cells,
+        plan,
+        topology,
+        DEFAULT_GRID_NODES,
+        DEFAULT_OUTPUT_RESISTANCE_OHM,
+        scenarios,
+        f"N-{failure_count} failure samples",
+        jobs,
+        chunk_size,
+    )

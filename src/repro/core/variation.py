@@ -12,12 +12,16 @@ Sampling is deterministic given the seed (numpy Generator).  All
 random factors are drawn in one batched call up front (one
 ``(samples, 4)`` normal draw instead of per-sample scalar draws), and
 the packaging stack is built once and shared across the per-sample
-analyzers.
+analyzers.  The per-sample evaluation loop routes through the sweep
+executor (:mod:`repro.parallel`): because the factors are drawn in the
+parent before sharding, ``jobs=N`` evaluates exactly the draws
+``jobs=1`` does — bit-identical results, any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
@@ -27,6 +31,7 @@ from ..converters.loss_model import QuadraticLossModel
 from ..core.architectures import ArchitectureSpec
 from ..core.loss_analysis import LossAnalyzer, LossModelParameters
 from ..errors import ConfigError, InfeasibleError
+from ..parallel import Scenario, SweepPlan, run_sweep
 
 
 @dataclass(frozen=True)
@@ -109,21 +114,72 @@ def _perturbed_spec(
     return replace(topology, loss_model=model)
 
 
+def spawn_variation_seeds(
+    variation: VariationSpec, count: int
+) -> list[np.random.SeedSequence]:
+    """Independent child seed sequences rooted at the variation seed.
+
+    ``SeedSequence.spawn`` guarantees non-overlapping streams, so a
+    sweep sharded across processes can hand each worker its own child
+    and draw locally without any coordination — and without two
+    workers ever replaying the same draws.
+    """
+    if count < 1:
+        raise ConfigError("need at least one child seed")
+    return np.random.SeedSequence(variation.seed).spawn(count)
+
+
 def sample_variation_factors(
-    variation: VariationSpec, samples: int
+    variation: VariationSpec,
+    samples: int,
+    rng: "np.random.Generator | np.random.SeedSequence | int | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Draw all Monte-Carlo factors in one batch.
 
     Returns ``(loss_factors, rdl_factors)`` with shapes
     ``(samples, 3)`` and ``(samples,)`` — log-normal multipliers for
     the converter loss coefficients and the RDL resistances.
-    Deterministic given ``variation.seed``.
+
+    ``rng`` selects the random stream: ``None`` keeps the historical
+    contract (a fresh generator seeded from ``variation.seed``, so the
+    same spec always reproduces the same draws); a ``Generator``,
+    ``SeedSequence`` (e.g. a child from :func:`spawn_variation_seeds`),
+    or integer seed gives callers — worker processes in particular —
+    an explicit, non-overlapping stream.
     """
-    rng = np.random.default_rng(variation.seed)
+    if rng is None:
+        rng = np.random.default_rng(variation.seed)
+    elif not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
     normals = rng.normal(0.0, 1.0, size=(samples, 4))
     loss_factors = np.exp(variation.converter_loss_sigma * normals[:, :3])
     rdl_factors = np.exp(variation.rdl_sigma * normals[:, 3])
     return loss_factors, rdl_factors
+
+
+def _variation_chunk(payload: tuple, scenarios: tuple) -> list:
+    """Evaluate one chunk of Monte-Carlo draws.
+
+    Returns per-scenario ``total_loss_w`` floats, or ``None`` for
+    draws where the perturbed converter is infeasible.
+    """
+    arch, topology, spec, stack = payload
+    results: list = []
+    for scenario in scenarios:
+        loss_factor, rdl_factor = scenario.params
+        perturbed_topology = _perturbed_spec(topology, loss_factor)
+        params = LossModelParameters(
+            die_grid_resistance_ohm=6.0e-6 * rdl_factor,
+            intermediate_rail_squares=0.97 * rdl_factor,
+        )
+        analyzer = LossAnalyzer(spec=spec, params=params, stack=stack)
+        try:
+            breakdown = analyzer.analyze(arch, perturbed_topology)
+        except InfeasibleError:
+            results.append(None)
+        else:
+            results.append(breakdown.total_loss_w)
+    return results
 
 
 def monte_carlo_loss(
@@ -132,8 +188,25 @@ def monte_carlo_loss(
     spec: SystemSpec | None = None,
     variation: VariationSpec | None = None,
     samples: int = 200,
+    jobs: "int | str | None" = 1,
+    chunk_size: int | None = None,
+    target_ci_w: float | None = None,
+    progress: "Callable[[int, int], None] | None" = None,
 ) -> VariationResult:
-    """Sample the total loss of a design point under tolerances."""
+    """Sample the total loss of a design point under tolerances.
+
+    Args:
+        jobs: worker processes for the sample sweep (``1`` = serial,
+            ``"auto"`` = available CPUs).  Results are bit-identical
+            for any value: all factors are drawn up front.
+        chunk_size: samples per executor chunk.
+        target_ci_w: optional early-stop — stop consuming chunks once
+            the 95% confidence-interval half-width of the mean loss is
+            below this many watts (at least two chunks are always
+            evaluated).  The retained samples are a deterministic
+            prefix of the chunk stream.
+        progress: optional ``callback(samples_done, samples_total)``.
+    """
     if samples < 2:
         raise ConfigError("need at least two samples")
     spec = spec or SystemSpec()
@@ -145,22 +218,54 @@ def monte_carlo_loss(
     # instead of rebuilding the packaging hierarchy per draw.
     stack = nominal_analyzer.stack
 
+    # Factors are drawn once, in the parent, before sharding: workers
+    # receive explicit (loss_factor, rdl_factor) rows, so the result
+    # set cannot depend on worker count or scheduling.
     loss_factors, rdl_factors = sample_variation_factors(variation, samples)
+    scenarios = tuple(
+        Scenario(key=i, params=(loss_factors[i], rdl_factors[i]))
+        for i in range(samples)
+    )
+    plan = SweepPlan(
+        scenarios=scenarios,
+        runner=_variation_chunk,
+        payload=(arch, topology, spec, stack),
+        chunk_size=chunk_size,
+        label="monte-carlo loss",
+    )
+
+    # Chunks land in completion order; index them so the retained
+    # sample set (and any early-stop decision) follows plan order.
+    by_index: dict[int, tuple] = {}
+    done = 0
+    stream = run_sweep(plan, jobs=jobs, chunk_size=chunk_size)
+    for chunk in stream:
+        by_index[chunk.index] = chunk.results
+        done += len(chunk.results)
+        if progress is not None:
+            progress(done, samples)
+        if target_ci_w is not None and len(by_index) >= 2:
+            flat = [
+                value
+                for index in sorted(by_index)
+                for value in by_index[index]
+                if value is not None
+            ]
+            if len(flat) >= 2:
+                arr = np.asarray(flat)
+                half_width = 1.96 * arr.std(ddof=1) / np.sqrt(len(arr))
+                if half_width < target_ci_w:
+                    stream.close()
+                    break
+
     results: list[float] = []
     infeasible = 0
-    for loss_factor, rdl_factor in zip(loss_factors, rdl_factors):
-        perturbed_topology = _perturbed_spec(topology, loss_factor)
-        params = LossModelParameters(
-            die_grid_resistance_ohm=6.0e-6 * rdl_factor,
-            intermediate_rail_squares=0.97 * rdl_factor,
-        )
-        analyzer = LossAnalyzer(spec=spec, params=params, stack=stack)
-        try:
-            breakdown = analyzer.analyze(arch, perturbed_topology)
-        except InfeasibleError:
-            infeasible += 1
-            continue
-        results.append(breakdown.total_loss_w)
+    for index in sorted(by_index):
+        for value in by_index[index]:
+            if value is None:
+                infeasible += 1
+            else:
+                results.append(value)
 
     if not results:
         raise InfeasibleError(

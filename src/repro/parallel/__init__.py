@@ -1,0 +1,48 @@
+"""Sweep-execution engine: scenario model, factorization cache, executor.
+
+See ``docs/parallel-execution.md`` for the design: every sweep loop in
+the repo builds a :class:`SweepPlan` (scenarios + shared payload +
+module-level chunk runner) and hands it to :func:`run_sweep` /
+:func:`run_sweep_collect`, which shard it into fixed-size chunks and
+run them in-process (``jobs=1``, the deterministic default) or across
+a process pool.  Factorizations are shared per topology through the
+content-hashed :class:`FactorizationCache`.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_ENTRIES,
+    CacheStats,
+    FactorizationCache,
+    compiled_fingerprint,
+    get_factorized,
+    process_cache,
+)
+from .executor import (
+    SweepExecutionError,
+    resolve_jobs,
+    run_sweep,
+    run_sweep_collect,
+)
+from .scenario import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkResult,
+    Scenario,
+    SweepPlan,
+)
+
+__all__ = [
+    "CacheStats",
+    "ChunkResult",
+    "DEFAULT_CACHE_ENTRIES",
+    "DEFAULT_CHUNK_SIZE",
+    "FactorizationCache",
+    "Scenario",
+    "SweepExecutionError",
+    "SweepPlan",
+    "compiled_fingerprint",
+    "get_factorized",
+    "process_cache",
+    "resolve_jobs",
+    "run_sweep",
+    "run_sweep_collect",
+]

@@ -171,7 +171,13 @@ class _GridStructure:
     @property
     def solver(self) -> FactorizedPDN:
         if self._solver is None:
-            self._solver = FactorizedPDN(self.compiled)
+            # Route through the process-wide content-hashed cache so
+            # grid rebuilds of the same topology (sweep workers, CLI
+            # re-runs) share one LU factorization.  Lazy import: the
+            # parallel layer sits above pdn in the dependency graph.
+            from ..parallel.cache import get_factorized
+
+            self._solver = get_factorized(self.compiled)
         return self._solver
 
     @property

@@ -22,6 +22,7 @@ rather than returning silently wrong answers.
 from __future__ import annotations
 
 import warnings
+from collections import OrderedDict
 from functools import cached_property
 
 import numpy as np
@@ -30,6 +31,13 @@ import scipy.sparse.linalg as spla
 
 from ..errors import SolverError
 from .network import GROUND_INDEX, CompiledNetlist, Netlist, NodeId
+
+#: Default cap on memoized influence columns per factorization.  Each
+#: column is a dense float64 vector of length ``size``; at the default
+#: cap a 10k-node mesh holds at most ~80 MB of influence columns, and
+#: long-running sweep workers (see :mod:`repro.parallel`) stay bounded
+#: no matter how many distinct elements their scenarios touch.
+INFLUENCE_CACHE_COLUMNS = 1024
 
 #: Acceptance threshold for the known-solution singularity probe.
 #: Shared by the DC factorization, the modified-scenario fallback, and
@@ -175,7 +183,11 @@ class FactorizedPDN:
     instead of as NaNs downstream.
     """
 
-    def __init__(self, netlist: Netlist | CompiledNetlist) -> None:
+    def __init__(
+        self,
+        netlist: Netlist | CompiledNetlist,
+        influence_cache_columns: int | None = None,
+    ) -> None:
         compiled = (
             netlist.compile() if isinstance(netlist, Netlist) else netlist
         )
@@ -206,8 +218,19 @@ class FactorizedPDN:
         # update vector of "disable source j" / "remove resistor i" is
         # canonical per element, so sweeps that revisit elements (N-k
         # enumerations, repeated studies) pay each back-substitution
-        # once per factorization.
-        self._influence: dict[tuple[str, int], np.ndarray] = {}
+        # once per factorization.  Bounded LRU: each column is a dense
+        # ``size`` vector, and a long-lived sweep worker enumerating
+        # resistor removals over a large mesh would otherwise grow this
+        # without limit.
+        self._influence: "OrderedDict[tuple[str, int], np.ndarray]" = (
+            OrderedDict()
+        )
+        if influence_cache_columns is None:
+            influence_cache_columns = INFLUENCE_CACHE_COLUMNS
+        if influence_cache_columns < 1:
+            raise SolverError("influence cache needs at least one column")
+        self._influence_cap = int(influence_cache_columns)
+        self.influence_evictions = 0
 
         # One matvec plus one back-substitution, paid once per topology.
         error = factorization_probe_error(self._lu, matrix)
@@ -387,25 +410,42 @@ class FactorizedPDN:
             ("res", int(i)) for i in removed
         ]
 
+    def _influence_store(self, key: tuple[str, int], column: np.ndarray) -> None:
+        """Insert one influence column, evicting LRU entries over the cap."""
+        self._influence[key] = column
+        self._influence.move_to_end(key)
+        while len(self._influence) > self._influence_cap:
+            self._influence.popitem(last=False)
+            self.influence_evictions += 1
+
     def _influence_solve(
         self,
         u: np.ndarray,
         disabled: np.ndarray,
         removed: np.ndarray,
     ) -> np.ndarray:
-        """``Z = A^-1 U`` with per-element memoization.
+        """``Z = A^-1 U`` with per-element memoization (bounded LRU).
 
         Missing columns are back-substituted in one batched call and
         cached, so a sweep touching m distinct elements performs m
-        influence solves total, not m per scenario.
+        influence solves total, not m per scenario.  The result is
+        assembled from local copies, so it stays correct even when a
+        scenario touches more elements than the cache holds.
         """
         keys = self._modification_keys(disabled, removed)
-        missing = [t for t, key in enumerate(keys) if key not in self._influence]
+        columns: list[np.ndarray | None] = []
+        for key in keys:
+            cached = self._influence.get(key)
+            if cached is not None:
+                self._influence.move_to_end(key)
+            columns.append(cached)
+        missing = [t for t, column in enumerate(columns) if column is None]
         if missing:
             solved = self._lu.solve(u[:, missing])
             for column, t in enumerate(missing):
-                self._influence[keys[t]] = solved[:, column]
-        return np.column_stack([self._influence[key] for key in keys])
+                columns[t] = solved[:, column]
+                self._influence_store(keys[t], solved[:, column])
+        return np.column_stack(columns)
 
     def preload_source_influence(
         self, indices: "np.ndarray | tuple[int, ...] | list[int] | None" = None
@@ -612,7 +652,7 @@ class FactorizedPDN:
                     u[b, t] = -1.0
         solved = self._lu.solve(u)
         for column, key in enumerate(missing):
-            self._influence[key] = solved[:, column]
+            self._influence_store(key, solved[:, column])
 
     def solve_modified_many(
         self,

@@ -563,6 +563,27 @@ class CompiledNetlist:
             clone.vs_volt = volt
         return clone
 
+    # -- pickling ---------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Picklable state for process-pool payloads.
+
+        Lazy node/name sources are often closures over the builder
+        (e.g. :meth:`repro.pdn.grid.GridPDN._build_structure`), which
+        cannot cross a process boundary — materialize them first.  The
+        node-index dict is derived data; drop it and rebuild on demand.
+        """
+        self.nodes
+        self.res_names
+        self.cs_names
+        self.vs_names
+        state = dict(self.__dict__)
+        state["_node_index"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 def series_chain(
     netlist: Netlist,

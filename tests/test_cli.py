@@ -35,8 +35,17 @@ class TestParser:
             "optimize",
             "floorplan",
             "export",
+            "montecarlo",
+            "redundancy",
+            "decap",
             "report",
         } == set(COMMANDS)
+
+    def test_jobs_defaults_serial(self):
+        args = build_parser().parse_args(["montecarlo"])
+        assert args.jobs == "1"
+        assert args.chunk_size is None
+        assert args.samples == 512
 
 
 class TestCommands:
@@ -99,6 +108,28 @@ class TestCommands:
         assert main(["report", "--output", str(path)]) == 0
         assert path.exists()
         assert "markdown report written" in capsys.readouterr().out
+
+    def test_montecarlo(self, capsys):
+        assert main(["montecarlo", "--samples", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "mean" in output and "p95" in output
+
+    def test_montecarlo_jobs_matches_serial(self, capsys):
+        assert main(["montecarlo", "--samples", "16"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["montecarlo", "--samples", "16", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.replace("jobs=1", "") == parallel.replace("jobs=2", "")
+
+    def test_redundancy(self, capsys):
+        assert main(["redundancy"]) == 0
+        output = capsys.readouterr().out
+        assert "tolerates any single failure: yes" in output
+
+    def test_decap(self, capsys):
+        assert main(["decap"]) == 0
+        output = capsys.readouterr().out
+        assert "cells/node" in output and "mOhm" in output
 
     def test_export(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

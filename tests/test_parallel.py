@@ -1,0 +1,435 @@
+"""Sweep executor, factorization cache, and pickle-payload tests.
+
+Covers the `repro.parallel` engine end to end:
+
+* content-hash fingerprints and the bounded LRU factorization cache,
+* the bounded influence-column cache in `FactorizedPDN`,
+* pickle round-trips for the compiled payloads that cross process
+  boundaries (`CompiledNetlist`, `CompiledACNetlist`, sweep payloads),
+* the chunked executor (serial path, pool path, streaming, progress,
+  error context, early cancellation),
+* the equivalence contract: `jobs=N` results are **bit-identical** to
+  `jobs=1` for the rewired variation / redundancy / decap sweeps.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import SystemSpec
+from repro.converters.catalog import DSCH
+from repro.core.architectures import single_stage_a1
+from repro.core.exploration import conversion_location_sweep, decap_density_sweep
+from repro.core.redundancy import failure_tolerance, multi_failure_samples
+from repro.core.variation import (
+    VariationSpec,
+    monte_carlo_loss,
+    sample_variation_factors,
+    spawn_variation_seeds,
+)
+from repro.errors import ConfigError
+from repro.parallel import (
+    FactorizationCache,
+    Scenario,
+    SweepExecutionError,
+    SweepPlan,
+    compiled_fingerprint,
+    process_cache,
+    resolve_jobs,
+    run_sweep,
+    run_sweep_collect,
+)
+from repro.pdn.grid import GridPDN
+from repro.pdn.mna import FactorizedPDN
+from repro.pdn.powermap import PowerMap
+
+
+def _small_grid(nx: int = 6, sheet: float = 1e-3) -> GridPDN:
+    grid = GridPDN(
+        width_m=0.02, height_m=0.02, sheet_ohm_sq=sheet, nx=nx, ny=nx
+    )
+    grid.set_sink_array(np.full((nx, nx), 100.0 / nx**2))
+    for i, (x, y) in enumerate([(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]):
+        grid.add_source(f"vr{i}", x, y, 1.0, 1e-3)
+    return grid
+
+
+# -- fingerprint + factorization cache ------------------------------------------
+
+
+class TestFingerprint:
+    def test_identical_topologies_match(self):
+        a = _small_grid().compile()
+        b = _small_grid().compile()
+        assert compiled_fingerprint(a) == compiled_fingerprint(b)
+
+    def test_structure_changes_fingerprint(self):
+        a = _small_grid(sheet=1e-3).compile()
+        b = _small_grid(sheet=2e-3).compile()
+        assert compiled_fingerprint(a) != compiled_fingerprint(b)
+
+    def test_rhs_values_change_fingerprint(self):
+        a = _small_grid().compile()
+        b = a.with_sources(vs_volt=a.vs_volt + 0.1)
+        assert compiled_fingerprint(a) != compiled_fingerprint(b)
+
+    def test_survives_pickle(self):
+        compiled = _small_grid().compile()
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert compiled_fingerprint(clone) == compiled_fingerprint(compiled)
+
+
+class TestFactorizationCache:
+    def test_hit_returns_same_instance(self):
+        cache = FactorizationCache(maxsize=4)
+        compiled = _small_grid().compile()
+        first = cache.get(compiled)
+        second = cache.get(_small_grid().compile())
+        assert first is second
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = FactorizationCache(maxsize=2)
+        grids = [_small_grid(sheet=s) for s in (1e-3, 2e-3, 3e-3)]
+        for grid in grids:
+            cache.get(grid.compile())
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest topology was evicted; re-requesting it rebuilds.
+        cache.get(grids[0].compile())
+        assert cache.stats.misses == 4
+
+    def test_solutions_match_direct_factorization(self):
+        cache = FactorizationCache()
+        grid = _small_grid()
+        compiled = grid.compile()
+        direct = FactorizedPDN(compiled)
+        cached = cache.get(compiled)
+        rhs = direct.rhs()
+        assert np.array_equal(direct.solve_rhs(rhs), cached.solve_rhs(rhs))
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ConfigError):
+            FactorizationCache(maxsize=0)
+
+    def test_grid_structure_uses_process_cache(self):
+        process_cache().clear()
+        a = _small_grid()
+        b = _small_grid()
+        sol_a = a.solve()
+        sol_b = b.solve()
+        assert process_cache().stats.hits >= 1
+        assert np.array_equal(sol_a.voltage_map, sol_b.voltage_map)
+
+
+class TestInfluenceCacheBound:
+    def test_eviction_counter_and_bound(self):
+        grid = _small_grid(nx=8)
+        compiled = grid.compile()
+        solver = FactorizedPDN(compiled, influence_cache_columns=4)
+        # Sweep resistor removals over more elements than the cap.
+        for i in range(12):
+            solver.solve_modified(remove_resistors=(i,))
+        assert len(solver._influence) <= 4
+        assert solver.influence_evictions > 0
+
+    def test_results_unaffected_by_tiny_cache(self):
+        compiled = _small_grid(nx=8).compile()
+        bounded = FactorizedPDN(compiled, influence_cache_columns=1)
+        unbounded = FactorizedPDN(compiled)
+        for failed in [(0,), (1,), (0, 2), (3,), (0,)]:
+            a = bounded.solve_modified(disable_sources=failed)
+            b = unbounded.solve_modified(disable_sources=failed)
+            assert np.array_equal(
+                np.asarray(list(a.node_voltages.values())),
+                np.asarray(list(b.node_voltages.values())),
+            )
+        assert bounded.influence_evictions > 0
+
+    def test_rejects_zero_cap(self):
+        compiled = _small_grid().compile()
+        with pytest.raises(Exception):
+            FactorizedPDN(compiled, influence_cache_columns=0)
+
+
+# -- pickle round-trips ----------------------------------------------------------
+
+
+class TestPicklePayloads:
+    def test_compiled_netlist_from_grid(self):
+        compiled = _small_grid().compile()
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.n_nodes == compiled.n_nodes
+        assert np.array_equal(clone.res_ohm, compiled.res_ohm)
+        assert clone.nodes == compiled.nodes
+        assert clone.res_names == compiled.res_names
+        assert clone.vs_names == compiled.vs_names
+        # The clone must be solvable on the other side.
+        sol = FactorizedPDN(clone).solve()
+        ref = FactorizedPDN(compiled).solve()
+        assert np.array_equal(
+            np.asarray(list(sol.node_voltages.values())),
+            np.asarray(list(ref.node_voltages.values())),
+        )
+
+    def test_compiled_ac_netlist(self):
+        from repro.pdn.ac import ACNetlist
+
+        net = ACNetlist()
+        net.add_voltage_source("vin", "in", "0", 1.0)
+        net.add_resistor("r1", "in", "mid", 1e-3)
+        net.add_inductor("l1", "mid", "out", 1e-9)
+        net.add_capacitor("c1", "out", "0", 1e-6)
+        compiled = net.compile_ac()
+        clone = pickle.loads(pickle.dumps(compiled))
+        freqs = np.logspace(4, 8, 9)
+        ref = compiled.solve(freqs)
+        got = clone.solve(freqs)
+        assert ref.nodes == got.nodes
+        assert np.array_equal(ref.voltage_matrix, got.voltage_matrix)
+
+    def test_sweep_plan_payloads_pickle(self):
+        spec = SystemSpec()
+        sink_cells = PowerMap.hotspot_mixture().cell_currents(
+            12, 12, spec.pol_current_a
+        )
+        payload = (spec, sink_cells, 12)
+        clone = pickle.loads(pickle.dumps(payload))
+        assert np.array_equal(clone[1], sink_cells)
+
+
+# -- executor --------------------------------------------------------------------
+
+
+def _square_chunk(payload, scenarios):
+    return [scenario.params**2 + payload for scenario in scenarios]
+
+
+def _failing_chunk(payload, scenarios):
+    for scenario in scenarios:
+        if scenario.params == 13:
+            raise ValueError("unlucky scenario")
+    return [scenario.params for scenario in scenarios]
+
+
+class TestResolveJobs:
+    def test_serial_defaults(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs("3") == 3
+
+    def test_auto_is_positive(self):
+        assert resolve_jobs("auto") >= 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs("many")
+        with pytest.raises(ConfigError):
+            resolve_jobs(0)
+
+
+class TestSweepPlan:
+    def test_chunking_is_jobs_independent(self):
+        plan = SweepPlan.from_params(_square_chunk, range(100), payload=0)
+        chunks = plan.chunks()
+        assert sum(len(c) for c in chunks) == 100
+        assert all(len(c) == 32 for c in chunks[:-1])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepPlan(scenarios=(), runner=_square_chunk)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepPlan(
+                scenarios=(Scenario(0, 0),),
+                runner=_square_chunk,
+                chunk_size=0,
+            )
+
+
+class TestExecutorSerial:
+    def test_results_in_order(self):
+        plan = SweepPlan.from_params(
+            _square_chunk, range(10), payload=1, chunk_size=3
+        )
+        results = run_sweep_collect(plan)
+        assert results == [i**2 + 1 for i in range(10)]
+
+    def test_streaming_yields_chunks(self):
+        plan = SweepPlan.from_params(
+            _square_chunk, range(10), payload=0, chunk_size=4
+        )
+        chunks = list(run_sweep(plan))
+        assert [c.index for c in chunks] == [0, 1, 2]
+        assert chunks[0].results == (0, 1, 4, 9)
+
+    def test_progress_callback(self):
+        plan = SweepPlan.from_params(
+            _square_chunk, range(10), payload=0, chunk_size=5
+        )
+        seen = []
+        run_sweep_collect(plan, progress=lambda c, done, total: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_error_carries_scenario_context(self):
+        plan = SweepPlan.from_params(
+            _failing_chunk, range(20), chunk_size=5, label="unlucky"
+        )
+        with pytest.raises(SweepExecutionError) as err:
+            run_sweep_collect(plan)
+        assert "unlucky" in str(err.value)
+        assert 13 in err.value.scenario_keys
+        assert err.value.chunk_index == 2
+
+    def test_early_stop_skips_remaining_chunks(self):
+        evaluated = []
+
+        plan = SweepPlan.from_params(
+            _square_chunk, range(100), payload=0, chunk_size=10
+        )
+        stream = run_sweep(
+            plan, progress=lambda c, done, total: evaluated.append(c.index)
+        )
+        for chunk in stream:
+            if chunk.index == 1:
+                stream.close()
+                break
+        assert evaluated == [0, 1]
+
+
+class TestExecutorPool:
+    def test_pool_matches_serial(self):
+        plan = SweepPlan.from_params(
+            _square_chunk, range(40), payload=7, chunk_size=8
+        )
+        assert run_sweep_collect(plan, jobs=2) == run_sweep_collect(plan)
+
+    def test_pool_error_carries_worker_traceback(self):
+        plan = SweepPlan.from_params(
+            _failing_chunk, range(20), chunk_size=5, label="unlucky"
+        )
+        with pytest.raises(SweepExecutionError) as err:
+            run_sweep_collect(plan, jobs=2)
+        assert "unlucky scenario" in str(err.value)
+        assert err.value.worker_traceback is not None
+
+    def test_auto_jobs_runs(self):
+        plan = SweepPlan.from_params(
+            _square_chunk, range(8), payload=0, chunk_size=4
+        )
+        assert run_sweep_collect(plan, jobs="auto") == [
+            i**2 for i in range(8)
+        ]
+
+
+# -- RNG sharding ----------------------------------------------------------------
+
+
+class TestVariationRNG:
+    def test_default_matches_seeded_generator(self):
+        variation = VariationSpec(seed=99)
+        a = sample_variation_factors(variation, 16)
+        b = sample_variation_factors(
+            variation, 16, rng=np.random.default_rng(99)
+        )
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_explicit_generator_advances(self):
+        variation = VariationSpec()
+        rng = np.random.default_rng(7)
+        a = sample_variation_factors(variation, 8, rng=rng)
+        b = sample_variation_factors(variation, 8, rng=rng)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_seed_sequence_accepted(self):
+        variation = VariationSpec(seed=5)
+        seeds = spawn_variation_seeds(variation, 4)
+        draws = [
+            sample_variation_factors(variation, 8, rng=seed) for seed in seeds
+        ]
+        # Spawned streams are pairwise distinct (non-overlapping).
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i][0], draws[j][0])
+
+    def test_spawn_is_deterministic(self):
+        variation = VariationSpec(seed=5)
+        a = spawn_variation_seeds(variation, 3)
+        b = spawn_variation_seeds(variation, 3)
+        for x, y in zip(a, b):
+            assert np.array_equal(
+                np.random.default_rng(x).normal(size=4),
+                np.random.default_rng(y).normal(size=4),
+            )
+
+    def test_spawn_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            spawn_variation_seeds(VariationSpec(), 0)
+
+
+# -- jobs=1 vs jobs=4 equivalence -------------------------------------------------
+
+
+class TestParallelEquivalence:
+    def test_monte_carlo_bit_identical(self):
+        arch = single_stage_a1()
+        serial = monte_carlo_loss(arch, DSCH, samples=64, jobs=1)
+        parallel = monte_carlo_loss(arch, DSCH, samples=64, jobs=4)
+        assert np.array_equal(serial.samples_w, parallel.samples_w)
+        assert serial.infeasible_count == parallel.infeasible_count
+        assert serial.nominal_loss_w == parallel.nominal_loss_w
+
+    def test_failure_tolerance_bit_identical(self):
+        arch = single_stage_a1()
+        serial = failure_tolerance(arch, DSCH, jobs=1)
+        parallel = failure_tolerance(arch, DSCH, jobs=4, chunk_size=8)
+        assert serial == parallel
+
+    def test_multi_failure_bit_identical(self):
+        arch = single_stage_a1()
+        serial = multi_failure_samples(arch, DSCH, 2, max_scenarios=24)
+        parallel = multi_failure_samples(
+            arch, DSCH, 2, max_scenarios=24, jobs=4
+        )
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.failed_indices == b.failed_indices
+            assert np.array_equal(a.survivor_currents_a, b.survivor_currents_a)
+            assert a.worst_droop_v == b.worst_droop_v
+
+    def test_decap_density_bit_identical(self):
+        kwargs = dict(
+            densities=(0.5, 1.0, 2.0),
+            grid_nodes=8,
+            frequencies_hz=np.logspace(5, 8, 13),
+        )
+        serial = decap_density_sweep(jobs=1, **kwargs)
+        parallel = decap_density_sweep(jobs=4, **kwargs)
+        assert serial == parallel
+
+    def test_conversion_location_bit_identical(self):
+        assert conversion_location_sweep() == conversion_location_sweep(
+            jobs=4
+        )
+
+    def test_monte_carlo_early_stop_is_prefix(self):
+        arch = single_stage_a1()
+        full = monte_carlo_loss(arch, DSCH, samples=96, jobs=1, chunk_size=16)
+        stopped = monte_carlo_loss(
+            arch,
+            DSCH,
+            samples=96,
+            jobs=1,
+            chunk_size=16,
+            target_ci_w=1e6,  # absurdly loose: stops after two chunks
+        )
+        assert len(stopped.samples_w) == 32
+        assert np.array_equal(
+            stopped.samples_w, full.samples_w[: len(stopped.samples_w)]
+        )

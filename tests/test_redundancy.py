@@ -177,9 +177,15 @@ class TestWoodburySweepParity:
             )
 
     def test_sweep_reuses_one_factorization(self):
-        """failure_tolerance must factorize once for the whole sweep."""
+        """failure_tolerance must factorize at most once per topology.
+
+        The process-wide content-hashed cache (repro.parallel.cache)
+        shares factorizations across grid rebuilds, so a sweep costs
+        one LU on a cold cache and zero on a warm one.
+        """
         from unittest.mock import patch
 
+        from repro.parallel import process_cache
         from repro.pdn.mna import FactorizedPDN
 
         original = FactorizedPDN.__init__
@@ -189,6 +195,7 @@ class TestWoodburySweepParity:
             calls["count"] += 1
             original(self, netlist)
 
+        process_cache().clear()
         with patch.object(FactorizedPDN, "__init__", counting_init):
             failure_tolerance(
                 single_stage_a1(),
