@@ -11,9 +11,11 @@ Usage::
     python -m repro montecarlo --samples 512 --jobs auto
     python -m repro redundancy --jobs 4
     python -m repro decap --jobs auto
+    python -m repro transient --jobs 2
     python -m repro report              # everything above in one go
 
-Sweep commands (``montecarlo``, ``redundancy``, ``decap``) accept
+Sweep commands (``montecarlo``, ``redundancy``, ``decap``,
+``transient``) accept
 ``--jobs`` (an integer or ``auto`` for the available CPUs) and
 ``--chunk-size`` to shard their scenario lists across worker processes
 via :mod:`repro.parallel`; results are identical for any worker count.
@@ -234,6 +236,23 @@ def cmd_decap(spec: SystemSpec, args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_transient(spec: SystemSpec, args: argparse.Namespace) -> int:
+    from .core.exploration import load_step_ensemble
+
+    points = load_step_ensemble(
+        spec=spec, jobs=args.jobs, chunk_size=args.chunk_size
+    )
+    print(f"load-step droop ensemble (A2, {DSCH.name}, jobs={args.jobs}):")
+    for point in points:
+        flag = "ok  " if point.within_budget else "FAIL"
+        print(
+            f"  [{flag}] {point.label:16s} droop "
+            f"{point.droop_v * 1e3:7.2f} mV, settle "
+            f"{point.settle_time_s * 1e9:8.2f} ns [{point.engine}]"
+        )
+    return 0
+
+
 def cmd_report(spec: SystemSpec, args: argparse.Namespace) -> int:
     sections: list[tuple[str, CommandHandler]] = [
         ("Fig. 1", cmd_fig1),
@@ -270,6 +289,7 @@ COMMANDS: dict[str, CommandHandler] = {
     "montecarlo": cmd_montecarlo,
     "redundancy": cmd_redundancy,
     "decap": cmd_decap,
+    "transient": cmd_transient,
     "report": cmd_report,
 }
 

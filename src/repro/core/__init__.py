@@ -44,8 +44,10 @@ from .energy import DeploymentModel, EnergyReport, annual_energy, annual_savings
 from .ir_drop import (
     ImpedanceMapReport,
     IRDropReport,
+    TransientDroopReport,
     analyze_impedance_map,
     analyze_ir_drop,
+    analyze_load_step,
     compare_architectures,
 )
 from .optimizer import (
@@ -68,7 +70,9 @@ from .scaling_study import (
 from .exploration import (
     DecapDensityPoint,
     SweepPoint,
+    TransientEnsemblePoint,
     decap_density_sweep,
+    load_step_ensemble,
 )
 from .variation import VariationResult, VariationSpec, monte_carlo_loss
 
@@ -106,9 +110,13 @@ __all__ = [
     "compare_architectures",
     "ImpedanceMapReport",
     "analyze_impedance_map",
+    "TransientDroopReport",
+    "analyze_load_step",
     "SweepPoint",
     "DecapDensityPoint",
     "decap_density_sweep",
+    "TransientEnsemblePoint",
+    "load_step_ensemble",
     "DesignConstraints",
     "DesignCandidate",
     "OptimizationResult",

@@ -36,7 +36,12 @@ from .architectures import (
     single_stage_a2,
 )
 from .current_sharing import SharingResult, analyze_current_sharing
-from .ir_drop import ImpedanceMapReport, analyze_impedance_map
+from .ir_drop import (
+    ImpedanceMapReport,
+    TransientDroopReport,
+    analyze_impedance_map,
+    analyze_load_step,
+)
 from .loss_analysis import LossAnalyzer, LossBreakdown, LossModelParameters
 
 
@@ -365,6 +370,90 @@ def _decap_chunk(payload: tuple, scenarios: tuple) -> list:
             )
         )
     return points
+
+
+@dataclass(frozen=True)
+class TransientEnsemblePoint:
+    """Load-step droop at one per-node decap allocation."""
+
+    label: str
+    density: float
+    droop_v: float
+    settle_time_s: float
+    within_budget: bool
+    engine: str
+
+
+def _transient_chunk(payload: tuple, scenarios: tuple) -> list:
+    """Evaluate load-step points (full transient run per point).
+
+    Module-level so the process-pool executor can pickle it; each
+    point factors its (topology, Δt, C_eff) mesh once and steps the
+    whole trace at back-substitution cost.
+    """
+    spec, topology, arch, grid_nodes, kwargs = payload
+    points: list[TransientEnsemblePoint] = []
+    for scenario in scenarios:
+        density = scenario.params
+        report: TransientDroopReport = analyze_load_step(
+            arch,
+            topology,
+            spec=spec,
+            grid_nodes=grid_nodes,
+            decap_density=density,
+            **kwargs,
+        )
+        points.append(
+            TransientEnsemblePoint(
+                label=f"{density:g} cells/node",
+                density=density,
+                droop_v=report.droop_v,
+                settle_time_s=report.settle_time_s,
+                within_budget=report.within_budget,
+                engine=report.engine,
+            )
+        )
+    return points
+
+
+def load_step_ensemble(
+    densities: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+    arch=None,
+    grid_nodes: int = 12,
+    jobs: "int | str | None" = 1,
+    chunk_size: int | None = None,
+    **kwargs,
+) -> list[TransientEnsemblePoint]:
+    """Worst-node load-step droop vs per-node decap allocation.
+
+    The time-domain companion of :func:`decap_density_sweep`: each
+    point runs the full factor-once grid transient engine
+    (:func:`~repro.core.ir_drop.analyze_load_step`) at ``density``
+    decap unit cells per mesh node and records the worst-node droop
+    and settle time.  Extra keyword arguments are forwarded to
+    :func:`~repro.core.ir_drop.analyze_load_step`.
+
+    Each point is a full load-step simulation — factored once, then
+    stepped at back-substitution cost; ``jobs`` fans the points across
+    worker processes (one density per chunk by default) with results
+    identical for any worker count.
+    """
+    if not densities:
+        raise ConfigError("at least one density required")
+    spec = spec or SystemSpec()
+    arch = arch or single_stage_a2()
+    plan = SweepPlan(
+        scenarios=tuple(
+            Scenario(key=float(d), params=float(d)) for d in densities
+        ),
+        runner=_transient_chunk,
+        payload=(spec, topology, arch, grid_nodes, kwargs),
+        chunk_size=1 if chunk_size is None else chunk_size,
+        label="load-step ensemble",
+    )
+    return run_sweep_collect(plan, jobs=jobs)
 
 
 def decap_density_sweep(

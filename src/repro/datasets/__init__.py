@@ -7,6 +7,8 @@ from .hpc_demand import (
     chips,
     servers,
     demand_envelope,
+    load_step_trace,
+    node_current_waveform,
 )
 from .scaling_trends import (
     PACKAGING_TREND,
@@ -25,6 +27,8 @@ __all__ = [
     "chips",
     "servers",
     "demand_envelope",
+    "load_step_trace",
+    "node_current_waveform",
     "PowerTrendPoint",
     "PackagingFeaturePoint",
     "POWER_TREND",

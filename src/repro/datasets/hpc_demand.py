@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import DatasetError
 
 
@@ -141,6 +143,68 @@ def chips() -> list[DemandPoint]:
 def servers() -> list[DemandPoint]:
     """Server-level points, year-ordered."""
     return sorted(SERVERS, key=lambda p: (p.year, p.name))
+
+
+def load_step_trace(
+    point: DemandPoint,
+    pol_voltage_v: float = 1.0,
+    idle_fraction: float = 0.3,
+    samples: int = 512,
+    step_index: int | None = None,
+) -> np.ndarray:
+    """A chip's idle→full-load current step as a sampled trace.
+
+    The POL current of a chip-class entry is ``power / V_POL``; the
+    trace sits at ``idle_fraction`` of it before ``step_index``
+    (default: the second sample, so the step lands at t = 0⁺ the way
+    the transient engines expect) and at full load after.  Returns the
+    total-current waveform, (samples,), ready for
+    :func:`node_current_waveform`.
+    """
+    if point.kind != "chip":
+        raise DatasetError(
+            f"{point.name}: load-step traces are chip-level (POL) drives"
+        )
+    if pol_voltage_v <= 0:
+        raise DatasetError("POL voltage must be positive")
+    if not 0.0 <= idle_fraction <= 1.0:
+        raise DatasetError("idle fraction must be in [0, 1]")
+    if samples < 2:
+        raise DatasetError("a trace needs at least two samples")
+    step = 1 if step_index is None else int(step_index)
+    if not 1 <= step < samples:
+        raise DatasetError("step index must fall inside the trace")
+    full = point.power_w / pol_voltage_v
+    trace = np.full(samples, idle_fraction * full)
+    trace[step:] = full
+    return trace
+
+
+def node_current_waveform(
+    trace_a: np.ndarray, profile: np.ndarray
+) -> np.ndarray:
+    """Spread a total-current trace over a spatial profile.
+
+    ``trace_a`` is the (samples,) total sink current;  ``profile`` is
+    a non-negative (ny, nx) or flat relative density (e.g. a
+    :meth:`~repro.pdn.powermap.PowerMap.cell_currents` map), normalized
+    so every sample's node currents sum to the trace value.  Returns
+    the (samples, cells) per-node waveform array
+    :meth:`~repro.pdn.grid_transient.GridTransientPDN.simulate`
+    consumes.
+    """
+    trace = np.asarray(trace_a, dtype=float).ravel()
+    if trace.size < 2:
+        raise DatasetError("a trace needs at least two samples")
+    if np.any(trace < 0):
+        raise DatasetError("trace currents must be non-negative")
+    shape = np.asarray(profile, dtype=float).ravel()
+    if shape.size == 0 or np.any(shape < 0) or shape.sum() <= 0:
+        raise DatasetError(
+            "profile must be non-negative with positive total"
+        )
+    shape = shape / shape.sum()
+    return trace[:, None] * shape[None, :]
 
 
 def demand_envelope() -> dict[str, float]:

@@ -41,7 +41,9 @@ from ..pdn.network import CompiledNetlist
 DEFAULT_CACHE_ENTRIES = 8
 
 
-def compiled_fingerprint(compiled: CompiledNetlist) -> str:
+def compiled_fingerprint(
+    compiled: CompiledNetlist, extra: bytes | None = None
+) -> str:
     """Content hash of a compiled netlist's arrays.
 
     Two netlists with equal fingerprints produce byte-identical MNA
@@ -49,6 +51,13 @@ def compiled_fingerprint(compiled: CompiledNetlist) -> str:
     for one is valid for the other.  Node/element *names* are excluded:
     they never enter the numerics, and hashing lazy name tuples would
     force materializing them.
+
+    ``extra`` salts the digest with caller-supplied discretization
+    bytes.  The transient grid engine stamps its time step into the
+    companion resistances, so two different ``(Δt, C_eff)`` stamps that
+    happen to collapse onto byte-identical arrays would otherwise share
+    one cache key; passing the ``(Δt, C_eff)`` stamp here keys them
+    separately so a cached LU is never reused across time steps.
     """
     digest = hashlib.blake2b(digest_size=16)
     digest.update(compiled.n_nodes.to_bytes(8, "little", signed=False))
@@ -65,6 +74,9 @@ def compiled_fingerprint(compiled: CompiledNetlist) -> str:
     ):
         digest.update(array.shape[0].to_bytes(8, "little", signed=False))
         digest.update(array.tobytes())
+    if extra is not None:
+        digest.update(len(extra).to_bytes(8, "little", signed=False))
+        digest.update(extra)
     return digest.hexdigest()
 
 
@@ -102,9 +114,17 @@ class FactorizationCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, compiled: CompiledNetlist) -> FactorizedPDN:
-        """The cached factorization for this topology, building on miss."""
-        key = compiled_fingerprint(compiled)
+    def get(
+        self, compiled: CompiledNetlist, extra: bytes | None = None
+    ) -> FactorizedPDN:
+        """The cached factorization for this topology, building on miss.
+
+        ``extra`` is the optional fingerprint salt (see
+        :func:`compiled_fingerprint`) for callers whose factorization
+        validity depends on more than the compiled arrays — e.g. the
+        transient engine's ``(Δt, C_eff)`` stamp.
+        """
+        key = compiled_fingerprint(compiled, extra)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -138,10 +158,13 @@ def process_cache() -> FactorizationCache:
     return _PROCESS_CACHE
 
 
-def get_factorized(compiled: CompiledNetlist) -> FactorizedPDN:
+def get_factorized(
+    compiled: CompiledNetlist, extra: bytes | None = None
+) -> FactorizedPDN:
     """Shared-factorization entry point used by the grid layer.
 
     Returns a :class:`FactorizedPDN` from the process-global cache,
-    factoring on first sight of the topology.
+    factoring on first sight of the topology.  ``extra`` salts the
+    cache key (see :func:`compiled_fingerprint`).
     """
-    return _PROCESS_CACHE.get(compiled)
+    return _PROCESS_CACHE.get(compiled, extra)

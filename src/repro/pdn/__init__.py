@@ -47,7 +47,7 @@ from .planes import (
     plane_resistance,
     sheet_resistance,
 )
-from .powermap import PowerMap
+from .powermap import PowerMap, hotspot_trajectory
 from .grid import (
     GridACPDN,
     GridACSweepSolution,
@@ -65,7 +65,11 @@ from .impedance import (
     size_grid_decap_for_target,
     target_impedance_ohm,
 )
-from .transient import PDNStage, PDNTransient
+from .transient import PDNStage, PDNTransient, droop_and_settle
+from .grid_transient import (
+    GridTransientPDN,
+    GridTransientResult,
+)
 from .thermal import StackTemperatures, ThermalStack
 from .ac import (
     ACNetlist,
@@ -110,6 +114,7 @@ __all__ = [
     "annular_spreading_resistance",
     "disk_edge_feed_resistance",
     "PowerMap",
+    "hotspot_trajectory",
     "GridPDN",
     "GridSolution",
     "GridACPDN",
@@ -127,6 +132,9 @@ __all__ = [
     "size_grid_decap_for_target",
     "PDNStage",
     "PDNTransient",
+    "droop_and_settle",
+    "GridTransientPDN",
+    "GridTransientResult",
     "ThermalStack",
     "StackTemperatures",
     "ACNetlist",

@@ -170,6 +170,31 @@ class FastPoissonOperator:
         solved = out.reshape(-1, self.cells).T
         return solved[:, 0] if single else solved
 
+    def solve_rows(self, rhs: np.ndarray) -> np.ndarray:
+        """``(M⁻¹ @ rhsᵀ)ᵀ`` for a C-contiguous row stack ``(k, cells)``.
+
+        The zero-copy layout for hot loops: each row views directly as
+        a ``(ny, nx)`` field, so — unlike :meth:`solve` — no transpose
+        copies bracket the DCT pair.
+        """
+        arr = np.ascontiguousarray(rhs)
+        if arr.ndim != 2 or arr.shape[1] != self.cells:
+            raise ConfigError(
+                f"row rhs must be (k, {self.cells}), got {arr.shape}"
+            )
+        field = arr.reshape(-1, self.ny, self.nx)
+        backend = self.backend
+        if backend.name == "numpy":
+            hat = backend.dctn(field, axes=(1, 2))
+            hat /= self._lam[None, :, :]
+            out = backend.idctn(hat, axes=(1, 2))
+        else:  # pragma: no cover - exercised only with a GPU library
+            device = backend.from_numpy(field)
+            hat = backend.dctn(device, axes=(1, 2))
+            hat = hat / backend.from_numpy(self._lam)[None, :, :]
+            out = backend.to_numpy(backend.idctn(hat, axes=(1, 2)))
+        return out.reshape(-1, self.cells)
+
 
 class StructuredGridPDN:
     """The fast-Poisson engine behind :class:`~repro.pdn.grid.GridPDN`.

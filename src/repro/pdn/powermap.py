@@ -176,3 +176,49 @@ class PowerMap:
         """Ratio of peak to mean density (hotspot severity metric)."""
         cells = self.cell_currents(samples, samples, 1.0)
         return float(cells.max() / cells.mean())
+
+
+def hotspot_trajectory(
+    waypoints: list[tuple[float, float]],
+    steps: int,
+    nx: int,
+    ny: int,
+    total_current_a: float,
+    sigma: float = 0.10,
+    floor: float = 0.30,
+) -> np.ndarray:
+    """A moving hotspot as a time-varying sink array, (steps, ny, nx).
+
+    The hotspot center glides along the piecewise-linear path through
+    ``waypoints`` (unit-square coordinates), one Gaussian-plus-floor
+    map per sample, each integrating to ``total_current_a`` — the
+    migrating-workload drive signal for
+    :meth:`~repro.pdn.grid_transient.GridTransientPDN.simulate`
+    (every row is a valid ``set_sink_array`` input).
+    """
+    if steps < 2:
+        raise ConfigError("a trajectory needs at least two samples")
+    if len(waypoints) < 2:
+        raise ConfigError("a trajectory needs at least two waypoints")
+    points = np.asarray(waypoints, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ConfigError("waypoints must be (x, y) pairs")
+    if np.any(points < 0.0) or np.any(points > 1.0):
+        raise ConfigError("waypoints must lie inside the unit square")
+    # Arc-length parameterization so the hotspot moves at constant
+    # speed regardless of waypoint spacing.
+    seg = np.linalg.norm(np.diff(points, axis=0), axis=1)
+    arc = np.concatenate([[0.0], np.cumsum(seg)])
+    if arc[-1] == 0.0:
+        centers = np.repeat(points[:1], steps, axis=0)
+    else:
+        at = np.linspace(0.0, arc[-1], steps)
+        centers = np.column_stack(
+            [np.interp(at, arc, points[:, 0]), np.interp(at, arc, points[:, 1])]
+        )
+    frames = np.empty((steps, ny, nx))
+    for k, (cx, cy) in enumerate(centers):
+        frames[k] = PowerMap.gaussian(
+            (float(cx), float(cy)), sigma=sigma, floor=floor
+        ).cell_currents(nx, ny, total_current_a)
+    return frames

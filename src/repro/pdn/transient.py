@@ -53,6 +53,41 @@ class PDNStage:
             raise ConfigError(f"{self.name}: ESR must be non-negative")
 
 
+def droop_and_settle(
+    time_s: np.ndarray,
+    trace_v: np.ndarray,
+    v_pre: float,
+    v_final: float,
+    band_v: float,
+) -> tuple[float, float]:
+    """Droop / settle-time metrics shared by every transient result.
+
+    ``trace_v`` is a voltage waveform sampled at ``time_s`` whose first
+    sample is the pre-step operating point.  Droop is the worst
+    instantaneous deviation below ``v_pre`` (clipped at zero); the
+    settle time is the first sample whose *entire suffix* stays within
+    ``band_v`` of ``v_final`` — computed with a reversed cumulative AND
+    so every suffix verdict comes out of one O(n) pass (the naive scan
+    was O(n²) as ``inside[k:].all()`` per k).  Used by both the lumped
+    :class:`PDNTransient` ladder and the mesh
+    :class:`~repro.pdn.grid_transient.GridTransientPDN` result layers.
+    """
+    time = np.asarray(time_s, dtype=float)
+    trace = np.asarray(trace_v, dtype=float)
+    if time.ndim != 1 or trace.shape != time.shape or time.size == 0:
+        raise ConfigError("trace and time arrays must match and be 1-D")
+    if band_v <= 0:
+        raise ConfigError("settle band must be positive")
+    droop = float(max(0.0, v_pre - trace.min()))
+    inside = np.abs(trace - v_final) <= band_v
+    suffix_inside = np.logical_and.accumulate(inside[::-1])[::-1]
+    if suffix_inside.any():
+        settle = float(time[int(np.argmax(suffix_inside))])
+    else:
+        settle = float(time[-1])
+    return droop, settle
+
+
 @dataclass(frozen=True)
 class TransientResult:
     """Load-step simulation output.
@@ -200,7 +235,6 @@ class PDNTransient:
         pol = self._output_voltage(trajectory, i_after_a)
         pol[0] = v_pre  # step applies just after t=0
 
-        droop = float(max(0.0, v_pre - pol.min()))
         v_final = float(
             self._output_voltage(
                 self.dc_state(i_after_a).reshape(-1, 1), i_after_a
@@ -209,15 +243,7 @@ class PDNTransient:
         band = settle_band_v if settle_band_v is not None else 0.02 * abs(
             self.supply_voltage_v
         )
-        # First k whose entire suffix stays inside the band: a reversed
-        # cumulative AND gives every suffix verdict in one pass (the
-        # scan was O(n^2) as `inside[k:].all()` per k).
-        inside = np.abs(pol - v_final) <= band
-        suffix_inside = np.logical_and.accumulate(inside[::-1])[::-1]
-        if suffix_inside.any():
-            settle = float(time[int(np.argmax(suffix_inside))])
-        else:
-            settle = float(time[-1])
+        droop, settle = droop_and_settle(time, pol, v_pre, v_final, band)
 
         return TransientResult(
             time_s=time,

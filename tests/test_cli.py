@@ -38,6 +38,7 @@ class TestParser:
             "montecarlo",
             "redundancy",
             "decap",
+            "transient",
             "report",
         } == set(COMMANDS)
 
@@ -130,6 +131,18 @@ class TestCommands:
         assert main(["decap"]) == 0
         output = capsys.readouterr().out
         assert "cells/node" in output and "mOhm" in output
+
+    def test_transient(self, capsys):
+        assert main(["transient"]) == 0
+        output = capsys.readouterr().out
+        assert "cells/node" in output and "droop" in output and "mV" in output
+
+    def test_transient_jobs_matches_serial(self, capsys):
+        assert main(["transient"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["transient", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.replace("jobs=1", "") == parallel.replace("jobs=2", "")
 
     def test_export(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

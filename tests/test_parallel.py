@@ -81,6 +81,27 @@ class TestFingerprint:
         clone = pickle.loads(pickle.dumps(compiled))
         assert compiled_fingerprint(clone) == compiled_fingerprint(compiled)
 
+    def test_extra_salt_changes_fingerprint(self):
+        # The transient engine salts the key with its (dt, C_eff)
+        # stamp: same topology, different salt -> different entry.
+        compiled = _small_grid().compile()
+        plain = compiled_fingerprint(compiled)
+        salted = compiled_fingerprint(compiled, extra=b"dt=1e-9")
+        other = compiled_fingerprint(compiled, extra=b"dt=2e-9")
+        assert plain != salted
+        assert salted != other
+
+    def test_extra_salt_separates_cache_entries(self):
+        cache = FactorizationCache(maxsize=4)
+        compiled = _small_grid().compile()
+        a = cache.get(compiled, extra=b"stamp-a")
+        b = cache.get(compiled, extra=b"stamp-b")
+        again = cache.get(compiled, extra=b"stamp-a")
+        assert a is not b
+        assert a is again
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+
 
 class TestFactorizationCache:
     def test_hit_returns_same_instance(self):

@@ -11,6 +11,7 @@ from repro.pdn.transient import (
     PDNTransient,
     default_board_regulated_pdn,
     default_interposer_regulated_pdn,
+    droop_and_settle,
 )
 
 
@@ -147,6 +148,63 @@ class TestValidation:
     def test_rejects_short_duration(self):
         with pytest.raises(ConfigError):
             simple_pdn().simulate_step(0.0, 5.0, duration_s=1e-9, dt_s=1e-9)
+
+
+class TestDroopAndSettleHelper:
+    """The shared module-level helper matches what simulate_step reports."""
+
+    def reference(self, time, trace, v_pre, v_final, band):
+        droop = max(0.0, v_pre - float(np.min(trace)))
+        settle = float(time[-1])
+        inside = np.abs(trace - v_final) <= band
+        for k in range(len(inside)):
+            if inside[k:].all():
+                settle = float(time[k])
+                break
+        return droop, settle
+
+    def test_matches_simulate_step(self):
+        pdn = simple_pdn(esr=0.3e-3)
+        result = pdn.simulate_step(5.0, 40.0, duration_s=30e-6)
+        band = 0.02 * abs(pdn.supply_voltage_v)
+        v_final_state = pdn.dc_state(40.0).reshape(-1, 1)
+        v_final = float(pdn._output_voltage(v_final_state, 40.0)[0])
+        droop, settle = droop_and_settle(
+            result.time_s, result.pol_voltage_v, result.pol_voltage_v[0],
+            v_final, band,
+        )
+        assert droop == result.droop_v
+        assert settle == result.settle_time_s
+
+    def test_matches_reference_scan(self):
+        rng = np.random.default_rng(7)
+        time = np.linspace(0.0, 1e-6, 200)
+        trace = 1.0 - 0.05 * np.exp(-time / 2e-7) + 0.002 * rng.normal(
+            size=time.size
+        )
+        droop, settle = droop_and_settle(time, trace, 1.0, 0.999, 0.004)
+        assert (droop, settle) == self.reference(time, trace, 1.0, 0.999, 0.004)
+
+    def test_never_settling_reports_trace_end(self):
+        time = np.linspace(0.0, 1e-6, 50)
+        trace = np.full(50, 0.9)
+        droop, settle = droop_and_settle(time, trace, 1.0, 1.0, 1e-6)
+        assert droop == pytest.approx(0.1)
+        assert settle == time[-1]
+
+    def test_droop_clips_overshoot_to_zero(self):
+        time = np.linspace(0.0, 1e-6, 50)
+        trace = np.full(50, 1.2)
+        droop, _ = droop_and_settle(time, trace, 1.0, 1.2, 0.01)
+        assert droop == 0.0
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ConfigError):
+            droop_and_settle(np.arange(4.0), np.arange(5.0), 1.0, 1.0, 0.01)
+
+    def test_rejects_nonpositive_band(self):
+        with pytest.raises(ConfigError):
+            droop_and_settle(np.arange(4.0), np.arange(4.0), 1.0, 1.0, 0.0)
 
 
 class TestSettleTimeScan:
