@@ -29,6 +29,9 @@ shapes the system-level sweeps rely on:
   warm hot loop (<50 ms target),
 * ``test_grid_ac_impedance_map_spectral`` / ``..._structured`` — the
   modal AC engines head to head at 16/32/96 meshes,
+* ``test_placement_opt`` — a capped decap placement-optimizer run
+  (greedy moves + one adjoint gradient step) at 16/32 meshes, pinning
+  the O(one batched solve) per-iteration cost,
 * ``test_grid_transient`` / ``test_grid_transient_refactorize`` —
   warm factor-once droop stepping at 16/32/64 meshes vs the cold
   per-trace-refactorization baseline,
@@ -326,6 +329,41 @@ def test_grid_ac_impedance_map_structured(benchmark, n):
     impedance = benchmark(pdn.impedance_map, freqs, method="structured")
     assert impedance.peak_impedance_ohm > 0
     assert np.all(np.isfinite(impedance.z_ohm))
+
+
+# -- decap placement optimizer ------------------------------------------------
+
+PLACEMENT_POINTS = 41
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_placement_opt(benchmark, n):
+    """A capped placement-optimizer run (two greedy moves + one
+    adjoint gradient step, no coarse warm start) against a target at
+    half the uniform peak.  Each iteration is O(one batched solve) —
+    an impedance-map sweep per greedy trial plus one multi-RHS
+    ``impedance_columns`` solve per gradient step — so these rows
+    should scale like the warm ``test_grid_ac_impedance_map`` rows,
+    not like per-node re-solves."""
+    from repro.pdn.decap_placement import optimize_decap_placement
+
+    pdn = make_grid_ac(n)
+    freqs = np.logspace(4, 9, PLACEMENT_POINTS)
+    baseline = pdn.impedance_map(freqs)  # warm compile/eigen caches
+    target = 0.5 * baseline.peak_impedance_ohm
+
+    def place():
+        return optimize_decap_placement(
+            pdn,
+            target,
+            frequencies_hz=freqs,
+            max_iterations=2,
+            gradient_steps=1,
+            multi_resolution=False,
+        )
+
+    result = benchmark(place)
+    assert result.violating_fraction_history
 
 
 # -- grid transient (factor-once droop engine) --------------------------------

@@ -11,10 +11,11 @@ Usage::
     python -m repro montecarlo --samples 512 --jobs auto
     python -m repro redundancy --jobs 4
     python -m repro decap --jobs auto
+    python -m repro place --budget-scales 0.5,1,2
     python -m repro transient --jobs 2
     python -m repro report              # everything above in one go
 
-Sweep commands (``montecarlo``, ``redundancy``, ``decap``,
+Sweep commands (``montecarlo``, ``redundancy``, ``decap``, ``place``,
 ``transient``) accept
 ``--jobs`` (an integer or ``auto`` for the available CPUs) and
 ``--chunk-size`` to shard their scenario lists across worker processes
@@ -236,6 +237,35 @@ def cmd_decap(spec: SystemSpec, args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_place(spec: SystemSpec, args: argparse.Namespace) -> int:
+    from .core.exploration import placement_budget_sweep
+
+    scales = tuple(
+        float(s) for s in args.budget_scales.split(",") if s.strip()
+    )
+    points = placement_budget_sweep(
+        budget_scales=scales,
+        spec=spec,
+        grid_nodes=args.grid_nodes,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+    )
+    print(
+        f"optimized decap placement (A2, {DSCH.name}, "
+        f"{args.grid_nodes}x{args.grid_nodes} mesh, jobs={args.jobs}):"
+    )
+    for point in points:
+        flag = "ok  " if point.meets_target else "FAIL"
+        print(
+            f"  [{flag}] {point.label:12s} "
+            f"({point.capacitance_budget_f * 1e6:8.3f} uF) peak "
+            f"{point.peak_impedance_ohm * 1e3:7.3f} mOhm, "
+            f"{point.violating_fraction:6.1%} nodes violating "
+            f"after {point.iterations} moves"
+        )
+    return 0
+
+
 def cmd_transient(spec: SystemSpec, args: argparse.Namespace) -> int:
     from .core.exploration import load_step_ensemble
 
@@ -289,6 +319,7 @@ COMMANDS: dict[str, CommandHandler] = {
     "montecarlo": cmd_montecarlo,
     "redundancy": cmd_redundancy,
     "decap": cmd_decap,
+    "place": cmd_place,
     "transient": cmd_transient,
     "report": cmd_report,
 }
@@ -337,6 +368,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=512,
         help="for 'montecarlo': number of Monte-Carlo draws",
+    )
+    parser.add_argument(
+        "--budget-scales",
+        default="0.5,1.0,2.0",
+        help="for 'place': comma-separated budget multipliers",
+    )
+    parser.add_argument(
+        "--grid-nodes",
+        type=int,
+        default=12,
+        help="for 'place': mesh nodes per axis",
     )
     return parser
 

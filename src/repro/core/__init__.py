@@ -44,11 +44,13 @@ from .energy import DeploymentModel, EnergyReport, annual_energy, annual_savings
 from .ir_drop import (
     ImpedanceMapReport,
     IRDropReport,
+    PlacementReport,
     TransientDroopReport,
     analyze_impedance_map,
     analyze_ir_drop,
     analyze_load_step,
     compare_architectures,
+    optimize_decap_placement_map,
 )
 from .optimizer import (
     DesignCandidate,
@@ -69,10 +71,12 @@ from .scaling_study import (
 )
 from .exploration import (
     DecapDensityPoint,
+    PlacementBudgetPoint,
     SweepPoint,
     TransientEnsemblePoint,
     decap_density_sweep,
     load_step_ensemble,
+    placement_budget_sweep,
 )
 from .variation import VariationResult, VariationSpec, monte_carlo_loss
 
@@ -110,11 +114,15 @@ __all__ = [
     "compare_architectures",
     "ImpedanceMapReport",
     "analyze_impedance_map",
+    "PlacementReport",
+    "optimize_decap_placement_map",
     "TransientDroopReport",
     "analyze_load_step",
     "SweepPoint",
     "DecapDensityPoint",
     "decap_density_sweep",
+    "PlacementBudgetPoint",
+    "placement_budget_sweep",
     "TransientEnsemblePoint",
     "load_step_ensemble",
     "DesignConstraints",

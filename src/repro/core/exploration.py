@@ -37,10 +37,13 @@ from .architectures import (
 )
 from .current_sharing import SharingResult, analyze_current_sharing
 from .ir_drop import (
+    DEFAULT_DECAP_PER_UNIT_F,
     ImpedanceMapReport,
+    PlacementReport,
     TransientDroopReport,
     analyze_impedance_map,
     analyze_load_step,
+    optimize_decap_placement_map,
 )
 from .loss_analysis import LossAnalyzer, LossBreakdown, LossModelParameters
 
@@ -492,5 +495,97 @@ def decap_density_sweep(
         payload=(spec, topology, arch, grid_nodes, kwargs),
         chunk_size=1 if chunk_size is None else chunk_size,
         label="decap-density sweep",
+    )
+    return run_sweep_collect(plan, jobs=jobs)
+
+
+@dataclass(frozen=True)
+class PlacementBudgetPoint:
+    """Optimized-placement outcome at one total-capacitance budget."""
+
+    label: str
+    budget_scale: float
+    capacitance_budget_f: float
+    peak_impedance_ohm: float
+    violating_fraction: float
+    iterations: int
+    meets_target: bool
+
+
+def _placement_chunk(payload: tuple, scenarios: tuple) -> list:
+    """Evaluate placement-budget points (full optimizer run per point)."""
+    spec, topology, arch, grid_nodes, kwargs = payload
+    # The attached total the scales multiply: density unit cells on
+    # every mesh node.
+    base_f = (
+        kwargs.get("decap_density", 1.0)
+        * grid_nodes
+        * grid_nodes
+        * kwargs.get("decap_per_unit_f", DEFAULT_DECAP_PER_UNIT_F)
+    )
+    points: list[PlacementBudgetPoint] = []
+    for scenario in scenarios:
+        scale = scenario.params
+        report: PlacementReport = optimize_decap_placement_map(
+            arch,
+            topology,
+            spec=spec,
+            grid_nodes=grid_nodes,
+            budget_f=scale * base_f,
+            **kwargs,
+        )
+        points.append(
+            PlacementBudgetPoint(
+                label=f"{scale:g}x budget",
+                budget_scale=scale,
+                capacitance_budget_f=report.capacitance_budget_f,
+                peak_impedance_ohm=report.placement.peak_impedance_after_ohm,
+                violating_fraction=report.placement.violating_fraction_after,
+                iterations=report.placement.iterations,
+                meets_target=report.meets_target,
+            )
+        )
+    return points
+
+
+def placement_budget_sweep(
+    budget_scales: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    spec: SystemSpec | None = None,
+    topology: ConverterSpec = DSCH,
+    arch=None,
+    grid_nodes: int = 12,
+    jobs: "int | str | None" = 1,
+    chunk_size: int | None = None,
+    **kwargs,
+) -> list[PlacementBudgetPoint]:
+    """Optimized decap placement vs total-capacitance budget.
+
+    The spatial successor of :func:`decap_density_sweep`: instead of
+    asking "what does a uniform density of ``d`` buy", each point asks
+    "what does the *optimally placed* budget of ``scale × attached
+    total`` buy" — running the full greedy + adjoint placement
+    optimizer (:func:`~repro.core.ir_drop.optimize_decap_placement_map`)
+    per point and recording the post-optimization peak |Z| and
+    violating-node fraction.  Extra keyword arguments are forwarded to
+    the optimizer.
+
+    Each point is a full optimization run, so the executor defaults to
+    one budget per chunk; ``jobs`` fans the points across worker
+    processes with results identical for any worker count.
+    """
+    if not budget_scales:
+        raise ConfigError("at least one budget scale required")
+    if any(s <= 0 for s in budget_scales):
+        raise ConfigError("budget scales must be positive")
+    spec = spec or SystemSpec()
+    arch = arch or single_stage_a2()
+    plan = SweepPlan(
+        scenarios=tuple(
+            Scenario(key=float(s), params=float(s)) for s in budget_scales
+        ),
+        runner=_placement_chunk,
+        payload=(spec, topology, arch, grid_nodes, kwargs),
+        chunk_size=1 if chunk_size is None else chunk_size,
+        label="placement-budget sweep",
     )
     return run_sweep_collect(plan, jobs=jobs)

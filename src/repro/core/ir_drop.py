@@ -24,6 +24,11 @@ import numpy as np
 from ..config import SystemSpec
 from ..converters.catalog import ConverterSpec
 from ..errors import ConfigError
+from ..pdn.decap_placement import (
+    PlacementResult,
+    optimize_decap_placement,
+    size_decap_placement_for_target,
+)
 from ..pdn.grid import GridACPDN, GridImpedanceMap, GridPDN
 from ..pdn.grid_transient import GridTransientPDN
 from ..pdn.impedance import target_impedance_ohm
@@ -302,6 +307,113 @@ def analyze_impedance_map(
         worst_node=(ix / denom_x, iy / denom_y),
         meets_target=impedance.meets_target(target),
         impedance=impedance,
+    )
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Spatially-optimized decap placement for one design point.
+
+    Attributes:
+        architecture / topology: design-point labels.
+        target_ohm: the target impedance the placement was driven to.
+        placement: the full optimizer outcome (before/after density
+            and peak maps, violating-fraction history, budget).
+    """
+
+    architecture: str
+    topology: str
+    target_ohm: float
+    placement: PlacementResult
+
+    @property
+    def meets_target(self) -> bool:
+        return self.placement.meets_target
+
+    @property
+    def capacitance_budget_f(self) -> float:
+        return self.placement.capacitance_budget_f
+
+    @property
+    def peak_reduction_fraction(self) -> float:
+        """Fractional peak-|Z| improvement over the attached map."""
+        before = self.placement.peak_impedance_before_ohm
+        after = self.placement.peak_impedance_after_ohm
+        return 1.0 - after / before
+
+
+def optimize_decap_placement_map(
+    arch: ArchitectureSpec,
+    topology: ConverterSpec,
+    spec: SystemSpec | None = None,
+    grid_nodes: int = 16,
+    ripple_fraction: float = DEFAULT_DROOP_BUDGET_FRACTION,
+    transient_fraction: float = DEFAULT_TRANSIENT_FRACTION,
+    decap_density: float = 1.0,
+    decap_per_unit_f: float = DEFAULT_DECAP_PER_UNIT_F,
+    decap_esr_ohm: float = DEFAULT_DECAP_ESR_OHM,
+    decap_esl_h: float = DEFAULT_DECAP_ESL_H,
+    source_inductance_h: float = DEFAULT_SOURCE_INDUCTANCE_H,
+    output_resistance_ohm: float = DEFAULT_OUTPUT_RESISTANCE_OHM,
+    frequencies_hz: np.ndarray | None = None,
+    size_budget: bool = False,
+    **placement_kwargs,
+) -> PlacementReport:
+    """Spatially optimize the decap allocation of a design point.
+
+    Builds the identical die grid, VR bank, and decap attachment as
+    :func:`analyze_impedance_map`, derives the same target impedance,
+    and redistributes the decap budget toward the violating nodes with
+    :func:`~repro.pdn.decap_placement.optimize_decap_placement`.  With
+    ``size_budget=True`` the total budget itself is searched
+    (:func:`~repro.pdn.decap_placement.size_decap_placement_for_target`)
+    for the smallest optimized allocation that meets target — the
+    spatial replacement for the uniform
+    :func:`~repro.pdn.impedance.size_grid_decap_for_target` doubling.
+    Extra keyword arguments are forwarded to the optimizer
+    (``budget_f``, ``max_iterations``, ``coarse_shape``...).
+    """
+    if not arch.is_vertical:
+        raise ConfigError("impedance maps apply to on-package VR stages")
+    if not 0.0 < transient_fraction <= 1.0:
+        raise ConfigError("transient fraction must be in (0, 1]")
+    if decap_density <= 0:
+        raise ConfigError("decap density must be positive")
+    spec = spec or SystemSpec()
+    if frequencies_hz is None:
+        frequencies_hz = np.logspace(4, 9, 121)
+
+    grid, _ = _die_grid_with_bank(
+        arch,
+        topology,
+        spec,
+        None,
+        grid_nodes,
+        spec.pol_voltage_v,
+        output_resistance_ohm,
+    )
+    pdn = GridACPDN.from_grid(grid, source_inductance_h=source_inductance_h)
+    pdn.set_decap_density(
+        decap_density, decap_per_unit_f, decap_esr_ohm, decap_esl_h
+    )
+    target = target_impedance_ohm(
+        spec.pol_voltage_v,
+        ripple_fraction,
+        transient_fraction * spec.pol_current_a,
+    )
+    if size_budget:
+        placement = size_decap_placement_for_target(
+            pdn, target, frequencies_hz=frequencies_hz, **placement_kwargs
+        )
+    else:
+        placement = optimize_decap_placement(
+            pdn, target, frequencies_hz=frequencies_hz, **placement_kwargs
+        )
+    return PlacementReport(
+        architecture=arch.name,
+        topology=topology.name,
+        target_ohm=target,
+        placement=placement,
     )
 
 

@@ -48,9 +48,14 @@ def compiled_fingerprint(
 
     Two netlists with equal fingerprints produce byte-identical MNA
     systems and default right-hand sides, so a factorization computed
-    for one is valid for the other.  Node/element *names* are excluded:
-    they never enter the numerics, and hashing lazy name tuples would
-    force materializing them.
+    for one is valid for the other.  Each array contributes its dtype
+    and full shape alongside the raw bytes: two arrays with identical
+    byte payloads but different numeric interpretations (e.g. an
+    ``int64`` view of ``float64`` data) must never collapse onto one
+    cache key, or a factorization built for the wrong interpretation
+    could be handed out.  Node/element *names* are excluded: they
+    never enter the numerics, and hashing lazy name tuples would force
+    materializing them.
 
     ``extra`` salts the digest with caller-supplied discretization
     bytes.  The transient grid engine stamps its time step into the
@@ -72,7 +77,12 @@ def compiled_fingerprint(
         compiled.vs_minus,
         compiled.vs_volt,
     ):
-        digest.update(array.shape[0].to_bytes(8, "little", signed=False))
+        dtype_tag = array.dtype.str.encode("ascii")
+        digest.update(len(dtype_tag).to_bytes(8, "little", signed=False))
+        digest.update(dtype_tag)
+        digest.update(array.ndim.to_bytes(8, "little", signed=False))
+        for dim in array.shape:
+            digest.update(dim.to_bytes(8, "little", signed=False))
         digest.update(array.tobytes())
     if extra is not None:
         digest.update(len(extra).to_bytes(8, "little", signed=False))
@@ -100,7 +110,9 @@ class FactorizationCache:
     the main thread while ``concurrent.futures`` callbacks may run on a
     pool-management thread); the factorization itself is computed
     outside the lock per key, accepting a rare duplicate build over
-    serializing every solve behind one mutex.
+    serializing every solve behind one mutex.  When two threads race,
+    the first insert wins and the duplicate build is discarded, so
+    every caller holds the *same* cached entry.
     """
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_ENTRIES) -> None:
@@ -134,6 +146,14 @@ class FactorizationCache:
             self.stats.misses += 1
         entry = FactorizedPDN(compiled)
         with self._lock:
+            # Two threads that missed concurrently both build; keep the
+            # first insert and hand the duplicate builder the same
+            # entry, so every caller shares one FactorizedPDN (and its
+            # influence-column LRU) per key.
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:

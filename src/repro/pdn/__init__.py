@@ -55,6 +55,15 @@ from .grid import (
     GridPDN,
     GridSolution,
 )
+from .decap_placement import (
+    PlacementResult,
+    VRSiteSelection,
+    optimize_decap_placement,
+    prolong_density,
+    restrict_density,
+    select_vr_sites,
+    size_decap_placement_for_target,
+)
 from .stackup import PackagingLevel, PackagingStack, default_stack
 from .impedance import (
     ImpedanceProfile,
@@ -130,6 +139,13 @@ __all__ = [
     "target_impedance_ohm",
     "size_die_decap_for_target",
     "size_grid_decap_for_target",
+    "PlacementResult",
+    "VRSiteSelection",
+    "optimize_decap_placement",
+    "prolong_density",
+    "restrict_density",
+    "select_vr_sites",
+    "size_decap_placement_for_target",
     "PDNStage",
     "PDNTransient",
     "droop_and_settle",

@@ -1331,6 +1331,50 @@ class GridACPDN:
             self._decap = ("map", c * factor, esr / factor, esl / factor)
         self._rev += 1
 
+    def decap_snapshot(self) -> tuple:
+        """The exact decap state, for :meth:`restore_decap`.
+
+        Captures the stored representation (kind, arrays, unit values)
+        plus the topology revision, so a search that mutates the
+        allocation — :func:`~repro.pdn.impedance.size_grid_decap_for_target`,
+        the placement optimizer — can put the grid back bit-exactly
+        instead of round-tripping values through lossy scale factors.
+        """
+        if self._decap is None:
+            state: tuple | None = None
+        else:
+            state = tuple(
+                part.copy() if isinstance(part, np.ndarray) else part
+                for part in self._decap
+            )
+        return (state, self._rev)
+
+    def restore_decap(self, snapshot: tuple) -> None:
+        """Restore a :meth:`decap_snapshot` bit-exactly.
+
+        The topology revision is restored too, so structures cached
+        *before* the snapshot stay valid; any structure built at an
+        intermediate revision (which could alias a future revision
+        number once the counter is rewound) is dropped.
+        """
+        state, rev = snapshot
+        if state is None:
+            self._decap = None
+        else:
+            self._decap = tuple(
+                part.copy() if isinstance(part, np.ndarray) else part
+                for part in state
+            )
+        self._rev = rev
+        if self._reduced is not None and self._reduced.rev != rev:
+            self._reduced = None
+        if self._spectral is not None and self._spectral.rev != rev:
+            self._spectral = None
+        if self._structured is not None and self._structured.rev != rev:
+            self._structured = None
+        if self._compiled is not None and self._compiled[0] != rev:
+            self._compiled = None
+
     @property
     def total_decap_farad(self) -> float:
         """Total attached decoupling capacitance over the mesh."""
@@ -1495,6 +1539,63 @@ class GridACPDN:
         return GridImpedanceMap(
             frequencies_hz=freqs, z_ohm=z, nx=self.nx, ny=self.ny
         )
+
+    def impedance_columns(
+        self, frequency_hz: float, nodes
+    ) -> np.ndarray:
+        """Columns of the reduced inverse ``A(ω)⁻¹[:, nodes]``.
+
+        The adjoint companion of :meth:`impedance_map`: at one
+        frequency, solve the reduced (sources-zeroed) system for a
+        batch of unit probes — one sparse factorization, one multi-RHS
+        back-substitution.  Column ``j`` is the transfer impedance from
+        every mesh node into ``nodes[j]`` (row order, ``iy·nx + ix``);
+        its diagonal entry is exactly the self-impedance the map
+        reports.  Because the reduced system is complex-symmetric,
+        these columns are also the adjoint fields
+        ``d Z_k / d y_shunt,i = −(A⁻¹ e_k)_i²`` that the placement
+        optimizer turns into per-node decap sensitivities for *all*
+        nodes at once.
+
+        Returns a complex ``(cells, len(nodes))`` array.
+        """
+        freqs = check_frequencies(np.atleast_1d(np.asarray(
+            frequency_hz, dtype=float
+        )))
+        if freqs.size != 1:
+            raise ConfigError("impedance_columns takes a single frequency")
+        if not self._sources:
+            raise ConfigError("no sources attached; call add_source first")
+        cells = self.nx * self.ny
+        rows = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        if rows.ndim != 1 or rows.size == 0:
+            raise ConfigError("nodes must be a non-empty 1-D index list")
+        if np.any(rows < 0) or np.any(rows >= cells):
+            raise ConfigError("probe node index outside the mesh")
+        structure = self._ensure_reduced()
+        omega = 2.0 * math.pi * freqs
+        data = self._reduced_csc_data(structure, omega)
+        matrix = sp.csc_matrix(
+            (data[0], structure.csc_rows, structure.indptr),
+            shape=(cells, cells),
+        )
+        rhs = np.zeros((cells, rows.size), dtype=complex)
+        rhs[rows, np.arange(rows.size)] = 1.0
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", spla.MatrixRankWarning)
+            try:
+                columns = spla.splu(matrix).solve(rhs)
+            except RuntimeError as exc:
+                raise SolverError(
+                    "grid impedance solve failed at "
+                    f"{freqs[0]:.6g} Hz: {exc}"
+                ) from exc
+        if not np.all(np.isfinite(columns)):
+            raise SolverError(
+                f"grid impedance is singular at {freqs[0]:.6g} Hz "
+                "(resonant singularity or floating mesh)"
+            )
+        return columns
 
     def impedance_engine(self, method: str = "auto") -> str:
         """The impedance-map engine ``method`` resolves to.

@@ -39,6 +39,7 @@ class TestParser:
             "redundancy",
             "decap",
             "transient",
+            "place",
             "report",
         } == set(COMMANDS)
 
@@ -131,6 +132,23 @@ class TestCommands:
         assert main(["decap"]) == 0
         output = capsys.readouterr().out
         assert "cells/node" in output and "mOhm" in output
+
+    def test_place(self, capsys):
+        assert (
+            main(
+                [
+                    "place",
+                    "--grid-nodes",
+                    "6",
+                    "--budget-scales",
+                    "1.0",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "optimized decap placement" in output
+        assert "moves" in output and "uF" in output
 
     def test_transient(self, capsys):
         assert main(["transient"]) == 0

@@ -330,3 +330,88 @@ class TestGridDecapSizing:
         bare.add_source("a", 0.5, 0.5, 1.0, 1e-3)
         with pytest.raises(ConfigError):
             size_grid_decap_for_target(bare, 1e-3)
+
+    @staticmethod
+    def _assert_snapshots_equal(before, after):
+        import numpy as np
+
+        state_before, rev_before = before
+        state_after, rev_after = after
+        assert rev_after == rev_before
+        assert (state_after is None) == (state_before is None)
+        if state_before is None:
+            return
+        assert len(state_after) == len(state_before)
+        for part_before, part_after in zip(state_before, state_after):
+            if isinstance(part_before, np.ndarray):
+                assert np.array_equal(
+                    part_after, part_before
+                ), "decap array not restored bit-exactly"
+            else:
+                assert part_after == part_before
+
+    def test_sizing_restores_map_representation_bit_exactly(self):
+        # Regression: the sizer used to undo trials with
+        # scale_decap(1/total_scale), a lossy float round-trip for a
+        # "map" allocation; it must restore the snapshot instead.
+        import numpy as np
+
+        from repro.pdn.grid import GridACPDN
+        from repro.pdn.impedance import size_grid_decap_for_target
+
+        pdn = GridACPDN(0.02, 0.02, 1e-4, nx=6, ny=6)
+        rng = np.random.default_rng(7)
+        cap = 50e-9 * (0.3 + rng.random((6, 6)))
+        pdn.set_decap_map(cap, 2e-3, 1e-12)
+        pdn.add_source("a", 0.0, 0.0, 1.0, 1e-4, 2e-9)
+        freqs = np.logspace(4, 9, 31)
+        before = pdn.decap_snapshot()
+        baseline = pdn.impedance_map(freqs).peak_impedance_ohm
+        rec = size_grid_decap_for_target(
+            pdn, baseline * 0.5, frequencies_hz=freqs
+        )
+        assert rec.meets_target
+        self._assert_snapshots_equal(before, pdn.decap_snapshot())
+        # The restored grid reproduces the pre-search sweep exactly.
+        assert pdn.impedance_map(freqs).peak_impedance_ohm == baseline
+
+    def test_sizing_restores_state_when_sweep_raises(self):
+        # Regression: a trial evaluation that raises mid-search used to
+        # leave the grid holding the scaled trial allocation.
+        from repro.pdn.impedance import size_grid_decap_for_target
+
+        pdn, freqs = self.make_pdn()
+        before = pdn.decap_snapshot()
+        calls = {"n": 0}
+        real_map = pdn.impedance_map
+
+        def exploding_map(frequencies):
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise RuntimeError("solver blew up mid-search")
+            return real_map(frequencies)
+
+        pdn.impedance_map = exploding_map
+        try:
+            with pytest.raises(RuntimeError):
+                size_grid_decap_for_target(
+                    pdn, 1e-12, frequencies_hz=freqs
+                )
+        finally:
+            del pdn.impedance_map
+        self._assert_snapshots_equal(before, pdn.decap_snapshot())
+
+    def test_sizing_failure_caps_recommendation_at_max_scale(self):
+        from repro.pdn.impedance import size_grid_decap_for_target
+
+        pdn, freqs = self.make_pdn()
+        before = pdn.decap_snapshot()
+        rec = size_grid_decap_for_target(
+            pdn, 1e-12, max_scale=4.0, frequencies_hz=freqs
+        )
+        assert not rec.meets_target
+        assert rec.recommended_farad == pytest.approx(
+            rec.original_farad * 4.0
+        )
+        self._assert_snapshots_equal(before, pdn.decap_snapshot())
+        assert pdn.total_decap_farad == pytest.approx(rec.original_farad)

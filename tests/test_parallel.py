@@ -91,6 +91,61 @@ class TestFingerprint:
         assert plain != salted
         assert salted != other
 
+    def test_dtype_distinguishes_identical_bytes(self):
+        # An int64 view of float64 data has the *same* byte payload;
+        # the fingerprint must still separate them or a factorization
+        # built for the wrong numeric interpretation could be reused.
+        from types import SimpleNamespace
+
+        compiled = _small_grid().compile()
+        fields = (
+            "res_a",
+            "res_b",
+            "res_ohm",
+            "cs_from",
+            "cs_to",
+            "cs_amp",
+            "vs_plus",
+            "vs_minus",
+            "vs_volt",
+        )
+        stub = SimpleNamespace(
+            n_nodes=compiled.n_nodes,
+            **{name: getattr(compiled, name) for name in fields},
+        )
+        assert compiled_fingerprint(stub) == compiled_fingerprint(compiled)
+        stub.res_ohm = compiled.res_ohm.view(np.int64)
+        assert stub.res_ohm.tobytes() == compiled.res_ohm.tobytes()
+        assert compiled_fingerprint(stub) != compiled_fingerprint(compiled)
+
+    def test_full_shape_distinguishes_identical_bytes(self):
+        # Same bytes, same shape[0], different trailing dims: a (2,)
+        # array vs a (2, 2) array starting with the same two rows.
+        from types import SimpleNamespace
+
+        compiled = _small_grid().compile()
+        fields = (
+            "res_a",
+            "res_b",
+            "res_ohm",
+            "cs_from",
+            "cs_to",
+            "cs_amp",
+            "vs_plus",
+            "vs_minus",
+            "vs_volt",
+        )
+        stub = SimpleNamespace(
+            n_nodes=compiled.n_nodes,
+            **{name: getattr(compiled, name) for name in fields},
+        )
+        flat = np.arange(4, dtype=float)
+        stub.cs_amp = flat
+        one = compiled_fingerprint(stub)
+        stub.cs_amp = flat.reshape(2, 2)
+        assert stub.cs_amp.tobytes() == flat.tobytes()
+        assert compiled_fingerprint(stub) != one
+
     def test_extra_salt_separates_cache_entries(self):
         cache = FactorizationCache(maxsize=4)
         compiled = _small_grid().compile()
@@ -123,6 +178,47 @@ class TestFactorizationCache:
         # The oldest topology was evicted; re-requesting it rebuilds.
         cache.get(grids[0].compile())
         assert cache.stats.misses == 4
+
+    def test_concurrent_miss_returns_single_instance(self, monkeypatch):
+        # Two threads racing on the same cold key must converge on one
+        # factorization: the loser of the race discards its build and
+        # adopts the winner's entry instead of overwriting it.
+        import threading
+
+        import repro.parallel.cache as cache_module
+
+        real_factory = cache_module.FactorizedPDN
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        class RendezvousFactory:
+            def __call__(self, compiled):
+                # Both threads reach the expensive build before either
+                # inserts, guaranteeing a duplicate-build race.
+                barrier.wait()
+                return real_factory(compiled)
+
+        monkeypatch.setattr(
+            cache_module, "FactorizedPDN", RendezvousFactory()
+        )
+        cache = FactorizationCache(maxsize=4)
+        compiled = _small_grid().compile()
+        results = [None, None]
+
+        def worker(slot):
+            results[slot] = cache.get(compiled)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert results[0] is not None
+        assert results[0] is results[1]
+        assert len(cache) == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.evictions == 0
 
     def test_solutions_match_direct_factorization(self):
         cache = FactorizationCache()
